@@ -1,0 +1,89 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+reproduction runs on a pure-Python stack, the default settings use scaled
+versions of the Table-I circuits and a reduced sample count; the paper's
+full setting is available behind an environment variable.
+
+Environment knobs
+-----------------
+``REPRO_FULL=1``
+    Run at the paper's full circuit sizes and 10 000 samples (hours).
+``REPRO_BENCH_FFS`` (default 55)
+    Target flip-flop count the suite circuits are scaled down to.
+``REPRO_BENCH_SAMPLES`` (default 300)
+    Monte-Carlo training samples per flow run.
+``REPRO_BENCH_EVAL`` (default 600)
+    Fresh evaluation samples for the yield columns.
+``REPRO_BENCH_CIRCUITS``
+    Comma-separated subset of the Table-I circuits (default: all eight).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.circuit.suite import build_suite_circuit, list_suite_circuits, suggested_scale
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Resolved benchmark-harness settings."""
+
+    full: bool
+    target_ffs: int
+    n_samples: int
+    n_eval_samples: int
+    circuits: Tuple[str, ...]
+
+    def scale_for(self, circuit: str) -> float:
+        """Scale factor applied to one suite circuit."""
+        if self.full:
+            return 1.0
+        return suggested_scale(circuit, target_flip_flops=self.target_ffs)
+
+
+def _load_settings() -> BenchSettings:
+    full = os.environ.get("REPRO_FULL", "0") == "1"
+    circuits = os.environ.get("REPRO_BENCH_CIRCUITS", "")
+    selected = tuple(c.strip() for c in circuits.split(",") if c.strip()) or tuple(list_suite_circuits())
+    unknown = [c for c in selected if c not in list_suite_circuits()]
+    if unknown:
+        raise ValueError(f"unknown circuits in REPRO_BENCH_CIRCUITS: {unknown}")
+    return BenchSettings(
+        full=full,
+        target_ffs=int(os.environ.get("REPRO_BENCH_FFS", "55")),
+        n_samples=int(os.environ.get("REPRO_BENCH_SAMPLES", "10000" if full else "300")),
+        n_eval_samples=int(os.environ.get("REPRO_BENCH_EVAL", "10000" if full else "600")),
+        circuits=selected,
+    )
+
+
+SETTINGS = _load_settings()
+
+#: Cache of built designs so that several benchmarks can share one circuit.
+_DESIGN_CACHE: Dict[Tuple[str, float], object] = {}
+
+
+def get_design(circuit: str, seed: int = 1):
+    """Build (or fetch from cache) one scaled suite circuit."""
+    scale = SETTINGS.scale_for(circuit)
+    key = (circuit, scale)
+    if key not in _DESIGN_CACHE:
+        _DESIGN_CACHE[key] = build_suite_circuit(circuit, scale=scale, seed=seed)
+    return _DESIGN_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> BenchSettings:
+    """The resolved harness settings."""
+    return SETTINGS
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive flow exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

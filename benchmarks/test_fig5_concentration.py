@@ -1,0 +1,109 @@
+"""Benchmark: tuning-value concentration (paper Fig. 5a-c).
+
+Fig. 5 shows the tuning-value histogram of one buffer across all samples
+(a) without concentration, (b) after concentrating toward zero in step 1
+and (c) after concentrating toward the average within the fixed range
+window in step 2.  The quantitative claims behind the figure are
+
+* the concentration objective narrows the spread of the tuning values, and
+* the final buffer ranges (max - min of the step-2 values) are clearly
+  smaller than the maximum 20-step window (paper column ``Ab``).
+
+This benchmark runs the flow with and without the concentration objective
+on one suite circuit and compares the spreads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SETTINGS, get_design, run_once
+from repro.analysis.histograms import histograms_from_artifacts
+from repro.core import BufferInsertionFlow, FlowConfig
+
+
+def _spread(values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    return float(values.max() - values.min())
+
+
+def _run(concentrate: bool):
+    circuit = SETTINGS.circuits[0]
+    design = get_design(circuit)
+    config = FlowConfig(
+        n_samples=SETTINGS.n_samples,
+        n_eval_samples=200,
+        seed=3,
+        target_sigma=0.0,
+        concentrate=concentrate,
+    )
+    return BufferInsertionFlow(design, config).run()
+
+
+def test_fig5_concentration_narrows_spread(benchmark):
+    concentrated = run_once(benchmark, _run, True)
+    scattered = _run(False)
+
+    # Buffers used often in both runs (the comparison is meaningless for
+    # buffers with a handful of samples).
+    common = set(concentrated.step1.tuning_values) & set(scattered.step1.tuning_values)
+    heavy = [
+        ff
+        for ff in common
+        if len(concentrated.step1.tuning_values[ff]) >= 10
+        and len(scattered.step1.tuning_values[ff]) >= 10
+    ]
+    assert heavy, "expected at least one frequently tuned buffer"
+
+    # Fig. 5a vs 5b: the step-1 objective ``min sum |x|`` pulls the tuning
+    # values toward zero — the mean magnitude shrinks compared with taking
+    # an arbitrary feasible solution per sample.
+    magnitude_with = np.mean(
+        [np.mean(np.abs(concentrated.step1.tuning_values[ff])) for ff in heavy]
+    )
+    magnitude_without = np.mean(
+        [np.mean(np.abs(scattered.step1.tuning_values[ff])) for ff in heavy]
+    )
+    print(
+        f"\nmean |tuning| over {len(heavy)} buffers: "
+        f"without concentration {magnitude_without:.2f} steps, "
+        f"with concentration {magnitude_with:.2f} steps"
+    )
+    assert magnitude_with <= magnitude_without + 1e-9
+
+    # Fig. 5b vs 5c: concentrating toward the per-buffer average in step 2
+    # narrows the spread of the values relative to step 1, which is what
+    # shrinks the final ranges.
+    heavy2 = [ff for ff in heavy if len(concentrated.step2.tuning_values.get(ff, [])) >= 10]
+    if heavy2:
+        spread_step1 = np.mean([_spread(concentrated.step1.tuning_values[ff]) for ff in heavy2])
+        spread_step2 = np.mean([_spread(concentrated.step2.tuning_values[ff]) for ff in heavy2])
+        print(
+            f"average spread over {len(heavy2)} buffers: step 1 {spread_step1:.1f} steps, "
+            f"step 2 {spread_step2:.1f} steps"
+        )
+        assert spread_step2 <= spread_step1 + 1.0
+
+    # Fig. 5c: the final ranges are well below the 20-step maximum window.
+    assert 0.0 < concentrated.plan.average_range_steps < 20.0
+    print(f"final average range (Ab): {concentrated.plan.average_range_steps:.1f} steps (max 20)")
+
+    # Print the Fig.-5-style histogram of the most-used buffer.
+    usage = concentrated.step1.usage_counts
+    top = max(usage, key=usage.get)
+    for label, artifacts in (("step 1", concentrated.step1), ("step 2", concentrated.step2)):
+        values = artifacts.tuning_values.get(top, np.zeros(0))
+        histogram = histograms_from_artifacts({top: values}, bin_width=2.0)[top]
+        print(f"\n--- {label}, buffer {top} ---")
+        print(histogram.as_text(width=30))
+
+
+def test_fig5_step2_range_not_wider_than_step1_window(benchmark):
+    result = run_once(benchmark, _run, True)
+    spec_steps = result.plan.buffers[0].range_steps if result.plan.buffers else 0.0
+    for buffer in result.plan.buffers:
+        assert buffer.range_steps <= 20.0 + 1e-9
+    # Average range after step 2 is at most the full window used in step 1.
+    assert result.plan.average_range_steps <= 20.0

@@ -1,0 +1,111 @@
+"""Benchmark: runtime scaling (paper Table I, column ``T (s)``).
+
+The paper reports end-to-end runtimes growing from ~8 s (smallest circuit,
+relaxed target) to ~5124 s (largest circuit, tight target) with a C++ /
+Gurobi implementation.  The absolute numbers of the Python reproduction
+are incomparable, but two scaling *shapes* carry over and are measured
+here:
+
+* runtime grows with circuit size and with how tight the target period is
+  (more failing samples means more per-sample optimisations);
+* the specialised graph solver is substantially faster per sample than the
+  faithful big-M MILP formulation while finding the same buffer counts in
+  almost every sample.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SETTINGS, get_design, run_once
+from repro.core import BufferInsertionFlow, FlowConfig
+from repro.core.config import BufferSpec
+from repro.core.sample_solver import ConstraintTopology, PerSampleSolver, SampleProblem
+from repro.timing import ensure_constraint_graph
+from repro.timing.period import sample_min_periods
+from repro.variation.sampling import MonteCarloSampler
+
+
+def test_runtime_grows_with_tighter_target(benchmark):
+    circuit = SETTINGS.circuits[0]
+
+    def run():
+        runtimes = {}
+        for sigma in (0.0, 2.0):
+            config = FlowConfig(
+                n_samples=SETTINGS.n_samples, n_eval_samples=200, seed=3, target_sigma=sigma
+            )
+            start = time.perf_counter()
+            BufferInsertionFlow(get_design(circuit), config).run()
+            runtimes[sigma] = time.perf_counter() - start
+        return runtimes
+
+    runtimes = run_once(benchmark, run)
+    print(f"\n{circuit}: flow runtime muT {runtimes[0.0]:.2f} s, muT+2s {runtimes[2.0]:.2f} s")
+    assert runtimes[0.0] > runtimes[2.0]
+
+
+def test_runtime_grows_with_circuit_size(benchmark):
+    if len(SETTINGS.circuits) < 2:
+        pytest.skip("needs at least two circuits selected")
+
+    def run():
+        runtimes = {}
+        for circuit in (SETTINGS.circuits[0], SETTINGS.circuits[-1]):
+            design = get_design(circuit)
+            config = FlowConfig(n_samples=150, n_eval_samples=150, seed=3, target_sigma=0.0)
+            start = time.perf_counter()
+            BufferInsertionFlow(design, config).run()
+            runtimes[circuit] = (design.netlist.n_gates, time.perf_counter() - start)
+        return runtimes
+
+    runtimes = run_once(benchmark, run)
+    for circuit, (gates, seconds) in runtimes.items():
+        print(f"\n{circuit}: {gates} gates -> {seconds:.2f} s")
+
+
+def test_graph_solver_faster_than_milp(benchmark):
+    circuit = SETTINGS.circuits[0]
+    design = get_design(circuit)
+    graph = ensure_constraint_graph(design)
+    topology = ConstraintTopology.from_constraint_graph(graph)
+    sampler = MonteCarloSampler(design.variation_model, rng=13)
+    batch = sampler.sample(min(150, SETTINGS.n_samples))
+    samples = graph.sample(batch, sampler=sampler)
+    analysis = sample_min_periods(design, constraint_graph=graph, constraint_samples=samples)
+    period = analysis.target_period(1.0)
+    spec = BufferSpec()
+    step = spec.step_size(period)
+    setup = np.floor(samples.setup_bounds(period) / step + 1e-9)
+    hold = np.floor(samples.hold_bounds() / step + 1e-9)
+    lower = np.full(topology.n_ffs, -float(spec.n_steps))
+    upper = np.full(topology.n_ffs, float(spec.n_steps))
+    solver = PerSampleSolver(topology)
+
+    failing = [
+        s
+        for s in range(samples.n_samples)
+        if SampleProblem(setup[:, s], hold[:, s], lower, upper).violated_edges().size
+    ][:20]
+
+    def time_backend(use_milp: bool) -> float:
+        start = time.perf_counter()
+        for s in failing:
+            problem = SampleProblem(setup[:, s], hold[:, s], lower, upper)
+            if use_milp:
+                solver.solve_with_milp(problem)
+            else:
+                solver.solve(problem)
+        return time.perf_counter() - start
+
+    graph_seconds = run_once(benchmark, time_backend, False)
+    milp_seconds = time_backend(True)
+    print(
+        f"\n{circuit}: {len(failing)} failing samples, graph backend {graph_seconds:.2f} s, "
+        f"big-M MILP backend {milp_seconds:.2f} s "
+        f"({milp_seconds / max(graph_seconds, 1e-9):.1f}x slower)"
+    )
+    assert graph_seconds < milp_seconds

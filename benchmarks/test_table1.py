@@ -1,0 +1,113 @@
+"""Benchmark: reproduce the paper's Table I.
+
+For every Table-I circuit and every target period (``mu_T``,
+``mu_T + sigma_T``, ``mu_T + 2 sigma_T``) the full insertion flow is run
+and the same quantities the paper reports are collected: buffer count
+``Nb``, average range ``Ab`` (steps), yield ``Y``, yield improvement
+``Yi`` and runtime ``T``.  At the end of the module the reproduced rows
+are printed next to the paper's reported numbers.
+
+Absolute values cannot match (synthesised circuits, scaled sizes, Python
+runtime); the assertions therefore check the *shape* of the result:
+
+* yield improvement is positive and largest at the tight target,
+* the buffer count stays a small fraction of the flip-flop count,
+* the average range stays below the 20-step maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from benchmarks.conftest import SETTINGS, get_design, run_once
+from repro.analysis.tables import TableOneRow, format_table_one, paper_table_one
+from repro.core import BufferInsertionFlow, FlowConfig
+
+_SIGMAS = (0.0, 1.0, 2.0)
+_ROWS: Dict[Tuple[str, float], TableOneRow] = {}
+
+
+def _run_flow(circuit: str, sigma: float) -> TableOneRow:
+    design = get_design(circuit)
+    config = FlowConfig(
+        n_samples=SETTINGS.n_samples,
+        n_eval_samples=SETTINGS.n_eval_samples,
+        seed=7,
+        target_sigma=sigma,
+    )
+    result = BufferInsertionFlow(design, config).run()
+    stats = design.netlist.stats()
+    return TableOneRow.from_flow_result(
+        circuit, stats["flip_flops"], stats["gates"], sigma, result
+    )
+
+
+@pytest.mark.parametrize("circuit", SETTINGS.circuits)
+@pytest.mark.parametrize("sigma", _SIGMAS)
+def test_table1_cell(benchmark, circuit, sigma):
+    """One (circuit, target-period) cell of Table I."""
+    row = run_once(benchmark, _run_flow, circuit, sigma)
+    _ROWS[(circuit, sigma)] = row
+
+    # Shape assertions (loose: small scaled circuits are noisy).
+    assert row.tuned_yield >= row.original_yield - 0.01
+    assert row.n_buffers <= max(6, 0.4 * row.n_flip_flops)
+    if row.n_buffers:
+        assert row.avg_range <= 20.0
+    if sigma == 0.0:
+        assert row.yield_improvement > 0.05
+        assert 0.30 < row.original_yield < 0.70
+    if sigma == 2.0:
+        assert row.original_yield > 0.85
+
+
+def test_table1_report(benchmark):
+    """Print the reproduced table next to the paper's numbers, persist it to
+    ``benchmarks/output/table1_reproduced.txt`` and check the cross-target
+    trend on the circuits that were run."""
+    if not _ROWS:
+        pytest.skip("no table cells were produced (selection filtered everything out)")
+
+    rows = [row for _, row in sorted(_ROWS.items())]
+    reproduced = format_table_one(rows)
+    run_once(benchmark, lambda: reproduced)
+    print("\n=== Reproduced Table I (scaled circuits, reduced samples) ===")
+    print(reproduced)
+
+    from pathlib import Path
+
+    output = Path(__file__).parent / "output" / "table1_reproduced.txt"
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(reproduced + "\n")
+
+    print("\n=== Paper-reported Table I (for comparison) ===")
+    reference = [
+        TableOneRow(
+            circuit=e["circuit"],
+            n_flip_flops=e["n_flip_flops"],
+            n_gates=e["n_gates"],
+            target_sigma=e["target_sigma"],
+            n_buffers=e["n_buffers"],
+            avg_range=e["avg_range"],
+            tuned_yield=e["tuned_yield"],
+            original_yield=e["tuned_yield"] - e["yield_improvement"],
+            runtime_s=e["runtime_s"],
+        )
+        for e in paper_table_one()
+        if e["circuit"] in SETTINGS.circuits
+    ]
+    print(format_table_one(reference))
+
+    # Trend check per circuit: improvement does not increase when the target
+    # period is relaxed (allowing a small noise margin).
+    by_circuit: Dict[str, Dict[float, TableOneRow]] = {}
+    for (circuit, sigma), row in _ROWS.items():
+        by_circuit.setdefault(circuit, {})[sigma] = row
+    for circuit, per_sigma in by_circuit.items():
+        if set(_SIGMAS).issubset(per_sigma):
+            assert (
+                per_sigma[0.0].yield_improvement
+                >= per_sigma[2.0].yield_improvement - 0.03
+            ), f"{circuit}: improvement should shrink from muT to muT+2sigma"

@@ -1,0 +1,71 @@
+"""Buffer-pair correlation summaries (paper Fig. 6).
+
+The grouping step relies on the pairwise correlation of buffer tuning
+values across samples.  :func:`correlation_summary` reports the correlation
+matrix together with the pairs that qualify for grouping under the paper's
+thresholds, which is the information Fig. 6 illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grouping import tuning_correlation_matrix
+
+
+@dataclass
+class CorrelationSummary:
+    """Pairwise tuning correlations and the groupable pairs.
+
+    Attributes
+    ----------
+    flip_flops:
+        Buffer order of the matrix.
+    matrix:
+        Pearson correlation matrix of the tuning-value vectors.
+    groupable_pairs:
+        Pairs ``(ff_a, ff_b, correlation, distance)`` that pass both the
+        correlation and the distance threshold.
+    """
+
+    flip_flops: List[str]
+    matrix: np.ndarray
+    groupable_pairs: List[Tuple[str, str, float, float]] = field(default_factory=list)
+
+    @property
+    def n_groupable_pairs(self) -> int:
+        """Number of buffer pairs eligible for sharing a physical buffer."""
+        return len(self.groupable_pairs)
+
+    def max_off_diagonal(self) -> float:
+        """Largest correlation between two distinct buffers."""
+        n = len(self.flip_flops)
+        if n < 2:
+            return 0.0
+        mask = ~np.eye(n, dtype=bool)
+        return float(np.max(self.matrix[mask]))
+
+
+def correlation_summary(
+    flip_flops: Sequence[str],
+    tuning_matrix: np.ndarray,
+    locations: Dict[str, Tuple[float, float]],
+    correlation_threshold: float = 0.8,
+    distance_threshold: float = float("inf"),
+) -> CorrelationSummary:
+    """Compute the correlation matrix and the groupable buffer pairs."""
+    flip_flops = list(flip_flops)
+    matrix = tuning_correlation_matrix(tuning_matrix)
+    pairs: List[Tuple[str, str, float, float]] = []
+    for i in range(len(flip_flops)):
+        for j in range(i + 1, len(flip_flops)):
+            corr = float(matrix[i, j])
+            xa, ya = locations[flip_flops[i]]
+            xb, yb = locations[flip_flops[j]]
+            distance = abs(xa - xb) + abs(ya - yb)
+            if corr >= correlation_threshold and distance <= distance_threshold:
+                pairs.append((flip_flops[i], flip_flops[j], corr, distance))
+    return CorrelationSummary(flip_flops=flip_flops, matrix=matrix, groupable_pairs=pairs)

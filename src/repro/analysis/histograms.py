@@ -1,0 +1,105 @@
+"""Tuning-value histograms (paper Fig. 5).
+
+Figure 5 of the paper illustrates how the tuning values of a single buffer
+across all samples (a) start out scattered, (b) concentrate around zero
+after the step-1 objective, and (c) concentrate around the average inside
+the reduced range after step 2.  :func:`tuning_histogram` produces those
+histograms from the flow artefacts so the benchmark harness (and the
+examples) can print/plot them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TuningHistogram:
+    """Histogram of one buffer's tuning values across samples.
+
+    Attributes
+    ----------
+    flip_flop:
+        Buffer / flip-flop name.
+    bin_edges:
+        Histogram bin edges (length ``len(counts) + 1``).
+    counts:
+        Number of samples per bin.
+    mean / std / spread:
+        Summary statistics of the underlying values (spread = max - min).
+    """
+
+    flip_flop: str
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    mean: float
+    std: float
+    spread: float
+
+    @property
+    def n_values(self) -> int:
+        """Total number of observed tunings."""
+        return int(np.sum(self.counts))
+
+    def as_text(self, width: int = 40) -> str:
+        """ASCII rendering of the histogram (for console reports)."""
+        lines = [f"buffer {self.flip_flop}: {self.n_values} tunings, spread {self.spread:.2f}"]
+        peak = max(1, int(np.max(self.counts))) if self.counts.size else 1
+        for left, right, count in zip(self.bin_edges[:-1], self.bin_edges[1:], self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"  [{left:+7.2f}, {right:+7.2f}) {int(count):5d} {bar}")
+        return "\n".join(lines)
+
+
+def tuning_histogram(
+    flip_flop: str,
+    values: Sequence[float],
+    bin_width: float = 1.0,
+    value_range: Optional[tuple] = None,
+) -> TuningHistogram:
+    """Histogram the tuning values of one buffer.
+
+    Parameters
+    ----------
+    values:
+        Observed (non-zero) tuning values across samples.
+    bin_width:
+        Width of one histogram bin (use the tuning step for Fig.-5-style
+        plots).
+    value_range:
+        Optional ``(low, high)`` range; defaults to the data range.
+    """
+    values = np.asarray(list(values), dtype=float)
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if values.size == 0:
+        edges = np.array([-bin_width / 2, bin_width / 2])
+        return TuningHistogram(flip_flop, edges, np.zeros(1, dtype=int), 0.0, 0.0, 0.0)
+    low, high = value_range if value_range is not None else (values.min(), values.max())
+    low = np.floor(low / bin_width) * bin_width
+    high = np.ceil(high / bin_width) * bin_width + bin_width
+    edges = np.arange(low, high + bin_width / 2, bin_width)
+    counts, edges = np.histogram(values, bins=edges)
+    return TuningHistogram(
+        flip_flop=flip_flop,
+        bin_edges=edges,
+        counts=counts,
+        mean=float(values.mean()),
+        std=float(values.std()),
+        spread=float(values.max() - values.min()),
+    )
+
+
+def histograms_from_artifacts(
+    tuning_values: Dict[str, np.ndarray],
+    bin_width: float = 1.0,
+    top_k: Optional[int] = None,
+) -> Dict[str, TuningHistogram]:
+    """Histograms of the ``top_k`` most-used buffers of a flow step."""
+    items = sorted(tuning_values.items(), key=lambda kv: len(kv[1]), reverse=True)
+    if top_k is not None:
+        items = items[:top_k]
+    return {ff: tuning_histogram(ff, values, bin_width=bin_width) for ff, values in items}

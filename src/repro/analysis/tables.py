@@ -1,0 +1,163 @@
+"""Table-I style reporting.
+
+The paper's single results table lists, per circuit and per target period
+(``mu_T``, ``mu_T + sigma_T``, ``mu_T + 2 sigma_T``): the number of
+inserted buffers ``Nb``, their average range ``Ab`` (in steps), the yield
+``Y`` with buffers, the improvement ``Yi = Y - Yo`` and the runtime
+``T (s)``.  :class:`TableOneRow` captures one (circuit, target) cell and
+the formatters render the same layout as the paper, which is what the
+benchmark harness prints and what ``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.results import FlowResult
+
+
+@dataclass(frozen=True)
+class TableOneRow:
+    """One (circuit, target period) entry of the Table-I reproduction.
+
+    Attributes
+    ----------
+    circuit:
+        Benchmark name.
+    n_flip_flops / n_gates:
+        Circuit size (the paper's ``ns`` and ``ng``).
+    target_sigma:
+        0, 1 or 2 — the target period is ``mu_T + target_sigma * sigma_T``.
+    n_buffers / avg_range / tuned_yield / original_yield / runtime_s:
+        The paper's ``Nb``, ``Ab``, ``Y``, ``Yo`` and ``T (s)``.
+    """
+
+    circuit: str
+    n_flip_flops: int
+    n_gates: int
+    target_sigma: float
+    n_buffers: int
+    avg_range: float
+    tuned_yield: float
+    original_yield: float
+    runtime_s: float
+
+    @property
+    def yield_improvement(self) -> float:
+        """``Yi = Y - Yo`` in percent points (0-1 scale)."""
+        return self.tuned_yield - self.original_yield
+
+    @classmethod
+    def from_flow_result(
+        cls,
+        circuit: str,
+        n_flip_flops: int,
+        n_gates: int,
+        target_sigma: float,
+        result: FlowResult,
+        runtime_s: Optional[float] = None,
+    ) -> "TableOneRow":
+        """Build a row from a finished flow result."""
+        return cls(
+            circuit=circuit,
+            n_flip_flops=n_flip_flops,
+            n_gates=n_gates,
+            target_sigma=target_sigma,
+            n_buffers=result.plan.n_buffers,
+            avg_range=result.plan.average_range_steps,
+            tuned_yield=result.improved_yield,
+            original_yield=result.original_yield,
+            runtime_s=result.total_runtime if runtime_s is None else runtime_s,
+        )
+
+
+_HEADER = (
+    f"{'circuit':<14}{'ns':>7}{'ng':>8}{'target':>10}{'Nb':>5}{'Ab':>7}"
+    f"{'Y(%)':>8}{'Yi(%)':>8}{'T(s)':>9}"
+)
+
+
+def _sigma_label(sigma: float) -> str:
+    if abs(sigma) < 1e-9:
+        return "muT"
+    if abs(sigma - 1.0) < 1e-9:
+        return "muT+1s"
+    if abs(sigma - 2.0) < 1e-9:
+        return "muT+2s"
+    return f"muT+{sigma:g}s"
+
+
+def format_table_one(rows: Iterable[TableOneRow]) -> str:
+    """Render rows in the paper's Table-I layout (plain text)."""
+    lines = [_HEADER, "-" * len(_HEADER)]
+    for row in rows:
+        lines.append(
+            f"{row.circuit:<14}{row.n_flip_flops:>7}{row.n_gates:>8}"
+            f"{_sigma_label(row.target_sigma):>10}{row.n_buffers:>5}"
+            f"{row.avg_range:>7.2f}{100 * row.tuned_yield:>8.2f}"
+            f"{100 * row.yield_improvement:>8.2f}{row.runtime_s:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def rows_to_markdown(rows: Iterable[TableOneRow]) -> str:
+    """Render rows as a Markdown table (used for ``EXPERIMENTS.md``)."""
+    lines = [
+        "| circuit | ns | ng | target | Nb | Ab | Y (%) | Yi (%) | T (s) |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.circuit} | {row.n_flip_flops} | {row.n_gates} | "
+            f"{_sigma_label(row.target_sigma)} | {row.n_buffers} | {row.avg_range:.2f} | "
+            f"{100 * row.tuned_yield:.2f} | {100 * row.yield_improvement:.2f} | "
+            f"{row.runtime_s:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def paper_table_one() -> List[Dict[str, float]]:
+    """The paper's reported Table-I numbers (for side-by-side comparison).
+
+    Values are copied verbatim from the paper; yields are fractions.
+    """
+    data = [
+        # circuit, ns, ng, sigma, Nb, Ab, Y, Yi, T(s)
+        ("s9234", 211, 5597, 0, 2, 12.50, 0.7711, 0.2711, 54.22),
+        ("s9234", 211, 5597, 1, 2, 12.00, 0.9594, 0.1181, 47.11),
+        ("s9234", 211, 5597, 2, 2, 11.00, 0.9918, 0.0146, 7.79),
+        ("s13207", 638, 7951, 0, 5, 9.80, 0.7237, 0.2237, 156.05),
+        ("s13207", 638, 7951, 1, 5, 14.20, 0.9642, 0.1229, 92.84),
+        ("s13207", 638, 7951, 2, 6, 17.30, 0.9953, 0.0181, 24.16),
+        ("s15850", 534, 9772, 0, 5, 19.80, 0.6934, 0.1934, 223.09),
+        ("s15850", 534, 9772, 1, 5, 19.40, 0.9433, 0.1020, 90.89),
+        ("s15850", 534, 9772, 2, 5, 15.20, 0.9912, 0.0140, 23.42),
+        ("s38584", 1426, 19253, 0, 11, 9.74, 0.8597, 0.3597, 1800.14),
+        ("s38584", 1426, 19253, 1, 7, 13.14, 0.9848, 0.1435, 683.62),
+        ("s38584", 1426, 19253, 2, 7, 13.57, 0.9894, 0.0122, 223.95),
+        ("mem_ctrl", 1065, 10327, 0, 10, 11.90, 0.6711, 0.1711, 1206.54),
+        ("mem_ctrl", 1065, 10327, 1, 10, 11.70, 0.9458, 0.1045, 531.78),
+        ("mem_ctrl", 1065, 10327, 2, 10, 8.70, 0.9891, 0.0119, 147.89),
+        ("usb_funct", 1746, 14381, 0, 17, 17.18, 0.7177, 0.2177, 2202.69),
+        ("usb_funct", 1746, 14381, 1, 17, 16.82, 0.9657, 0.1244, 670.63),
+        ("usb_funct", 1746, 14381, 2, 9, 4.00, 0.9873, 0.0101, 145.77),
+        ("ac97_ctrl", 2199, 9208, 0, 21, 15.10, 0.7505, 0.2505, 2225.54),
+        ("ac97_ctrl", 2199, 9208, 1, 21, 15.43, 0.9492, 0.1079, 800.31),
+        ("ac97_ctrl", 2199, 9208, 2, 8, 13.00, 0.9773, 0.0001, 111.38),
+        ("pci_bridge32", 3321, 12494, 0, 32, 13.84, 0.7366, 0.2366, 5124.25),
+        ("pci_bridge32", 3321, 12494, 1, 32, 9.41, 0.9676, 0.1263, 2594.26),
+        ("pci_bridge32", 3321, 12494, 2, 8, 9.50, 0.9867, 0.0095, 586.74),
+    ]
+    keys = (
+        "circuit",
+        "n_flip_flops",
+        "n_gates",
+        "target_sigma",
+        "n_buffers",
+        "avg_range",
+        "tuned_yield",
+        "yield_improvement",
+        "runtime_s",
+    )
+    return [dict(zip(keys, row)) for row in data]

@@ -1,0 +1,27 @@
+"""Baseline buffer-insertion strategies.
+
+The paper's implicit baselines are "no buffers" (the original yield) and
+the statistical clock-tree tuning of reference [2] which places symmetric
+tuning buffers by criticality.  This subpackage provides comparable
+strategies so the benchmark harness can report who wins and by how much:
+
+* :mod:`repro.baselines.every_ff` — a tuning buffer at every flip-flop
+  with the full symmetric range (upper bound on achievable yield, maximal
+  area);
+* :mod:`repro.baselines.criticality` — buffers at the top-k statistically
+  most critical flip-flops with symmetric ranges (a Tsai-2005-style
+  heuristic);
+* :mod:`repro.baselines.random_placement` — buffers at k random flip-flops
+  (sanity baseline).
+"""
+
+from repro.baselines.criticality import criticality_plan, flip_flop_criticality
+from repro.baselines.every_ff import every_ff_plan
+from repro.baselines.random_placement import random_plan
+
+__all__ = [
+    "every_ff_plan",
+    "criticality_plan",
+    "flip_flop_criticality",
+    "random_plan",
+]

@@ -1,0 +1,41 @@
+"""Gate-level circuit substrate.
+
+This subpackage provides everything the insertion flow needs to know about
+a design:
+
+* :mod:`repro.circuit.cells` / :mod:`repro.circuit.library` — combinational
+  and sequential cell definitions with nominal timing,
+* :mod:`repro.circuit.netlist` — the gate-level netlist data model,
+* :mod:`repro.circuit.bench` — ISCAS89 ``.bench`` reader / writer,
+* :mod:`repro.circuit.generators` — synthetic sequential-circuit generators
+  used to stand in for the paper's industrial-library-mapped benchmarks,
+* :mod:`repro.circuit.placement` — cell placement and flip-flop pitch,
+* :mod:`repro.circuit.clockskew` — static clock-skew injection,
+* :mod:`repro.circuit.design` — the :class:`CircuitDesign` bundle consumed
+  by timing analysis and the insertion flow,
+* :mod:`repro.circuit.suite` — the eight Table-I benchmark circuits.
+"""
+
+from repro.circuit.cells import Cell, CellKind, FlipFlopTiming
+from repro.circuit.design import CircuitDesign
+from repro.circuit.library import CellLibrary, default_library
+from repro.circuit.netlist import Instance, InstanceKind, Netlist
+from repro.circuit.placement import Placement, grid_placement
+from repro.circuit.suite import CIRCUIT_SPECS, build_suite_circuit, list_suite_circuits
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "FlipFlopTiming",
+    "CellLibrary",
+    "default_library",
+    "Instance",
+    "InstanceKind",
+    "Netlist",
+    "Placement",
+    "grid_placement",
+    "CircuitDesign",
+    "CIRCUIT_SPECS",
+    "build_suite_circuit",
+    "list_suite_circuits",
+]

@@ -1,0 +1,114 @@
+"""Cell definitions.
+
+A :class:`Cell` describes one library element: its logic function tag, the
+number of inputs, its nominal propagation delay (used for the maximum-delay
+arc) and its nominal contamination delay (used for the minimum-delay arc),
+plus an area figure used for reporting.  Flip-flop cells additionally carry
+a :class:`FlipFlopTiming` record (setup, hold, clock-to-Q).
+
+Delays are expressed in arbitrary *library time units*; the whole
+reproduction is unit-consistent so absolute units do not matter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class CellKind(enum.Enum):
+    """Coarse functional class of a cell."""
+
+    COMBINATIONAL = "combinational"
+    FLIP_FLOP = "flip_flop"
+    BUFFER = "buffer"
+
+
+@dataclass(frozen=True)
+class FlipFlopTiming:
+    """Sequential timing quantities of a flip-flop cell.
+
+    Attributes
+    ----------
+    setup:
+        Setup time ``s`` (data must be stable this long before the clock edge).
+    hold:
+        Hold time ``h`` (data must be stable this long after the clock edge).
+    clk_to_q:
+        Clock-to-output propagation delay.
+    """
+
+    setup: float = 2.0
+    hold: float = 1.0
+    clk_to_q: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.setup, "setup")
+        check_non_negative(self.hold, "hold")
+        check_non_negative(self.clk_to_q, "clk_to_q")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2"``.
+    kind:
+        Functional class (combinational, flip-flop, buffer).
+    n_inputs:
+        Number of data inputs (flip-flops have exactly one, ``D``).
+    delay:
+        Nominal propagation (maximum) delay of the cell.
+    min_delay:
+        Nominal contamination (minimum) delay; defaults to 60 % of ``delay``.
+    area:
+        Relative area (for buffer-cost reporting).
+    function:
+        Logic-function tag (``"NAND"``, ``"AND"``, ...); informational only —
+        the timing flow never evaluates logic values.
+    ff_timing:
+        Sequential timing record, required when ``kind`` is ``FLIP_FLOP``.
+    """
+
+    name: str
+    kind: CellKind
+    n_inputs: int
+    delay: float
+    min_delay: Optional[float] = None
+    area: float = 1.0
+    function: str = ""
+    ff_timing: Optional[FlipFlopTiming] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell name must not be empty")
+        if self.n_inputs < 0:
+            raise ValueError("n_inputs must be >= 0")
+        check_non_negative(self.delay, "delay")
+        check_positive(self.area, "area")
+        if self.min_delay is not None:
+            check_non_negative(self.min_delay, "min_delay")
+            if self.min_delay > self.delay:
+                raise ValueError(
+                    f"min_delay ({self.min_delay}) must not exceed delay ({self.delay})"
+                )
+        if self.kind is CellKind.FLIP_FLOP and self.ff_timing is None:
+            raise ValueError(f"flip-flop cell {self.name!r} requires ff_timing")
+
+    @property
+    def contamination_delay(self) -> float:
+        """Nominal minimum (contamination) delay of the cell."""
+        if self.min_delay is not None:
+            return self.min_delay
+        return 0.6 * self.delay
+
+    @property
+    def is_sequential(self) -> bool:
+        """Whether the cell is a flip-flop."""
+        return self.kind is CellKind.FLIP_FLOP

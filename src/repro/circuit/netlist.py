@@ -1,0 +1,263 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is a collection of named :class:`Instance` objects
+(primary inputs, primary outputs, combinational gates and flip-flops)
+connected by name.  Signals and instance outputs are identified: every
+instance drives exactly one signal whose name equals the instance name,
+which matches the ISCAS89 ``.bench`` convention and keeps the data model
+small.
+
+Sequential loops (feedback through flip-flops) are legal; combinational
+loops are not and are rejected by :meth:`Netlist.validate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+class InstanceKind(enum.Enum):
+    """Role of an instance in the netlist."""
+
+    PRIMARY_INPUT = "primary_input"
+    PRIMARY_OUTPUT = "primary_output"
+    GATE = "gate"
+    FLIP_FLOP = "flip_flop"
+
+
+@dataclass
+class Instance:
+    """One netlist instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance (and output signal) name.
+    kind:
+        Role of the instance.
+    cell:
+        Library cell name (``None`` for primary inputs/outputs).
+    fanins:
+        Names of the instances driving this instance's inputs, in pin order.
+        For a flip-flop the single fan-in is its ``D`` input.
+    """
+
+    name: str
+    kind: InstanceKind
+    cell: Optional[str] = None
+    fanins: List[str] = field(default_factory=list)
+
+    @property
+    def is_flip_flop(self) -> bool:
+        """Whether this instance is a flip-flop."""
+        return self.kind is InstanceKind.FLIP_FLOP
+
+    @property
+    def is_gate(self) -> bool:
+        """Whether this instance is a combinational gate."""
+        return self.kind is InstanceKind.GATE
+
+
+class Netlist:
+    """A named gate-level netlist."""
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self._instances: Dict[str, Instance] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add(self, instance: Instance) -> Instance:
+        if instance.name in self._instances:
+            raise ValueError(f"instance {instance.name!r} already exists in netlist {self.name!r}")
+        self._instances[instance.name] = instance
+        return instance
+
+    def add_primary_input(self, name: str) -> Instance:
+        """Add a primary input."""
+        return self._add(Instance(name, InstanceKind.PRIMARY_INPUT))
+
+    def add_primary_output(self, name: str, driver: Optional[str] = None) -> Instance:
+        """Add a primary output; ``driver`` is the signal observed at the port."""
+        fanins = [driver] if driver is not None else []
+        return self._add(Instance(name, InstanceKind.PRIMARY_OUTPUT, fanins=fanins))
+
+    def add_gate(self, name: str, cell: str, fanins: Sequence[str]) -> Instance:
+        """Add a combinational gate instance of library cell ``cell``."""
+        return self._add(Instance(name, InstanceKind.GATE, cell=cell, fanins=list(fanins)))
+
+    def add_flip_flop(self, name: str, cell: str = "DFF", data_input: Optional[str] = None) -> Instance:
+        """Add a flip-flop; its single fan-in (``D`` input) may be set later."""
+        fanins = [data_input] if data_input is not None else []
+        return self._add(Instance(name, InstanceKind.FLIP_FLOP, cell=cell, fanins=fanins))
+
+    def set_flip_flop_input(self, name: str, data_input: str) -> None:
+        """Connect (or reconnect) the ``D`` input of flip-flop ``name``."""
+        inst = self.instance(name)
+        if not inst.is_flip_flop:
+            raise ValueError(f"{name!r} is not a flip-flop")
+        inst.fanins = [data_input]
+
+    def set_output_driver(self, name: str, driver: str) -> None:
+        """Connect (or reconnect) the driver of primary output ``name``."""
+        inst = self.instance(name)
+        if inst.kind is not InstanceKind.PRIMARY_OUTPUT:
+            raise ValueError(f"{name!r} is not a primary output")
+        inst.fanins = [driver]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def instance(self, name: str) -> Instance:
+        """Look up an instance by name."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise KeyError(f"instance {name!r} not found in netlist {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    @property
+    def instances(self) -> Dict[str, Instance]:
+        """All instances keyed by name (insertion order preserved)."""
+        return self._instances
+
+    def _names_of(self, kind: InstanceKind) -> List[str]:
+        return [inst.name for inst in self._instances.values() if inst.kind is kind]
+
+    @property
+    def primary_inputs(self) -> List[str]:
+        """Names of the primary inputs."""
+        return self._names_of(InstanceKind.PRIMARY_INPUT)
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        """Names of the primary outputs."""
+        return self._names_of(InstanceKind.PRIMARY_OUTPUT)
+
+    @property
+    def flip_flops(self) -> List[str]:
+        """Names of the flip-flops."""
+        return self._names_of(InstanceKind.FLIP_FLOP)
+
+    @property
+    def gates(self) -> List[str]:
+        """Names of the combinational gates."""
+        return self._names_of(InstanceKind.GATE)
+
+    @property
+    def n_flip_flops(self) -> int:
+        """Number of flip-flops (``ns`` in the paper's Table I)."""
+        return len(self.flip_flops)
+
+    @property
+    def n_gates(self) -> int:
+        """Number of combinational gates (``ng`` in the paper's Table I)."""
+        return len(self.gates)
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def fanout_map(self) -> Dict[str, List[str]]:
+        """Map from each instance to the instances it drives."""
+        fanouts: Dict[str, List[str]] = {name: [] for name in self._instances}
+        for inst in self._instances.values():
+            for src in inst.fanins:
+                if src not in self._instances:
+                    raise KeyError(
+                        f"instance {inst.name!r} references unknown fan-in {src!r}"
+                    )
+                fanouts[src].append(inst.name)
+        return fanouts
+
+    def combinational_digraph(self) -> "nx.DiGraph":
+        """Directed graph of the combinational logic with flip-flops split.
+
+        Each flip-flop ``f`` appears as two nodes: ``f`` acting as a source
+        (its ``Q`` output launching into the combinational logic) and
+        ``("sink", f)`` acting as a sink (its ``D`` input).  The resulting
+        graph is acyclic for a legal sequential circuit.
+        """
+        graph = nx.DiGraph()
+        for inst in self._instances.values():
+            if inst.is_flip_flop:
+                graph.add_node(inst.name, kind="ff_source")
+                graph.add_node(("sink", inst.name), kind="ff_sink")
+            else:
+                graph.add_node(inst.name, kind=inst.kind.value)
+        for inst in self._instances.values():
+            target = ("sink", inst.name) if inst.is_flip_flop else inst.name
+            for src in inst.fanins:
+                graph.add_edge(src, target)
+        return graph
+
+    def sequential_adjacency(self) -> "nx.DiGraph":
+        """Flip-flop-to-flip-flop adjacency (which FF pairs are connected by
+        at least one combinational path).  Node set = flip-flop names."""
+        comb = self.combinational_digraph()
+        seq = nx.DiGraph()
+        seq.add_nodes_from(self.flip_flops)
+        # Forward reachability from every FF source restricted to comb nodes.
+        for ff in self.flip_flops:
+            for node in nx.descendants(comb, ff):
+                if isinstance(node, tuple) and node[0] == "sink":
+                    seq.add_edge(ff, node[1])
+        return seq
+
+    # ------------------------------------------------------------------
+    # Validation & statistics
+    # ------------------------------------------------------------------
+    def validate(self, library=None, strict_arity: bool = False) -> None:
+        """Check structural consistency.
+
+        Raises ``ValueError`` on dangling references, gates without fan-ins,
+        flip-flops without a connected ``D`` input, or combinational cycles.
+        When ``library`` is given, unknown cells are reported; with
+        ``strict_arity=True`` gate fan-in counts must match the cell.
+        """
+        for inst in self._instances.values():
+            for src in inst.fanins:
+                if src not in self._instances:
+                    raise ValueError(
+                        f"instance {inst.name!r} references unknown fan-in {src!r}"
+                    )
+            if inst.is_gate and not inst.fanins:
+                raise ValueError(f"gate {inst.name!r} has no fan-ins")
+            if inst.is_flip_flop and not inst.fanins:
+                raise ValueError(f"flip-flop {inst.name!r} has no D input connected")
+            if library is not None and inst.cell is not None:
+                cell = library.get(inst.cell)
+                if strict_arity and inst.is_gate and len(inst.fanins) != cell.n_inputs:
+                    raise ValueError(
+                        f"gate {inst.name!r}: cell {cell.name} expects {cell.n_inputs} "
+                        f"inputs, got {len(inst.fanins)}"
+                    )
+        comb = self.combinational_digraph()
+        if not nx.is_directed_acyclic_graph(comb):
+            cycle = nx.find_cycle(comb)
+            raise ValueError(f"combinational cycle detected: {cycle}")
+
+    def stats(self) -> Dict[str, int]:
+        """Basic size statistics (counts per instance kind)."""
+        return {
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+            "flip_flops": self.n_flip_flops,
+            "gates": self.n_gates,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"Netlist({self.name!r}, ffs={s['flip_flops']}, gates={s['gates']}, "
+            f"pis={s['primary_inputs']}, pos={s['primary_outputs']})"
+        )

@@ -1,0 +1,196 @@
+"""Structural Verilog reader / writer (gate-level subset).
+
+The TAU-2013 benchmark circuits the paper uses are distributed as
+gate-level structural Verilog.  This module supports the subset needed for
+such netlists::
+
+    module top (a, b, q);
+      input a, b;
+      output q;
+      wire n1, n2;
+      NAND2 u1 (.A(a), .B(b), .Y(n1));
+      INV   u2 (.A(n1), .Y(n2));
+      DFF   r1 (.D(n2), .Q(q));
+    endmodule
+
+Conventions of the subset:
+
+* one module per file, instances use named port connections;
+* every cell has exactly one output pin named ``Y``, ``Q``, ``Z`` or
+  ``OUT``; all other pins are inputs;
+* flip-flops are cells of the library whose kind is ``FLIP_FLOP`` (clock
+  pins, if present, are ignored — the clock network is implicit, as in the
+  rest of the library).
+
+The writer emits netlists that round-trip through the reader.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.circuit.library import CellLibrary, default_library
+from repro.circuit.netlist import InstanceKind, Netlist
+
+_OUTPUT_PINS = ("Y", "Q", "Z", "OUT")
+_CLOCK_PINS = ("CLK", "CK", "CLOCK")
+
+_MODULE_RE = re.compile(r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.DOTALL)
+_DECL_RE = re.compile(r"^(input|output|wire)\s+(?P<names>[^;]+);$")
+_INSTANCE_RE = re.compile(
+    r"^(?P<cell>\w+)\s+(?P<inst>[\w\.\[\]\$]+)\s*\((?P<conns>.*)\)\s*;$", re.DOTALL
+)
+_PIN_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>[\w\.\[\]\$]+)\s*\)")
+
+
+class VerilogParseError(ValueError):
+    """Raised when a structural Verilog file cannot be parsed."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+def _statements(text: str) -> List[str]:
+    """Split module body text into ``;``-terminated statements."""
+    return [s.strip() + ";" for s in text.split(";") if s.strip()]
+
+
+def parse_verilog(
+    text: str,
+    library: Optional[CellLibrary] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Parse gate-level structural Verilog into a :class:`Netlist`."""
+    library = library or default_library()
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogParseError("no module declaration found")
+    module_name = name or module.group("name")
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    instances: List[Tuple[str, str, Dict[str, str]]] = []
+
+    for statement in _statements(body):
+        statement = " ".join(statement.split())
+        declaration = _DECL_RE.match(statement)
+        if declaration:
+            kind = declaration.group(1)
+            names = [n.strip() for n in declaration.group("names").split(",") if n.strip()]
+            if kind == "input":
+                inputs.extend(names)
+            elif kind == "output":
+                outputs.extend(names)
+            continue
+        instance = _INSTANCE_RE.match(statement)
+        if instance:
+            cell = instance.group("cell")
+            inst_name = instance.group("inst")
+            pins = {m.group("pin").upper(): m.group("net") for m in _PIN_RE.finditer(instance.group("conns"))}
+            if not pins:
+                raise VerilogParseError(
+                    f"instance {inst_name!r}: only named port connections are supported"
+                )
+            instances.append((cell, inst_name, pins))
+            continue
+        raise VerilogParseError(f"cannot parse statement: {statement!r}")
+
+    netlist = Netlist(name=module_name)
+    clock_nets = set()
+    # First pass: outputs of instances define signals named after the driven net.
+    driver_of: Dict[str, Tuple[str, str, Dict[str, str]]] = {}
+    for cell, inst_name, pins in instances:
+        output_pin = next((p for p in _OUTPUT_PINS if p in pins), None)
+        if output_pin is None:
+            raise VerilogParseError(f"instance {inst_name!r} has no recognised output pin")
+        driver_of[pins[output_pin]] = (cell, inst_name, pins)
+
+    for pi in inputs:
+        if pi not in driver_of:
+            netlist.add_primary_input(pi)
+
+    # Create instances named after their output nets (the library convention).
+    for net, (cell_name, inst_name, pins) in driver_of.items():
+        if cell_name not in library:
+            raise VerilogParseError(f"unknown cell {cell_name!r} in instance {inst_name!r}")
+        cell = library.get(cell_name)
+        fanins = [
+            value
+            for pin, value in pins.items()
+            if pin not in _OUTPUT_PINS and pin not in _CLOCK_PINS
+        ]
+        for pin in pins:
+            if pin in _CLOCK_PINS:
+                clock_nets.add(pins[pin])
+        if cell.is_sequential:
+            netlist.add_flip_flop(net, cell=cell_name, data_input=fanins[0] if fanins else None)
+        else:
+            netlist.add_gate(net, cell=cell_name, fanins=fanins)
+
+    for po in outputs:
+        netlist.add_primary_output(f"{po}__po", driver=po)
+
+    netlist.validate(library=library)
+    return netlist
+
+
+def load_verilog(path: Union[str, Path], library: Optional[CellLibrary] = None) -> Netlist:
+    """Read a structural Verilog file from disk."""
+    path = Path(path)
+    return parse_verilog(path.read_text(), library=library, name=path.stem)
+
+
+def write_verilog(netlist: Netlist, library: Optional[CellLibrary] = None) -> str:
+    """Serialise a netlist to the structural-Verilog subset."""
+    library = library or default_library()
+    inputs = netlist.primary_inputs
+    output_wrappers = netlist.primary_outputs
+    output_nets = []
+    for po in output_wrappers:
+        inst = netlist.instance(po)
+        output_nets.append(inst.fanins[0] if inst.fanins else po)
+
+    ports = inputs + output_nets
+    lines = [f"module {netlist.name} ({', '.join(ports)});"]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    if output_nets:
+        lines.append(f"  output {', '.join(output_nets)};")
+    wires = [
+        name
+        for name in list(netlist.gates) + list(netlist.flip_flops)
+        if name not in output_nets
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+
+    counter = 0
+    for name in list(netlist.flip_flops) + list(netlist.gates):
+        inst = netlist.instance(name)
+        cell = library.get(inst.cell)
+        counter += 1
+        if inst.is_flip_flop:
+            pins = [f".D({inst.fanins[0]})", f".Q({name})"]
+        else:
+            pin_names = [f"A{i}" if cell.n_inputs > 1 else "A" for i in range(1, len(inst.fanins) + 1)]
+            pins = [f".{pin}({net})" for pin, net in zip(pin_names, inst.fanins)]
+            pins.append(f".Y({name})")
+        lines.append(f"  {inst.cell} u{counter} ({', '.join(pins)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(netlist: Netlist, path: Union[str, Path], library: Optional[CellLibrary] = None) -> None:
+    """Write a netlist to a structural Verilog file."""
+    Path(path).write_text(write_verilog(netlist, library=library))

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script, with three subcommands:
+
+``repro list-circuits``
+    Show the Table-I benchmark suite with flip-flop and gate counts.
+
+``repro characterize --circuit s9234 --scale 0.2``
+    Monte-Carlo characterisation of the un-tuned clock period (``mu_T``,
+    ``sigma_T`` and the yields at the paper's three target periods).
+
+``repro insert --circuit s9234 --scale 0.2 --sigma 0``
+    Run the full sampling-based buffer insertion and print (or dump as
+    JSON) the buffer plan and the yield improvement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sampling-based post-silicon clock-tuning buffer insertion (DATE 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-circuits", help="list the Table-I benchmark circuits")
+
+    characterize = subparsers.add_parser(
+        "characterize", help="Monte-Carlo clock-period characterisation of one circuit"
+    )
+    _add_circuit_arguments(characterize)
+    characterize.add_argument("--samples", type=int, default=1000, help="Monte-Carlo samples")
+
+    insert = subparsers.add_parser("insert", help="run the buffer-insertion flow")
+    _add_circuit_arguments(insert)
+    insert.add_argument("--samples", type=int, default=500, help="training samples")
+    insert.add_argument("--eval-samples", type=int, default=1000, help="evaluation samples")
+    insert.add_argument(
+        "--sigma",
+        type=float,
+        default=0.0,
+        help="target period expressed as mu_T + sigma * sigma_T (paper uses 0, 1, 2)",
+    )
+    insert.add_argument("--period", type=float, default=None, help="absolute target period (overrides --sigma)")
+    insert.add_argument("--solver", choices=("graph", "milp"), default="graph", help="per-sample solver backend")
+    insert.add_argument("--max-buffers", type=int, default=None, help="cap on physical buffers after grouping")
+    insert.add_argument("--json", action="store_true", help="print the result as JSON")
+    return parser
+
+
+def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--circuit", default="s9234", help="Table-I circuit name")
+    parser.add_argument("--scale", type=float, default=0.2, help="circuit size scale factor")
+    parser.add_argument("--seed", type=int, default=1, help="seed for circuit generation and sampling")
+
+
+def _cmd_list_circuits() -> int:
+    from repro.circuit.suite import CIRCUIT_SPECS
+
+    print(f"{'circuit':<15}{'flip-flops':>12}{'gates':>10}{'source':>10}")
+    for spec in CIRCUIT_SPECS.values():
+        print(f"{spec.name:<15}{spec.n_flip_flops:>12}{spec.n_gates:>10}{spec.source:>10}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.circuit.suite import build_suite_circuit
+    from repro.timing import ensure_constraint_graph, sample_min_periods
+
+    design = build_suite_circuit(args.circuit, scale=args.scale, seed=args.seed)
+    graph = ensure_constraint_graph(design)
+    analysis = sample_min_periods(
+        design, n_samples=args.samples, rng=args.seed, constraint_graph=graph
+    )
+    stats = design.netlist.stats()
+    print(f"circuit {args.circuit} (scale {args.scale:g}): "
+          f"{stats['flip_flops']} flip-flops, {stats['gates']} gates")
+    print(f"mu_T = {analysis.mean:.3f}, sigma_T = {analysis.std:.3f}")
+    for sigma in (0.0, 1.0, 2.0):
+        period = analysis.target_period(sigma)
+        print(
+            f"  T = mu_T + {sigma:g} sigma ({period:.3f}): "
+            f"yield without buffers {100 * analysis.yield_at(period):.2f} %"
+        )
+    return 0
+
+
+def _cmd_insert(args: argparse.Namespace) -> int:
+    from repro.circuit.suite import build_suite_circuit
+    from repro.core import BufferInsertionFlow, FlowConfig
+
+    design = build_suite_circuit(args.circuit, scale=args.scale, seed=args.seed)
+    config = FlowConfig(
+        n_samples=args.samples,
+        n_eval_samples=args.eval_samples,
+        seed=args.seed,
+        target_sigma=args.sigma,
+        target_period=args.period,
+        solver=args.solver,
+        max_buffers=args.max_buffers,
+    )
+    result = BufferInsertionFlow(design, config).run()
+
+    if args.json:
+        payload = {
+            "circuit": args.circuit,
+            "scale": args.scale,
+            "summary": result.summary(),
+            "buffers": [
+                {
+                    "flip_flop": b.flip_flop,
+                    "lower": b.lower,
+                    "upper": b.upper,
+                    "step": b.step,
+                    "usage_count": b.usage_count,
+                    "group": b.group,
+                }
+                for b in result.plan.buffers
+            ],
+            "groups": result.plan.groups,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    summary = result.summary()
+    print(f"circuit           : {args.circuit} (scale {args.scale:g})")
+    print(f"target period     : {summary['target_period']:.3f} "
+          f"(mu_T {summary['mu_period']:.3f}, sigma_T {summary['sigma_period']:.3f})")
+    print(f"buffers (Nb)      : {summary['n_buffers']} "
+          f"({summary['n_physical_buffers']} physical after grouping)")
+    print(f"average range (Ab): {summary['average_range_steps']:.2f} steps")
+    print(f"yield             : {100 * summary['original_yield']:.2f} % -> "
+          f"{100 * summary['improved_yield']:.2f} % "
+          f"(Yi = {100 * summary['yield_improvement']:.2f} points)")
+    print(f"runtime           : {summary['runtime_seconds']:.1f} s")
+    for buffer in result.plan.buffers:
+        print(
+            f"  {buffer.flip_flop:>12}: [{buffer.lower:+.3f}, {buffer.upper:+.3f}] "
+            f"step {buffer.step:.3f}, used {buffer.usage_count}x, group {buffer.group}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-circuits":
+        return _cmd_list_circuits()
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "insert":
+        return _cmd_insert(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: sampling-based post-silicon buffer insertion.
+
+The flow (paper Fig. 3) is implemented by
+:class:`~repro.core.flow.BufferInsertionFlow` on top of:
+
+* :mod:`repro.core.difference` — difference-constraint feasibility engine
+  (Bellman–Ford), the common substrate of the per-sample solver and the
+  post-silicon configurator;
+* :mod:`repro.core.sample_solver` — per-sample minimisation of the number
+  of adjusted buffers and concentration of their tuning values (graph
+  backend and faithful big-M MILP backend);
+* :mod:`repro.core.pruning` — Sec. III-A2 pruning of rarely used buffers;
+* :mod:`repro.core.bounds` — Sec. III-A4 sliding-window assignment of the
+  range-window lower bounds;
+* :mod:`repro.core.grouping` — Sec. III-C correlation / distance grouping;
+* :mod:`repro.core.results` — result dataclasses (buffer plan, per-step
+  artefacts).
+"""
+
+from repro.core.config import BufferSpec, FlowConfig
+from repro.core.flow import BufferInsertionFlow, insert_buffers
+from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
+
+__all__ = [
+    "BufferSpec",
+    "FlowConfig",
+    "BufferInsertionFlow",
+    "insert_buffers",
+    "Buffer",
+    "BufferPlan",
+    "FlowResult",
+    "StepArtifacts",
+]

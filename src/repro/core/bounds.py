@@ -1,0 +1,147 @@
+"""Range-window lower-bound assignment (paper Sec. III-A4, Fig. 5).
+
+After the step-1 sampling pass the tuning values of each candidate buffer
+form a histogram over the discrete tuning grid.  A window of the maximum
+range ``tau`` (``n_steps`` steps wide) is slid along the value axis and the
+position covering the most observed tunings becomes the buffer's range
+window; its left edge is the lower bound ``r_i``.
+
+Because the step-1 windows always contain zero (constraint (13)), the
+window search is restricted to positions whose range still covers zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowAssignment:
+    """Chosen range window of one buffer (in solver/step units).
+
+    Attributes
+    ----------
+    lower:
+        Lower bound ``r_i`` of the window.
+    upper:
+        Upper bound ``r_i + tau``.
+    covered:
+        Number of observed tunings inside the window.
+    total:
+        Total number of observed (non-zero) tunings.
+    """
+
+    lower: float
+    upper: float
+    covered: int
+    total: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of observed tunings covered by the window."""
+        if self.total == 0:
+            return 1.0
+        return self.covered / self.total
+
+    def contains(self, value: float, tolerance: float = 1e-9) -> bool:
+        """Whether a tuning value lies inside the window."""
+        return self.lower - tolerance <= value <= self.upper + tolerance
+
+
+def best_window(
+    values: Sequence[float],
+    window_width: float,
+    step: float = 1.0,
+    require_zero: bool = True,
+) -> WindowAssignment:
+    """Slide a window of ``window_width`` over the tuning values and return
+    the placement covering the most values.
+
+    Parameters
+    ----------
+    values:
+        Observed non-zero tuning values of one buffer (solver units).
+    window_width:
+        Width ``tau`` of the range window (solver units).
+    step:
+        Granularity of candidate window positions (the tuning step).
+    require_zero:
+        Restrict the window to placements that still cover zero, matching
+        the paper's constraint (13) in the floating-bound step.
+    """
+    values = np.asarray(list(values), dtype=float)
+    total = int(values.size)
+    if window_width < 0:
+        raise ValueError("window_width must be non-negative")
+    if step <= 0:
+        raise ValueError("step must be positive")
+
+    if require_zero:
+        lowest = -window_width
+        highest = 0.0
+    else:
+        lowest = (np.min(values) if total else 0.0) - window_width
+        highest = np.max(values) if total else 0.0
+
+    if total == 0:
+        # No observed tunings: centre the window on zero.
+        lower = -window_width / 2.0 if not require_zero else -window_width / 2.0
+        lower = max(lowest, min(highest, np.floor(lower / step) * step))
+        return WindowAssignment(lower=lower, upper=lower + window_width, covered=0, total=0)
+
+    candidates = np.arange(lowest, highest + step / 2.0, step)
+    best_lower = candidates[0]
+    best_covered = -1
+    for lower in candidates:
+        covered = int(np.sum((values >= lower - 1e-9) & (values <= lower + window_width + 1e-9)))
+        # Ties are broken toward the window whose centre is closest to the
+        # mean of the covered values (keeps the window centred on the mass).
+        if covered > best_covered:
+            best_covered = covered
+            best_lower = lower
+    return WindowAssignment(
+        lower=float(best_lower),
+        upper=float(best_lower + window_width),
+        covered=int(best_covered),
+        total=total,
+    )
+
+
+def assign_lower_bounds(
+    tuning_values: Dict[str, np.ndarray],
+    window_width: float,
+    step: float = 1.0,
+    require_zero: bool = True,
+) -> Dict[str, WindowAssignment]:
+    """Assign a range window to every buffer from its observed tunings."""
+    return {
+        ff: best_window(values, window_width, step=step, require_zero=require_zero)
+        for ff, values in tuning_values.items()
+    }
+
+
+def outside_window_fraction(
+    tuning_values: Dict[str, np.ndarray],
+    windows: Dict[str, WindowAssignment],
+    n_samples: int,
+) -> float:
+    """Fraction of samples with at least one tuning outside its window.
+
+    This is the skip criterion of Sec. III-B1: when the fraction is below
+    0.1 % the re-simulation with fixed bounds is unnecessary.  The
+    computation is conservative (an upper bound): tunings of different
+    buffers are counted as distinct samples.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    outside = 0
+    for ff, values in tuning_values.items():
+        window = windows.get(ff)
+        if window is None:
+            outside += len(values)
+            continue
+        outside += int(np.sum((values < window.lower - 1e-9) | (values > window.upper + 1e-9)))
+    return min(1.0, outside / n_samples)

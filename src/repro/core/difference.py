@@ -1,0 +1,146 @@
+"""Difference-constraint feasibility engine.
+
+Once a Monte-Carlo sample fixes all delays, the paper's constraints (1)–(3)
+become a *system of difference constraints* over the tuning values::
+
+    x_u - x_v <= w          (setup / hold constraints between two buffers)
+    lo_u <= x_u <= hi_u     (range windows)
+
+with most variables additionally pinned to zero (flip-flops without a
+buffer).  Feasibility of such a system — and a witness assignment — is a
+textbook shortest-path problem: build the constraint graph, add a reference
+node for the pinned value 0, and run Bellman–Ford; a negative cycle means
+infeasible.
+
+This module is the shared substrate of the per-sample solver
+(:mod:`repro.core.sample_solver`) and the post-silicon configurator
+(:mod:`repro.tuning`).  When all weights are integers (the discrete-step
+mode), the returned assignment is integral as well, which is how discrete
+tuning steps are handled exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+#: Reference pseudo-variable representing the pinned value 0.
+REFERENCE = "__reference__"
+
+
+@dataclass(frozen=True)
+class DifferenceConstraint:
+    """One constraint ``x_u - x_v <= weight``.
+
+    ``u`` or ``v`` may be :data:`REFERENCE` to express absolute bounds
+    (``x_u <= w`` and ``-x_v <= w`` respectively).
+    """
+
+    u: Hashable
+    v: Hashable
+    weight: float
+
+
+def solve_difference_system(
+    variables: Sequence[Hashable],
+    constraints: Iterable[DifferenceConstraint],
+    lower: Optional[Dict[Hashable, float]] = None,
+    upper: Optional[Dict[Hashable, float]] = None,
+) -> Optional[Dict[Hashable, float]]:
+    """Find a feasible assignment of a difference-constraint system.
+
+    Parameters
+    ----------
+    variables:
+        The free variables (anything not listed and not the reference is
+        rejected with ``KeyError``).
+    constraints:
+        Difference constraints among the variables and the reference.
+    lower / upper:
+        Optional box bounds per variable (converted to reference edges).
+
+    Returns
+    -------
+    dict or None
+        A feasible assignment (reference pinned to 0), or ``None`` when the
+        system is infeasible.
+    """
+    lower = lower or {}
+    upper = upper or {}
+    index: Dict[Hashable, int] = {var: i for i, var in enumerate(variables)}
+    if REFERENCE in index:
+        raise ValueError("REFERENCE must not be listed as a variable")
+    ref = len(index)
+    n = ref + 1
+
+    # Edge list: constraint x_u - x_v <= w  ->  edge v -> u with weight w.
+    edges: List[Tuple[int, int, float]] = []
+    for constraint in constraints:
+        u = ref if constraint.u == REFERENCE else index[constraint.u]
+        v = ref if constraint.v == REFERENCE else index[constraint.v]
+        edges.append((v, u, float(constraint.weight)))
+    for var, bound in upper.items():
+        edges.append((ref, index[var], float(bound)))
+    for var, bound in lower.items():
+        edges.append((index[var], ref, -float(bound)))
+
+    # Bellman-Ford from an implicit super-source (all distances start at 0).
+    dist = [0.0] * n
+    for iteration in range(n):
+        changed = False
+        for v, u, w in edges:
+            candidate = dist[v] + w
+            if candidate < dist[u] - 1e-12:
+                dist[u] = candidate
+                changed = True
+        if not changed:
+            break
+    else:
+        # Still relaxing after n iterations: negative cycle -> infeasible.
+        return None
+
+    offset = dist[ref]
+    return {var: dist[i] - offset for var, i in index.items()}
+
+
+def check_assignment(
+    assignment: Dict[Hashable, float],
+    constraints: Iterable[DifferenceConstraint],
+    lower: Optional[Dict[Hashable, float]] = None,
+    upper: Optional[Dict[Hashable, float]] = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Verify an assignment against constraints and bounds (reference = 0)."""
+    lower = lower or {}
+    upper = upper or {}
+
+    def value(var: Hashable) -> float:
+        if var == REFERENCE:
+            return 0.0
+        return float(assignment[var])
+
+    for constraint in constraints:
+        if value(constraint.u) - value(constraint.v) > constraint.weight + tolerance:
+            return False
+    for var, bound in lower.items():
+        if value(var) < bound - tolerance:
+            return False
+    for var, bound in upper.items():
+        if value(var) > bound + tolerance:
+            return False
+    return True
+
+
+def tighten_to_integers(
+    constraints: Iterable[DifferenceConstraint],
+) -> List[DifferenceConstraint]:
+    """Round constraint weights down to integers (conservative tightening).
+
+    Working on the integer grid makes every Bellman–Ford witness integral,
+    which is how discrete tuning steps are supported without an explicit
+    integer program.
+    """
+    return [
+        DifferenceConstraint(c.u, c.v, math.floor(c.weight + 1e-9)) for c in constraints
+    ]

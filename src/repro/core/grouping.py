@@ -1,0 +1,161 @@
+"""Buffer grouping (paper Sec. III-C, Fig. 6).
+
+Buffers whose tuning values are highly correlated across the Monte-Carlo
+samples and whose flip-flops are physically close can share a single
+physical tuning buffer, saving area.  The paper groups buffers whose
+mutual correlation coefficients all exceed ``r_t = 0.8`` and whose pairwise
+Manhattan distance is below ``d_t`` (ten times the minimum flip-flop
+pitch); groups are therefore cliques in the "groupable" relation.
+
+If the designer constrains the total number of physical buffers, the groups
+with the fewest tunings are dropped until the budget is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GroupingResult:
+    """Outcome of the grouping step.
+
+    Attributes
+    ----------
+    groups:
+        Physical buffer groups; each entry lists the flip-flops that share
+        one physical buffer (singleton groups are buffers of their own).
+    dropped:
+        Flip-flops removed entirely because of the buffer-count cap.
+    correlation:
+        The pairwise correlation matrix that was used (ordered like
+        ``flip_flops``).
+    flip_flops:
+        Buffer order corresponding to the correlation matrix.
+    """
+
+    groups: List[List[str]]
+    dropped: List[str] = field(default_factory=list)
+    correlation: Optional[np.ndarray] = None
+    flip_flops: List[str] = field(default_factory=list)
+
+    @property
+    def n_physical_buffers(self) -> int:
+        """Number of physical buffers after grouping."""
+        return len(self.groups)
+
+    def group_of(self, flip_flop: str) -> int:
+        """Group index of a flip-flop (-1 when dropped)."""
+        for index, group in enumerate(self.groups):
+            if flip_flop in group:
+                return index
+        return -1
+
+
+def tuning_correlation_matrix(tuning_matrix: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlation of per-buffer tuning-value vectors.
+
+    ``tuning_matrix`` has shape ``(n_buffers, n_samples)`` with zeros where
+    a buffer was not adjusted.  Buffers with zero variance get zero
+    correlation with everything (and 1.0 on the diagonal).
+    """
+    tuning_matrix = np.asarray(tuning_matrix, dtype=float)
+    if tuning_matrix.ndim != 2:
+        raise ValueError("tuning_matrix must be 2-D (buffers x samples)")
+    n = tuning_matrix.shape[0]
+    if n == 0:
+        return np.zeros((0, 0))
+    stds = np.std(tuning_matrix, axis=1)
+    corr = np.eye(n)
+    valid = stds > 1e-12
+    if np.any(valid):
+        sub = tuning_matrix[valid]
+        c = np.corrcoef(sub)
+        c = np.atleast_2d(c)
+        indices = np.where(valid)[0]
+        for a, ia in enumerate(indices):
+            for b, ib in enumerate(indices):
+                corr[ia, ib] = c[a, b]
+    return corr
+
+
+def group_buffers(
+    flip_flops: Sequence[str],
+    tuning_matrix: np.ndarray,
+    locations: Dict[str, Tuple[float, float]],
+    usage_counts: Dict[str, int],
+    correlation_threshold: float = 0.8,
+    distance_threshold: float = float("inf"),
+    max_buffers: Optional[int] = None,
+) -> GroupingResult:
+    """Group buffers by tuning correlation and physical distance.
+
+    Parameters
+    ----------
+    flip_flops:
+        Buffered flip-flops (defines the row order of ``tuning_matrix``).
+    tuning_matrix:
+        Per-buffer tuning values across samples, zeros where unused.
+    locations:
+        Flip-flop placement locations for the Manhattan-distance test.
+    usage_counts:
+        Tuning counts, used to seed groups (most-used first) and to decide
+        which groups are dropped under a buffer cap.
+    correlation_threshold / distance_threshold:
+        The ``r_t`` and ``d_t`` thresholds of the paper.
+    max_buffers:
+        Optional cap on the number of physical buffers after grouping.
+    """
+    flip_flops = list(flip_flops)
+    n = len(flip_flops)
+    correlation = tuning_correlation_matrix(tuning_matrix)
+
+    def distance(a: str, b: str) -> float:
+        xa, ya = locations[a]
+        xb, yb = locations[b]
+        return abs(xa - xb) + abs(ya - yb)
+
+    order = sorted(range(n), key=lambda i: (-usage_counts.get(flip_flops[i], 0), i))
+    assigned: Dict[int, int] = {}
+    groups: List[List[int]] = []
+    for i in order:
+        if i in assigned:
+            continue
+        group = [i]
+        assigned[i] = len(groups)
+        for j in order:
+            if j in assigned or j == i:
+                continue
+            compatible = True
+            for member in group:
+                if correlation[member, j] < correlation_threshold:
+                    compatible = False
+                    break
+                if distance(flip_flops[member], flip_flops[j]) > distance_threshold:
+                    compatible = False
+                    break
+            if compatible:
+                group.append(j)
+                assigned[j] = len(groups)
+        groups.append(group)
+
+    named_groups = [[flip_flops[i] for i in group] for group in groups]
+    dropped: List[str] = []
+    if max_buffers is not None and len(named_groups) > max_buffers:
+        def group_usage(group: List[str]) -> int:
+            return sum(usage_counts.get(ff, 0) for ff in group)
+
+        named_groups.sort(key=group_usage, reverse=True)
+        for group in named_groups[max_buffers:]:
+            dropped.extend(group)
+        named_groups = named_groups[:max_buffers]
+
+    return GroupingResult(
+        groups=named_groups,
+        dropped=dropped,
+        correlation=correlation,
+        flip_flops=flip_flops,
+    )

@@ -1,0 +1,123 @@
+"""Buffer pruning (paper Sec. III-A2, Fig. 4).
+
+After the first per-sample pass, most flip-flops were adjusted in none or
+almost none of the samples.  Such buffers are removed from the candidate
+set — unless they neighbour a *critical* buffer (one with a high tuning
+count), because a rarely-used buffer next to a heavily-used one may still
+be needed to absorb the shifted constraints.
+
+The paper's setting with 10 000 samples prunes nodes with a tuning count of
+at most one that are not connected to nodes with a count of at least five;
+both thresholds are exposed (the critical threshold as a fraction so it
+scales with the sample count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.core.sample_solver import ConstraintTopology
+
+
+@dataclass
+class PruningResult:
+    """Outcome of the pruning step.
+
+    Attributes
+    ----------
+    kept:
+        Boolean mask over flip-flops: ``True`` where the buffer survives.
+    pruned_flip_flops:
+        Names of the removed buffers.
+    critical_flip_flops:
+        Names of the buffers classified as critical (high tuning count).
+    """
+
+    kept: np.ndarray
+    pruned_flip_flops: List[str]
+    critical_flip_flops: List[str]
+
+    @property
+    def n_kept(self) -> int:
+        """Number of surviving candidate buffers."""
+        return int(np.sum(self.kept))
+
+
+def prune_buffers(
+    topology: ConstraintTopology,
+    usage_counts: np.ndarray,
+    min_count: int = 1,
+    critical_count: int = 5,
+    candidates: np.ndarray = None,
+) -> PruningResult:
+    """Prune rarely used buffers from the candidate set.
+
+    Parameters
+    ----------
+    topology:
+        Constraint-graph topology (provides the neighbour relation).
+    usage_counts:
+        Per-flip-flop count of samples in which the buffer was adjusted.
+    min_count:
+        Buffers with ``usage <= min_count`` are pruning candidates
+        (paper: 1).
+    critical_count:
+        A pruning candidate survives when one of its neighbours has
+        ``usage >= critical_count`` (paper: 5 at 10 000 samples).
+    candidates:
+        Optional pre-existing candidate mask; pruned buffers are removed
+        from it, buffers already absent stay absent.
+    """
+    usage_counts = np.asarray(usage_counts)
+    n_ffs = topology.n_ffs
+    if usage_counts.shape[0] != n_ffs:
+        raise ValueError("usage_counts length must equal the number of flip-flops")
+    if candidates is None:
+        candidates = np.ones(n_ffs, dtype=bool)
+    kept = np.asarray(candidates, dtype=bool).copy()
+
+    critical = usage_counts >= critical_count
+    pruned_names: List[str] = []
+    critical_names = [topology.ff_names[i] for i in range(n_ffs) if critical[i] and kept[i]]
+
+    for ff in range(n_ffs):
+        if not kept[ff]:
+            continue
+        if usage_counts[ff] > min_count:
+            continue
+        neighbours = topology.neighbors(ff)
+        if any(critical[n] for n in neighbours):
+            continue
+        kept[ff] = False
+        pruned_names.append(topology.ff_names[ff])
+
+    return PruningResult(kept=kept, pruned_flip_flops=pruned_names, critical_flip_flops=critical_names)
+
+
+def prune_usage_graph(
+    usage: Dict[str, int],
+    edges: Sequence[tuple],
+    min_count: int = 1,
+    critical_count: int = 5,
+) -> Set[str]:
+    """Standalone version of the pruning rule on an explicit usage graph.
+
+    This mirrors the illustration of paper Fig. 4: ``usage`` maps node
+    names to tuning counts and ``edges`` lists undirected connections.
+    Returns the set of *kept* nodes.
+    """
+    neighbours: Dict[str, Set[str]] = {node: set() for node in usage}
+    for a, b in edges:
+        neighbours.setdefault(a, set()).add(b)
+        neighbours.setdefault(b, set()).add(a)
+    kept: Set[str] = set()
+    for node, count in usage.items():
+        if count > min_count:
+            kept.add(node)
+            continue
+        if any(usage.get(n, 0) >= critical_count for n in neighbours.get(node, ())):
+            kept.add(node)
+    return kept

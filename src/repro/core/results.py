@@ -1,0 +1,187 @@
+"""Result dataclasses of the buffer-insertion flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Buffer:
+    """One inserted post-silicon tuning buffer.
+
+    Attributes
+    ----------
+    flip_flop:
+        The flip-flop whose clock input the buffer drives.
+    lower / upper:
+        Final tuning range ``[lower, upper]`` in time units (asymmetric
+        around zero, paper Sec. II).
+    step:
+        Discrete tuning step size in time units (0 means continuous).
+    usage_count:
+        In how many training samples the buffer was actually adjusted.
+    group:
+        Index of the physical buffer group this buffer belongs to after the
+        grouping step (buffers in the same group share one physical
+        buffer and therefore one tuning value).
+    """
+
+    flip_flop: str
+    lower: float
+    upper: float
+    step: float
+    usage_count: int = 0
+    group: int = -1
+
+    @property
+    def range_width(self) -> float:
+        """Width of the tuning range in time units."""
+        return self.upper - self.lower
+
+    @property
+    def range_steps(self) -> float:
+        """Width of the tuning range expressed in discrete steps."""
+        if self.step <= 0:
+            return float("nan")
+        return self.range_width / self.step
+
+
+@dataclass
+class BufferPlan:
+    """The final outcome of the flow: which buffers to insert and how big.
+
+    Attributes
+    ----------
+    buffers:
+        One entry per buffered flip-flop (``Nb`` before grouping is simply
+        ``len(buffers)``).
+    target_period:
+        The clock period the plan was optimised for.
+    groups:
+        Physical buffer groups: each entry lists the flip-flops sharing one
+        physical buffer.  ``n_physical_buffers`` is ``len(groups)``.
+    """
+
+    buffers: List[Buffer] = field(default_factory=list)
+    target_period: float = 0.0
+    groups: List[List[str]] = field(default_factory=list)
+
+    @property
+    def n_buffers(self) -> int:
+        """Number of buffered flip-flops (paper column ``Nb``)."""
+        return len(self.buffers)
+
+    @property
+    def n_physical_buffers(self) -> int:
+        """Number of physical buffers after grouping."""
+        return len(self.groups) if self.groups else len(self.buffers)
+
+    @property
+    def average_range_steps(self) -> float:
+        """Average tuning range in discrete steps (paper column ``Ab``)."""
+        if not self.buffers:
+            return 0.0
+        widths = [b.range_steps for b in self.buffers if not np.isnan(b.range_steps)]
+        if not widths:
+            return 0.0
+        return float(np.mean(widths))
+
+    def buffer_for(self, flip_flop: str) -> Optional[Buffer]:
+        """The buffer attached to ``flip_flop``, if any."""
+        for buffer in self.buffers:
+            if buffer.flip_flop == flip_flop:
+                return buffer
+        return None
+
+    def buffered_flip_flops(self) -> List[str]:
+        """Names of all buffered flip-flops."""
+        return [b.flip_flop for b in self.buffers]
+
+
+@dataclass
+class StepArtifacts:
+    """Intermediate data recorded after each flow step (for analysis,
+    the Fig. 4 / Fig. 5 reproductions and the test-suite invariants).
+
+    Attributes
+    ----------
+    usage_counts:
+        Per-flip-flop tuning counts of the step (keyed by flip-flop name).
+    tuning_values:
+        Per-buffer tuning values across samples: ``ff -> array`` with one
+        entry per sample in which the buffer was adjusted.
+    unrescuable_samples:
+        Indices of samples that could not be repaired even with every
+        candidate buffer available.
+    n_tuned_samples:
+        Number of samples that required at least one adjustment.
+    """
+
+    usage_counts: Dict[str, int] = field(default_factory=dict)
+    tuning_values: Dict[str, np.ndarray] = field(default_factory=dict)
+    unrescuable_samples: List[int] = field(default_factory=list)
+    n_tuned_samples: int = 0
+
+
+@dataclass
+class FlowResult:
+    """Complete output of :class:`~repro.core.flow.BufferInsertionFlow`.
+
+    Attributes
+    ----------
+    plan:
+        The final buffer plan (locations, ranges, groups).
+    target_period:
+        Clock period the flow optimised for.
+    mu_period / sigma_period:
+        Monte-Carlo mean / std of the un-tuned minimum clock period.
+    original_yield:
+        Yield without any tuning buffers at the target period.
+    improved_yield:
+        Yield with the inserted buffers (fresh evaluation samples).
+    step1 / step2:
+        Artefacts of the two sampling steps.
+    lower_bounds:
+        The assigned range-window lower bounds ``r_i`` (time units).
+    runtime_seconds:
+        Wall-clock runtimes per flow phase.
+    """
+
+    plan: BufferPlan
+    target_period: float
+    mu_period: float
+    sigma_period: float
+    original_yield: float
+    improved_yield: float
+    step1: StepArtifacts
+    step2: StepArtifacts
+    lower_bounds: Dict[str, float] = field(default_factory=dict)
+    runtime_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def yield_improvement(self) -> float:
+        """Yield improvement ``Yi = Y - Yo`` (paper Table I)."""
+        return self.improved_yield - self.original_yield
+
+    @property
+    def total_runtime(self) -> float:
+        """Total runtime of the flow in seconds (paper column ``T (s)``)."""
+        return float(sum(self.runtime_seconds.values()))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary with the Table-I quantities."""
+        return {
+            "target_period": self.target_period,
+            "mu_period": self.mu_period,
+            "sigma_period": self.sigma_period,
+            "n_buffers": self.plan.n_buffers,
+            "n_physical_buffers": self.plan.n_physical_buffers,
+            "average_range_steps": self.plan.average_range_steps,
+            "original_yield": self.original_yield,
+            "improved_yield": self.improved_yield,
+            "yield_improvement": self.yield_improvement,
+            "runtime_seconds": self.total_runtime,
+        }

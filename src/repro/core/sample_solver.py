@@ -1,0 +1,688 @@
+"""Per-sample buffer minimisation.
+
+For one Monte-Carlo sample the paper solves two optimisation problems
+(Sec. III-A1 / III-A3, repeated with fixed bounds in Sec. III-B):
+
+1. minimise the number of adjusted buffers ``csum`` subject to the setup /
+   hold difference constraints and the range windows (problem (8)–(13));
+2. with ``csum <= n_k`` as an extra constraint, minimise the total distance
+   of the tuning values to a target (0 in step 1, the per-buffer average in
+   step 2; problems (14)–(17) and (18)–(21)).
+
+Two interchangeable backends implement this:
+
+* ``"graph"`` (default) — exploits the difference-constraint structure:
+  violated constraints are grouped into connected *regions*, a greedy
+  vertex-cover seed is expanded until the region becomes feasible
+  (Bellman–Ford feasibility via :mod:`repro.core.difference`), redundant
+  buffers are pruned back out, small regions are refined by exhaustive
+  minimum-support search, and the tuning values are finally concentrated
+  around the target with a small LP.  All arithmetic is done in discrete
+  step units so the returned tuning values respect the buffer's step grid
+  exactly.
+* ``"milp"`` — the faithful big-M integer program of the paper, built with
+  :mod:`repro.milp` and warm-started from the graph solution.  Exact but
+  markedly slower; used for validation and small designs.
+
+Both backends solve the *same* per-sample problem and are cross-checked in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.difference import (
+    REFERENCE,
+    DifferenceConstraint,
+    check_assignment,
+    solve_difference_system,
+)
+from repro.timing.constraints import SequentialConstraintGraph
+
+_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Static topology shared by every sample
+# ----------------------------------------------------------------------
+@dataclass
+class ConstraintTopology:
+    """Index-level view of the sequential constraint graph.
+
+    Attributes
+    ----------
+    ff_names:
+        Flip-flop names; everything else uses their indices.
+    edge_launch / edge_capture:
+        Flip-flop index of the launch / capture end of every edge.
+    edges_of_ff:
+        For every flip-flop, the indices of its incident edges.
+    """
+
+    ff_names: List[str]
+    edge_launch: np.ndarray
+    edge_capture: np.ndarray
+    edges_of_ff: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.edge_launch = np.asarray(self.edge_launch, dtype=int)
+        self.edge_capture = np.asarray(self.edge_capture, dtype=int)
+        if not self.edges_of_ff:
+            edges_of_ff: List[List[int]] = [[] for _ in self.ff_names]
+            for k in range(self.edge_launch.shape[0]):
+                edges_of_ff[int(self.edge_launch[k])].append(k)
+                edges_of_ff[int(self.edge_capture[k])].append(k)
+            self.edges_of_ff = edges_of_ff
+
+    @property
+    def n_ffs(self) -> int:
+        """Number of flip-flops."""
+        return len(self.ff_names)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of sequential edges."""
+        return int(self.edge_launch.shape[0])
+
+    def neighbors(self, ff: int) -> Set[int]:
+        """Flip-flops sharing an edge with ``ff``."""
+        result: Set[int] = set()
+        for k in self.edges_of_ff[ff]:
+            result.add(int(self.edge_launch[k]))
+            result.add(int(self.edge_capture[k]))
+        result.discard(ff)
+        return result
+
+    @classmethod
+    def from_constraint_graph(cls, graph: SequentialConstraintGraph) -> "ConstraintTopology":
+        """Build the topology from a :class:`SequentialConstraintGraph`."""
+        return cls(
+            ff_names=list(graph.ff_names),
+            edge_launch=graph.edge_launch_idx.copy(),
+            edge_capture=graph.edge_capture_idx.copy(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-sample numeric data
+# ----------------------------------------------------------------------
+@dataclass
+class SampleProblem:
+    """Numeric data of one sample, in solver units.
+
+    ``setup_bound[k]`` is the right-hand side of ``x_i - x_j <= b`` and
+    ``hold_bound[k]`` of ``x_j - x_i <= b`` for edge ``k = (i, j)``;
+    ``lower`` / ``upper`` are the per-flip-flop tuning windows.  In
+    discrete mode every quantity is expressed in integer tuning steps
+    (bounds already conservatively rounded).
+    """
+
+    setup_bound: np.ndarray
+    hold_bound: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def violated_edges(self) -> np.ndarray:
+        """Indices of edges violated when no buffer is adjusted."""
+        return np.where((self.setup_bound < -_TOL) | (self.hold_bound < -_TOL))[0]
+
+
+@dataclass
+class SampleSolution:
+    """Outcome of the per-sample optimisation.
+
+    Attributes
+    ----------
+    feasible:
+        Whether every violated region could be repaired within the
+        candidate buffers and their ranges.
+    tunings:
+        Mapping flip-flop index -> tuning value (solver units) for the
+        flip-flops the solver decided to adjust.  Zero-valued entries are
+        dropped.
+    n_adjusted:
+        Number of adjusted buffers (``n_k`` in the paper).
+    unrescuable_regions:
+        Number of violated regions that could not be repaired.
+    """
+
+    feasible: bool
+    tunings: Dict[int, float] = field(default_factory=dict)
+    n_adjusted: int = 0
+    unrescuable_regions: int = 0
+
+
+# ----------------------------------------------------------------------
+# The solver
+# ----------------------------------------------------------------------
+class PerSampleSolver:
+    """Solves the per-sample minimisation problems (both backends).
+
+    Parameters
+    ----------
+    topology:
+        Static constraint-graph topology.
+    backend:
+        ``"graph"`` or ``"milp"``.
+    pool_hops:
+        Neighbourhood radius around violated edges from which buffers may
+        be recruited.
+    max_pool_expansions:
+        How many times the pool may be widened when a region stays
+        infeasible.
+    exact_region_size:
+        Graph backend: regions whose candidate pool is at most this large
+        are refined by exhaustive minimum-support search.
+    concentrate:
+        Whether to run the value-concentration LP (phase 2 of each
+        per-sample problem).
+    lp_backend:
+        LP backend for the concentration problems.
+    """
+
+    def __init__(
+        self,
+        topology: ConstraintTopology,
+        backend: str = "graph",
+        pool_hops: int = 1,
+        max_pool_expansions: int = 3,
+        exact_region_size: int = 10,
+        concentrate: bool = True,
+        lp_backend: str = "auto",
+        integral: bool = True,
+    ) -> None:
+        if backend not in ("graph", "milp"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.topology = topology
+        self.backend = backend
+        self.pool_hops = int(pool_hops)
+        self.max_pool_expansions = int(max_pool_expansions)
+        self.exact_region_size = int(exact_region_size)
+        self.concentrate = bool(concentrate)
+        self.lp_backend = lp_backend
+        self.integral = bool(integral)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: SampleProblem,
+        candidates: Optional[np.ndarray] = None,
+        targets: Optional[np.ndarray] = None,
+    ) -> SampleSolution:
+        """Solve one sample.
+
+        Parameters
+        ----------
+        problem:
+            The sample's bounds and windows (solver units).
+        candidates:
+            Boolean mask of flip-flops that may receive a buffer (defaults
+            to all).
+        targets:
+            Optional per-flip-flop concentration targets (defaults to 0,
+            i.e. the paper's step-1 objective ``sum |x_i|``).
+        """
+        n_ffs = self.topology.n_ffs
+        if candidates is None:
+            candidates = np.ones(n_ffs, dtype=bool)
+        candidates = np.asarray(candidates, dtype=bool)
+        if targets is None:
+            targets = np.zeros(n_ffs)
+        targets = np.asarray(targets, dtype=float)
+
+        violated = problem.violated_edges()
+        if violated.size == 0:
+            return SampleSolution(feasible=True)
+
+        regions = self._violated_regions(violated)
+        tunings: Dict[int, float] = {}
+        unrescuable = 0
+        for region_edges in regions:
+            solved = self._solve_region(problem, region_edges, candidates, targets)
+            if solved is None:
+                unrescuable += 1
+                continue
+            for ff, value in solved.items():
+                if abs(value) > _TOL:
+                    tunings[ff] = float(value)
+        feasible = unrescuable == 0
+        return SampleSolution(
+            feasible=feasible,
+            tunings=tunings,
+            n_adjusted=len(tunings),
+            unrescuable_regions=unrescuable,
+        )
+
+    # ------------------------------------------------------------------
+    # Region decomposition
+    # ------------------------------------------------------------------
+    def _violated_regions(self, violated_edges: np.ndarray) -> List[List[int]]:
+        """Group violated edges into connected components (shared flip-flops)."""
+        parent: Dict[int, int] = {}
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        ff_to_root: Dict[int, int] = {}
+        for k in violated_edges:
+            k = int(k)
+            parent[k] = k
+            for ff in (int(self.topology.edge_launch[k]), int(self.topology.edge_capture[k])):
+                if ff in ff_to_root:
+                    union(k, ff_to_root[ff])
+                else:
+                    ff_to_root[ff] = k
+        groups: Dict[int, List[int]] = {}
+        for k in violated_edges:
+            groups.setdefault(find(int(k)), []).append(int(k))
+        return list(groups.values())
+
+    # ------------------------------------------------------------------
+    # Region solving (graph backend with optional MILP refinement)
+    # ------------------------------------------------------------------
+    def _solve_region(
+        self,
+        problem: SampleProblem,
+        region_edges: List[int],
+        candidates: np.ndarray,
+        targets: np.ndarray,
+    ) -> Optional[Dict[int, float]]:
+        region_ffs: Set[int] = set()
+        for k in region_edges:
+            region_ffs.add(int(self.topology.edge_launch[k]))
+            region_ffs.add(int(self.topology.edge_capture[k]))
+
+        pool = self._build_pool(region_ffs, candidates, self.pool_hops)
+        if not pool:
+            return None
+
+        support: Optional[Set[int]] = None
+        for expansion in range(self.max_pool_expansions + 1):
+            support = self._find_feasible_support(problem, region_edges, pool, targets)
+            if support is not None:
+                break
+            pool = self._build_pool(region_ffs, candidates, self.pool_hops + expansion + 1)
+        if support is None:
+            return None
+
+        support = self._prune_support(problem, region_edges, support, targets)
+        if len(pool) <= self.exact_region_size or self.backend == "milp":
+            support = self._refine_support(problem, region_edges, pool, support, targets)
+
+        assignment = self._concentrate(problem, region_edges, support, targets)
+        if assignment is None:  # pragma: no cover - concentration always falls back
+            assignment = self._feasible_assignment(problem, region_edges, support)
+        return assignment
+
+    def _build_pool(self, region_ffs: Set[int], candidates: np.ndarray, hops: int) -> Set[int]:
+        """Candidate buffers reachable within ``hops`` from the region."""
+        frontier = set(region_ffs)
+        pool = set(region_ffs)
+        for _ in range(hops):
+            new_frontier: Set[int] = set()
+            for ff in frontier:
+                new_frontier |= self.topology.neighbors(ff)
+            new_frontier -= pool
+            pool |= new_frontier
+            frontier = new_frontier
+        return {ff for ff in pool if candidates[ff]}
+
+    # ------------------------------------------------------------------
+    def _scope_edges(self, support: Set[int], region_edges: List[int]) -> List[int]:
+        """All constraints relevant to a support: edges incident to any
+        supported flip-flop plus the region's violated edges."""
+        scope: Set[int] = set(region_edges)
+        for ff in support:
+            scope.update(self.topology.edges_of_ff[ff])
+        return sorted(scope)
+
+    def _build_constraints(
+        self, problem: SampleProblem, support: Set[int], scope: Sequence[int]
+    ) -> Optional[List[DifferenceConstraint]]:
+        """Difference constraints of a scope with non-support values pinned to 0.
+
+        Returns ``None`` when a scope constraint between two pinned
+        flip-flops is violated (the support cannot possibly repair it).
+        """
+        constraints: List[DifferenceConstraint] = []
+        launch = self.topology.edge_launch
+        capture = self.topology.edge_capture
+        for k in scope:
+            i, j = int(launch[k]), int(capture[k])
+            bs = float(problem.setup_bound[k])
+            bh = float(problem.hold_bound[k])
+            i_free, j_free = i in support, j in support
+            if i_free and j_free:
+                constraints.append(DifferenceConstraint(i, j, bs))
+                constraints.append(DifferenceConstraint(j, i, bh))
+            elif i_free:
+                constraints.append(DifferenceConstraint(i, REFERENCE, bs))
+                constraints.append(DifferenceConstraint(REFERENCE, i, bh))
+            elif j_free:
+                constraints.append(DifferenceConstraint(REFERENCE, j, bs))
+                constraints.append(DifferenceConstraint(j, REFERENCE, bh))
+            else:
+                if bs < -_TOL or bh < -_TOL:
+                    return None
+        return constraints
+
+    def _is_feasible(
+        self, problem: SampleProblem, region_edges: List[int], support: Set[int]
+    ) -> bool:
+        return self._feasible_assignment(problem, region_edges, support) is not None
+
+    def _feasible_assignment(
+        self, problem: SampleProblem, region_edges: List[int], support: Set[int]
+    ) -> Optional[Dict[int, float]]:
+        """A feasible assignment for the support (values of non-support FFs
+        are implicitly zero), or ``None``."""
+        scope = self._scope_edges(support, region_edges)
+        constraints = self._build_constraints(problem, support, scope)
+        if constraints is None:
+            return None
+        lower = {ff: float(problem.lower[ff]) for ff in support}
+        upper = {ff: float(problem.upper[ff]) for ff in support}
+        assignment = solve_difference_system(sorted(support), constraints, lower, upper)
+        if assignment is None:
+            return None
+        return {ff: float(v) for ff, v in assignment.items()}
+
+    # ------------------------------------------------------------------
+    def _find_feasible_support(
+        self,
+        problem: SampleProblem,
+        region_edges: List[int],
+        pool: Set[int],
+        targets: np.ndarray,
+    ) -> Optional[Set[int]]:
+        """Greedy cover of the violated edges, expanded until feasible."""
+        launch, capture = self.topology.edge_launch, self.topology.edge_capture
+
+        uncovered = set(region_edges)
+        support: Set[int] = set()
+        while uncovered:
+            counts: Dict[int, int] = {}
+            for k in uncovered:
+                for ff in (int(launch[k]), int(capture[k])):
+                    if ff in pool:
+                        counts[ff] = counts.get(ff, 0) + 1
+            if not counts:
+                # Some violated edge has no adjustable endpoint at all.
+                return None
+            best = max(counts, key=lambda ff: (counts[ff], -ff))
+            support.add(best)
+            uncovered = {
+                k
+                for k in uncovered
+                if int(launch[k]) != best and int(capture[k]) != best
+            }
+
+        if self._is_feasible(problem, region_edges, support):
+            return support
+
+        # Expand: repeatedly add the remaining pool flip-flops adjacent to the
+        # current support until the system becomes feasible.
+        remaining = set(pool) - support
+        while remaining:
+            adjacent = {
+                ff
+                for ff in remaining
+                if self.topology.neighbors(ff) & support
+            } or remaining
+            support |= adjacent
+            remaining -= adjacent
+            if self._is_feasible(problem, region_edges, support):
+                return support
+        return None
+
+    def _prune_support(
+        self,
+        problem: SampleProblem,
+        region_edges: List[int],
+        support: Set[int],
+        targets: np.ndarray,
+    ) -> Set[int]:
+        """Remove buffers whose removal keeps the region feasible (minimality)."""
+        launch, capture = self.topology.edge_launch, self.topology.edge_capture
+        # Remove the least useful buffers first (fewest incident violated edges).
+        usefulness = {
+            ff: sum(
+                1
+                for k in region_edges
+                if int(launch[k]) == ff or int(capture[k]) == ff
+            )
+            for ff in support
+        }
+        pruned = set(support)
+        for ff in sorted(support, key=lambda f: (usefulness[f], f)):
+            if len(pruned) == 1:
+                break
+            trial = pruned - {ff}
+            if self._is_feasible(problem, region_edges, trial):
+                pruned = trial
+        return pruned
+
+    def _refine_support(
+        self,
+        problem: SampleProblem,
+        region_edges: List[int],
+        pool: Set[int],
+        support: Set[int],
+        targets: np.ndarray,
+        max_subsets: int = 3000,
+    ) -> Set[int]:
+        """Exhaustive minimum-support search for small pools.
+
+        Tries all subsets of the pool with size smaller than the current
+        support (smallest first); returns the first feasible one found.
+        """
+        pool_list = sorted(pool)
+        best = set(support)
+        checked = 0
+        for size in range(1, len(best)):
+            for subset in itertools.combinations(pool_list, size):
+                checked += 1
+                if checked > max_subsets:
+                    return best
+                candidate = set(subset)
+                if self._is_feasible(problem, region_edges, candidate):
+                    return candidate
+        return best
+
+    # ------------------------------------------------------------------
+    def _concentrate(
+        self,
+        problem: SampleProblem,
+        region_edges: List[int],
+        support: Set[int],
+        targets: np.ndarray,
+    ) -> Optional[Dict[int, float]]:
+        """Minimise ``sum |x_i - target_i|`` over the support (phase 2).
+
+        Falls back to the plain Bellman–Ford witness when concentration is
+        disabled or the LP does not return a usable vertex.
+        """
+        witness = self._feasible_assignment(problem, region_edges, support)
+        if witness is None:
+            return None
+        if not self.concentrate:
+            return witness
+
+        from repro.milp.model import Model, VarType  # local import (cheap)
+
+        scope = self._scope_edges(support, region_edges)
+        constraints = self._build_constraints(problem, support, scope)
+        if constraints is None:  # pragma: no cover - witness exists, so cannot happen
+            return witness
+
+        model = Model("concentrate")
+        x_vars: Dict[int, object] = {}
+        t_vars: Dict[int, object] = {}
+        objective_terms = []
+        for ff in sorted(support):
+            x = model.add_var(f"x_{ff}", lb=float(problem.lower[ff]), ub=float(problem.upper[ff]))
+            span = float(problem.upper[ff] - problem.lower[ff]) + abs(float(targets[ff])) + 1.0
+            t = model.add_var(f"t_{ff}", lb=0.0, ub=span)
+            x_vars[ff], t_vars[ff] = x, t
+            target = float(targets[ff])
+            model.add_constr(t >= x - target)
+            model.add_constr(t >= target - x)
+            objective_terms.append(t)
+        for constraint in constraints:
+            if constraint.u == REFERENCE:
+                model.add_constr(-1.0 * x_vars[constraint.v] <= constraint.weight)
+            elif constraint.v == REFERENCE:
+                model.add_constr(1.0 * x_vars[constraint.u] <= constraint.weight)
+            else:
+                model.add_constr(x_vars[constraint.u] - x_vars[constraint.v] <= constraint.weight)
+        from repro.milp.expr import LinExpr
+
+        model.set_objective(LinExpr.sum_of(objective_terms))
+        solution = model.solve(backend=self.lp_backend)
+        if not solution.is_feasible:  # pragma: no cover - witness exists
+            return witness
+
+        values = {ff: float(solution[x_vars[ff]]) for ff in support}
+        if self.integral:
+            values = {ff: float(round(v)) for ff, v in values.items()}
+        lower = {ff: float(problem.lower[ff]) for ff in support}
+        upper = {ff: float(problem.upper[ff]) for ff in support}
+        if check_assignment(values, constraints, lower, upper, tolerance=1e-6):
+            return values
+        return witness
+
+    # ------------------------------------------------------------------
+    # Faithful MILP formulation (validation backend)
+    # ------------------------------------------------------------------
+    def solve_with_milp(
+        self,
+        problem: SampleProblem,
+        candidates: Optional[np.ndarray] = None,
+        targets: Optional[np.ndarray] = None,
+        max_nodes: int = 5000,
+    ) -> SampleSolution:
+        """Solve one sample with the paper's big-M integer program.
+
+        The model is built over the candidate pool of every violated
+        region (instead of every flip-flop of the circuit) which preserves
+        optimality for the minimum-buffer objective whenever the pool is
+        large enough, and keeps the branch & bound tractable.
+        """
+        from repro.milp.expr import LinExpr
+        from repro.milp.model import Model, VarType
+
+        n_ffs = self.topology.n_ffs
+        if candidates is None:
+            candidates = np.ones(n_ffs, dtype=bool)
+        if targets is None:
+            targets = np.zeros(n_ffs)
+
+        violated = problem.violated_edges()
+        if violated.size == 0:
+            return SampleSolution(feasible=True)
+
+        # Warm start from the graph backend.
+        warm = self.solve(problem, candidates, targets)
+
+        regions = self._violated_regions(violated)
+        tunings: Dict[int, float] = {}
+        unrescuable = 0
+        for region_edges in regions:
+            region_ffs: Set[int] = set()
+            for k in region_edges:
+                region_ffs.add(int(self.topology.edge_launch[k]))
+                region_ffs.add(int(self.topology.edge_capture[k]))
+            pool = self._build_pool(region_ffs, candidates, max(self.pool_hops, 2))
+            if not pool:
+                unrescuable += 1
+                continue
+            scope = self._scope_edges(pool, region_edges)
+
+            model = Model("sample_milp")
+            vtype = VarType.INTEGER if self.integral else VarType.CONTINUOUS
+            gamma = float(np.max(np.abs(np.concatenate([problem.lower, problem.upper])))) + 1.0
+            x_vars = {}
+            c_vars = {}
+            for ff in sorted(pool):
+                x_vars[ff] = model.add_var(
+                    f"x_{ff}", lb=float(problem.lower[ff]), ub=float(problem.upper[ff]), vtype=vtype
+                )
+                c_vars[ff] = model.add_var(f"c_{ff}", vtype=VarType.BINARY)
+                model.add_constr(x_vars[ff] - gamma * c_vars[ff] <= 0)
+                model.add_constr(-1.0 * x_vars[ff] - gamma * c_vars[ff] <= 0)
+            feasible_model = True
+            for k in scope:
+                i, j = int(self.topology.edge_launch[k]), int(self.topology.edge_capture[k])
+                bs, bh = float(problem.setup_bound[k]), float(problem.hold_bound[k])
+                xi = x_vars.get(i)
+                xj = x_vars.get(j)
+                if xi is None and xj is None:
+                    if bs < -_TOL or bh < -_TOL:
+                        feasible_model = False
+                    continue
+                lhs_setup = (xi if xi is not None else 0.0) - (xj if xj is not None else 0.0)
+                if xi is not None and xj is not None:
+                    model.add_constr(x_vars[i] - x_vars[j] <= bs)
+                    model.add_constr(x_vars[j] - x_vars[i] <= bh)
+                elif xi is not None:
+                    model.add_constr(1.0 * x_vars[i] <= bs)
+                    model.add_constr(-1.0 * x_vars[i] <= bh)
+                else:
+                    model.add_constr(-1.0 * x_vars[j] <= bs)
+                    model.add_constr(1.0 * x_vars[j] <= bh)
+            if not feasible_model:
+                unrescuable += 1
+                continue
+
+            model.set_objective(LinExpr.sum_of(list(c_vars.values())))
+            warm_map = None
+            if warm.feasible or warm.tunings:
+                warm_map = {}
+                for ff in pool:
+                    value = warm.tunings.get(ff, 0.0)
+                    warm_map[x_vars[ff]] = value
+                    warm_map[c_vars[ff]] = 1.0 if abs(value) > _TOL else 0.0
+            count_solution = model.solve(backend=self.lp_backend, max_nodes=max_nodes, warm_start=warm_map)
+            if not count_solution.is_feasible:
+                unrescuable += 1
+                continue
+            n_k = int(round(count_solution.objective))
+
+            # Phase 2: concentrate around the target with csum <= n_k.
+            model.add_constr(LinExpr.sum_of(list(c_vars.values())) <= float(n_k))
+            t_vars = {}
+            for ff in sorted(pool):
+                span = float(problem.upper[ff] - problem.lower[ff]) + abs(float(targets[ff])) + 1.0
+                t_vars[ff] = model.add_var(f"t_{ff}", lb=0.0, ub=span)
+                model.add_constr(t_vars[ff] >= x_vars[ff] - float(targets[ff]))
+                model.add_constr(t_vars[ff] >= float(targets[ff]) - x_vars[ff])
+            model.set_objective(LinExpr.sum_of(list(t_vars.values())))
+            value_solution = model.solve(backend=self.lp_backend, max_nodes=max_nodes, warm_start=None)
+            chosen = value_solution if value_solution.is_feasible else count_solution
+            for ff in pool:
+                value = chosen[x_vars[ff]]
+                if self.integral:
+                    value = round(value)
+                if abs(value) > _TOL:
+                    tunings[ff] = float(value)
+        return SampleSolution(
+            feasible=unrescuable == 0,
+            tunings=tunings,
+            n_adjusted=len(tunings),
+            unrescuable_regions=unrescuable,
+        )

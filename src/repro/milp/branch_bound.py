@@ -1,0 +1,156 @@
+"""Branch & bound over LP relaxations.
+
+Best-first search on the LP lower bound with most-fractional branching.
+An optional warm-start incumbent (e.g. produced by the specialised graph
+solver of :mod:`repro.core.sample_solver`) prunes large parts of the tree
+immediately, which is what makes the exact big-M formulation of the paper
+practical on the per-sample problems.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.milp.backends import solve_lp
+from repro.milp.simplex import LpResult
+from repro.milp.status import SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class MilpResult:
+    """Raw MILP result on the array form of the problem."""
+
+    status: SolveStatus
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    iterations: int = 0
+    nodes: int = 0
+
+
+def solve_milp(
+    arrays: dict,
+    backend: str = "auto",
+    max_nodes: int = 20000,
+    gap_tolerance: float = 1e-6,
+    warm_start: Optional[np.ndarray] = None,
+) -> MilpResult:
+    """Solve a MILP given in the array form produced by ``Model.to_arrays``."""
+    c = arrays["c"]
+    a_ub, b_ub = arrays["a_ub"], arrays["b_ub"]
+    a_eq, b_eq = arrays["a_eq"], arrays["b_eq"]
+    lower = arrays["lower"].astype(float).copy()
+    upper = arrays["upper"].astype(float).copy()
+    integer_indices = list(arrays["integer_indices"])
+
+    total_iterations = 0
+    nodes_explored = 0
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    if warm_start is not None and _is_feasible(warm_start, arrays):
+        incumbent_x = warm_start.astype(float).copy()
+        incumbent_obj = float(c @ incumbent_x)
+
+    # Pure LP shortcut.
+    if not integer_indices:
+        result = solve_lp(c, a_ub, b_ub, a_eq, b_eq, lower, upper, backend=backend)
+        return MilpResult(result.status, result.x, result.objective, result.iterations, 0)
+
+    counter = itertools.count()
+    root = (-math.inf, next(counter), lower, upper)
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = [root]
+
+    while heap:
+        if nodes_explored >= max_nodes:
+            status = SolveStatus.NODE_LIMIT
+            return MilpResult(
+                status if incumbent_x is None else SolveStatus.NODE_LIMIT,
+                incumbent_x,
+                incumbent_obj if incumbent_x is not None else None,
+                total_iterations,
+                nodes_explored,
+            )
+        bound, _, node_lower, node_upper = heapq.heappop(heap)
+        if bound >= incumbent_obj - gap_tolerance:
+            continue
+        nodes_explored += 1
+        relax = solve_lp(c, a_ub, b_ub, a_eq, b_eq, node_lower, node_upper, backend=backend)
+        total_iterations += relax.iterations
+        if relax.status is SolveStatus.INFEASIBLE:
+            continue
+        if relax.status is SolveStatus.UNBOUNDED:
+            return MilpResult(SolveStatus.UNBOUNDED, None, None, total_iterations, nodes_explored)
+        if not relax.status.has_solution or relax.x is None:
+            continue
+        if relax.objective is not None and relax.objective >= incumbent_obj - gap_tolerance:
+            continue
+
+        x = relax.x
+        fractional = _most_fractional(x, integer_indices)
+        if fractional is None:
+            # Integral solution: new incumbent.
+            objective = float(c @ x)
+            if objective < incumbent_obj - gap_tolerance:
+                incumbent_obj = objective
+                incumbent_x = x.copy()
+            continue
+
+        index, value = fractional
+        # Branch down.
+        down_upper = node_upper.copy()
+        down_upper[index] = math.floor(value)
+        if down_upper[index] >= node_lower[index] - _INT_TOL:
+            heapq.heappush(heap, (relax.objective, next(counter), node_lower.copy(), down_upper))
+        # Branch up.
+        up_lower = node_lower.copy()
+        up_lower[index] = math.ceil(value)
+        if up_lower[index] <= node_upper[index] + _INT_TOL:
+            heapq.heappush(heap, (relax.objective, next(counter), up_lower, node_upper.copy()))
+
+    if incumbent_x is None:
+        return MilpResult(SolveStatus.INFEASIBLE, None, None, total_iterations, nodes_explored)
+    # Round integer variables exactly before returning.
+    x = incumbent_x.copy()
+    for idx in integer_indices:
+        x[idx] = round(x[idx])
+    return MilpResult(SolveStatus.OPTIMAL, x, float(c @ x), total_iterations, nodes_explored)
+
+
+def _most_fractional(x: np.ndarray, integer_indices: List[int]) -> Optional[Tuple[int, float]]:
+    """Index and value of the integer variable farthest from integrality."""
+    best_index = None
+    best_frac = _INT_TOL
+    for idx in integer_indices:
+        value = x[idx]
+        frac = abs(value - round(value))
+        if frac > best_frac:
+            best_frac = frac
+            best_index = idx
+    if best_index is None:
+        return None
+    return best_index, float(x[best_index])
+
+
+def _is_feasible(x: np.ndarray, arrays: dict, tolerance: float = 1e-6) -> bool:
+    """Feasibility check of a candidate assignment against the array form."""
+    lower, upper = arrays["lower"], arrays["upper"]
+    if np.any(x < lower - tolerance) or np.any(x > upper + tolerance):
+        return False
+    for idx in arrays["integer_indices"]:
+        if abs(x[idx] - round(x[idx])) > tolerance:
+            return False
+    a_ub, b_ub = arrays["a_ub"], arrays["b_ub"]
+    if a_ub is not None and np.any(a_ub @ x > b_ub + tolerance):
+        return False
+    a_eq, b_eq = arrays["a_eq"], arrays["b_eq"]
+    if a_eq is not None and np.any(np.abs(a_eq @ x - b_eq) > tolerance):
+        return False
+    return True

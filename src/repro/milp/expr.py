@@ -1,0 +1,174 @@
+"""Linear expressions and constraints.
+
+A :class:`LinExpr` is an affine expression ``sum_i coef_i * var_i + const``
+over :class:`~repro.milp.model.Var` objects.  Expressions are built with
+the usual Python operators and turned into :class:`Constraint` objects with
+``<=``, ``>=`` and ``==``, mirroring the modelling style of commercial
+solvers (and of the paper's Gurobi formulation)::
+
+    model.add_constr(x - y <= 5.0)
+    model.add_constr(2 * a + b == 1.0)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.milp.model import Var
+
+Number = Union[int, float]
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class LinExpr:
+    """An affine expression over model variables."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping["Var", float] = None, constant: float = 0.0) -> None:
+        self.coeffs: Dict["Var", float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_var(cls, var: "Var", coefficient: float = 1.0) -> "LinExpr":
+        """Expression consisting of a single scaled variable."""
+        return cls({var: float(coefficient)})
+
+    @classmethod
+    def sum_of(cls, terms: Iterable[Union["LinExpr", "Var", Number]]) -> "LinExpr":
+        """Sum an iterable of expressions, variables and numbers."""
+        total = cls()
+        for term in terms:
+            total = total + term
+        return total
+
+    def copy(self) -> "LinExpr":
+        """A shallow copy of the expression."""
+        return LinExpr(self.coeffs, self.constant)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        from repro.milp.model import Var  # local import to avoid a cycle
+
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Var):
+            return LinExpr.from_var(other)
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=float(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        result = self.copy()
+        for var, coef in other.coeffs.items():
+            result.coeffs[var] = result.coeffs.get(var, 0.0) + coef
+        result.constant += other.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (other * -1.0)
+
+    def __rsub__(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other + (self * -1.0)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return LinExpr(
+            {var: coef * float(factor) for var, coef in self.coeffs.items()},
+            self.constant * float(factor),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # ------------------------------------------------------------------
+    # Comparisons create constraints
+    # ------------------------------------------------------------------
+    def __le__(self, other: Union["LinExpr", "Var", Number]) -> "Constraint":
+        return Constraint(self - other, Sense.LE)
+
+    def __ge__(self, other: Union["LinExpr", "Var", Number]) -> "Constraint":
+        return Constraint(self - other, Sense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Constraint(self - other, Sense.EQ)
+
+    def __hash__(self):  # pragma: no cover - expressions are not hashable
+        raise TypeError("LinExpr is not hashable")
+
+    # ------------------------------------------------------------------
+    def value(self, assignment: Mapping["Var", float]) -> float:
+        """Evaluate the expression for a variable assignment."""
+        total = self.constant
+        for var, coef in self.coeffs.items():
+            total += coef * float(assignment[var])
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.coeffs.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` in normalised form.
+
+    The constructor receives the already-normalised expression (left-hand
+    side minus right-hand side) and the sense.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: Sense, name: str = "") -> None:
+        if not isinstance(expr, LinExpr):
+            raise TypeError("Constraint expects a LinExpr")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when the constraint is written ``coef·x (sense) rhs``."""
+        return -self.expr.constant
+
+    def violation(self, assignment: Mapping["Var", float]) -> float:
+        """Non-negative violation of the constraint at an assignment."""
+        value = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, value)
+        if self.sense is Sense.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense.value} 0"

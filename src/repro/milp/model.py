@@ -1,0 +1,303 @@
+"""MILP model front end.
+
+:class:`Model` collects variables, linear constraints and an objective and
+solves the problem with branch & bound over LP relaxations.  The API is a
+deliberately small subset of what commercial solvers offer — exactly what
+the paper's formulations (8)–(21) need::
+
+    model = Model("sample_42")
+    x = model.add_var("x", lb=-10, ub=10)
+    c = model.add_var("c", vtype=VarType.BINARY)
+    model.add_constr(x - 1000 * c <= 0)
+    model.add_constr(-x - 1000 * c <= 0)
+    model.set_objective(c)
+    solution = model.solve()
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.milp.expr import Constraint, LinExpr, Sense
+from repro.milp.solution import Solution
+from repro.milp.status import SolveStatus
+
+Number = Union[int, float]
+
+#: Default big bound used when a variable is declared without explicit bounds.
+DEFAULT_BOUND = 1e6
+
+
+class VarType(enum.Enum):
+    """Variable domain."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Var:
+    """A decision variable.  Hashable by identity; created via ``Model.add_var``."""
+
+    __slots__ = ("name", "lb", "ub", "vtype", "index")
+    _counter = itertools.count()
+
+    def __init__(self, name: str, lb: float, ub: float, vtype: VarType, index: int) -> None:
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+        self.index = index
+
+    # Arithmetic delegates to LinExpr so that ``2 * x + y - 3`` works.
+    def _expr(self) -> LinExpr:
+        return LinExpr.from_var(self)
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return LinExpr._coerce(LinExpr(), other) - self._expr() if not isinstance(other, LinExpr) else other - self._expr()
+
+    def __mul__(self, factor):
+        return self._expr() * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self._expr() * -1.0
+
+    def __le__(self, other) -> Constraint:
+        return self._expr() <= other
+
+    def __ge__(self, other) -> Constraint:
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Var) and other is self:
+            return True
+        return self._expr() == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Var({self.name!r}, [{self.lb}, {self.ub}], {self.vtype.value})"
+
+
+@dataclass
+class Objective:
+    """Objective function (always stored as a minimisation)."""
+
+    expr: LinExpr
+    minimise: bool = True
+
+
+class Model:
+    """A mixed-integer linear program."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Var] = []
+        self.constraints: List[Constraint] = []
+        self.objective: Objective = Objective(LinExpr())
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = DEFAULT_BOUND,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Var:
+        """Create and register a decision variable."""
+        if vtype is VarType.BINARY:
+            lb, ub = 0.0, 1.0
+        if ub < lb:
+            raise ValueError(f"variable {name!r}: upper bound {ub} < lower bound {lb}")
+        index = len(self.variables)
+        var = Var(name or f"v{index}", lb, ub, vtype, index)
+        self.variables.append(var)
+        return var
+
+    def add_vars(
+        self,
+        count: int,
+        prefix: str = "v",
+        lb: float = 0.0,
+        ub: float = DEFAULT_BOUND,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> List[Var]:
+        """Create ``count`` variables named ``prefix_0 .. prefix_{count-1}``."""
+        return [self.add_var(f"{prefix}_{i}", lb, ub, vtype) for i in range(count)]
+
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built from expression comparisons."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constr expects a Constraint (build it with <=, >= or == on expressions)"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: Union[LinExpr, Var, Number], minimise: bool = True) -> None:
+        """Set the objective (converted internally to minimisation)."""
+        if isinstance(expr, Var):
+            expr = LinExpr.from_var(expr)
+        elif isinstance(expr, (int, float)):
+            expr = LinExpr(constant=float(expr))
+        self.objective = Objective(expr.copy(), minimise=minimise)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of variables."""
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self.constraints)
+
+    def integer_variables(self) -> List[Var]:
+        """Variables with an integrality requirement."""
+        return [v for v in self.variables if v.vtype is not VarType.CONTINUOUS]
+
+    # ------------------------------------------------------------------
+    # Array form
+    # ------------------------------------------------------------------
+    def to_arrays(self):
+        """Convert the model to dense arrays for the LP/B&B engines.
+
+        Returns a dict with keys ``c``, ``a_ub``, ``b_ub``, ``a_eq``,
+        ``b_eq``, ``lower``, ``upper``, ``objective_constant`` and
+        ``integer_indices``.
+        """
+        n = len(self.variables)
+        c = np.zeros(n)
+        for var, coef in self.objective.expr.coeffs.items():
+            c[var.index] += coef
+        sign = 1.0 if self.objective.minimise else -1.0
+        c *= sign
+        objective_constant = self.objective.expr.constant * sign
+
+        rows_ub: List[np.ndarray] = []
+        rhs_ub: List[float] = []
+        rows_eq: List[np.ndarray] = []
+        rhs_eq: List[float] = []
+        for constraint in self.constraints:
+            row = np.zeros(n)
+            for var, coef in constraint.expr.coeffs.items():
+                row[var.index] += coef
+            rhs = -constraint.expr.constant
+            if constraint.sense is Sense.LE:
+                rows_ub.append(row)
+                rhs_ub.append(rhs)
+            elif constraint.sense is Sense.GE:
+                rows_ub.append(-row)
+                rhs_ub.append(-rhs)
+            else:
+                rows_eq.append(row)
+                rhs_eq.append(rhs)
+
+        lower = np.array([v.lb for v in self.variables])
+        upper = np.array([v.ub for v in self.variables])
+        integer_indices = [v.index for v in self.integer_variables()]
+        return {
+            "c": c,
+            "a_ub": np.array(rows_ub) if rows_ub else None,
+            "b_ub": np.array(rhs_ub) if rhs_ub else None,
+            "a_eq": np.array(rows_eq) if rows_eq else None,
+            "b_eq": np.array(rhs_eq) if rhs_eq else None,
+            "lower": lower,
+            "upper": upper,
+            "objective_constant": objective_constant,
+            "integer_indices": integer_indices,
+            "minimise": self.objective.minimise,
+        }
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        backend: str = "auto",
+        max_nodes: int = 20000,
+        gap_tolerance: float = 1e-6,
+        warm_start: Optional[Mapping[Var, float]] = None,
+    ) -> Solution:
+        """Solve the model.
+
+        Parameters
+        ----------
+        backend:
+            LP backend (``"auto"``, ``"scipy"`` or ``"simplex"``).
+        max_nodes:
+            Branch-and-bound node budget.
+        gap_tolerance:
+            Absolute optimality gap at which the search stops.
+        warm_start:
+            Optional feasible assignment used as the initial incumbent
+            (e.g. from the specialised graph solver).
+        """
+        from repro.milp.branch_bound import solve_milp  # local import, avoids a cycle
+
+        arrays = self.to_arrays()
+        warm_vector = None
+        if warm_start is not None:
+            warm_vector = np.array(
+                [float(warm_start.get(v, 0.0)) for v in self.variables]
+            )
+        raw = solve_milp(
+            arrays,
+            backend=backend,
+            max_nodes=max_nodes,
+            gap_tolerance=gap_tolerance,
+            warm_start=warm_vector,
+        )
+        values: Dict[Var, float] = {}
+        objective = None
+        if raw.x is not None:
+            values = {v: float(raw.x[v.index]) for v in self.variables}
+            objective = raw.objective + arrays["objective_constant"]
+            if not self.objective.minimise:
+                objective = -objective
+        return Solution(
+            status=raw.status,
+            objective=objective,
+            values=values,
+            iterations=raw.iterations,
+            nodes=raw.nodes,
+        )
+
+    def check_feasible(self, assignment: Mapping[Var, float], tolerance: float = 1e-6) -> bool:
+        """Check whether an assignment satisfies all constraints and bounds."""
+        for var in self.variables:
+            value = float(assignment[var])
+            if value < var.lb - tolerance or value > var.ub + tolerance:
+                return False
+            if var.vtype is not VarType.CONTINUOUS and abs(value - round(value)) > tolerance:
+                return False
+        return all(c.violation(assignment) <= tolerance for c in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Model({self.name!r}, vars={self.n_variables}, "
+            f"constrs={self.n_constraints}, integers={len(self.integer_variables())})"
+        )

@@ -1,0 +1,59 @@
+"""Solution container returned by LP and MILP solves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
+
+from repro.milp.status import SolveStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.milp.model import Var
+
+
+@dataclass
+class Solution:
+    """Result of a solve.
+
+    Attributes
+    ----------
+    status:
+        Outcome of the solve.
+    objective:
+        Objective value of the returned assignment (``None`` when no
+        feasible assignment is available).
+    values:
+        Variable assignment keyed by :class:`~repro.milp.model.Var`.
+    iterations:
+        Total simplex iterations performed.
+    nodes:
+        Branch-and-bound nodes explored (0 for pure LPs).
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict["Var", float] = field(default_factory=dict)
+    iterations: int = 0
+    nodes: int = 0
+
+    def __getitem__(self, var: "Var") -> float:
+        """Value of a variable in the solution."""
+        return self.values[var]
+
+    def get(self, var: "Var", default: float = 0.0) -> float:
+        """Value of a variable, with a default for absent variables."""
+        return self.values.get(var, default)
+
+    @property
+    def is_optimal(self) -> bool:
+        """Whether the solution is proven optimal."""
+        return self.status.is_optimal
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether a feasible assignment is available."""
+        return self.status.has_solution and bool(self.values)
+
+    def value_by_name(self) -> Dict[str, float]:
+        """Assignment keyed by variable name (for reporting and tests)."""
+        return {var.name: value for var, value in self.values.items()}

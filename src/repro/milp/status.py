@@ -1,0 +1,26 @@
+"""Solver status codes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP or MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def is_optimal(self) -> bool:
+        """Whether the solve finished with a proven optimal solution."""
+        return self is SolveStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a (possibly suboptimal) feasible solution is available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.ITERATION_LIMIT, SolveStatus.NODE_LIMIT)

@@ -1,0 +1,53 @@
+"""Static and statistical timing analysis substrate.
+
+* :mod:`repro.timing.graph` — builds the annotated timing graph of a
+  design (combinational DAG with flip-flops split into launch / capture
+  nodes, every node carrying nominal and canonical statistical delays).
+* :mod:`repro.timing.propagate` — block-based arrival-time propagation:
+  nominal max/min arrival times and per-flip-flop-pair canonical forms of
+  the maximum and minimum combinational delay (the ``d`` and ``d-bar`` of
+  the paper's constraints (1)–(2)).
+* :mod:`repro.timing.constraints` — the sequential constraint graph: one
+  :class:`SequentialEdge` per connected flip-flop pair with everything
+  needed to write the setup and hold constraints, plus vectorised
+  per-sample bound evaluation.
+* :mod:`repro.timing.paths` — nominal critical-path extraction.
+* :mod:`repro.timing.period` — minimum feasible clock period (nominal,
+  statistical and per-sample).
+"""
+
+from repro.timing.constraints import (
+    SequentialConstraintGraph,
+    SequentialEdge,
+    ensure_constraint_graph,
+    extract_constraint_graph,
+)
+from repro.timing.skew import apply_skews, hold_aware_random_skews
+from repro.timing.graph import DelayAnnotation, TimingGraph
+from repro.timing.paths import CriticalPath, nominal_critical_paths
+from repro.timing.period import (
+    PeriodAnalysis,
+    nominal_min_period,
+    sample_min_periods,
+    statistical_period,
+)
+from repro.timing.propagate import ff_pair_delay_forms, nominal_arrival_times
+
+__all__ = [
+    "TimingGraph",
+    "DelayAnnotation",
+    "SequentialEdge",
+    "SequentialConstraintGraph",
+    "extract_constraint_graph",
+    "ensure_constraint_graph",
+    "hold_aware_random_skews",
+    "apply_skews",
+    "ff_pair_delay_forms",
+    "nominal_arrival_times",
+    "CriticalPath",
+    "nominal_critical_paths",
+    "PeriodAnalysis",
+    "nominal_min_period",
+    "statistical_period",
+    "sample_min_periods",
+]

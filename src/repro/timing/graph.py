@@ -1,0 +1,140 @@
+"""Annotated timing graph.
+
+:class:`TimingGraph` wraps the combinational DAG of a design (flip-flops
+split into a launch node and a capture node, see
+:meth:`repro.circuit.netlist.Netlist.combinational_digraph`) and annotates
+every node with a :class:`DelayAnnotation`:
+
+* nominal maximum (propagation) and minimum (contamination) delay,
+* canonical statistical forms of both, built from the design's variation
+  model and the instance's placement location.
+
+Flip-flop launch nodes carry the clock-to-Q delay, capture nodes carry zero
+delay (setup/hold enter through the constraint graph, not the timing
+graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.circuit.cells import CellKind
+from repro.circuit.design import CircuitDesign
+from repro.circuit.netlist import InstanceKind
+from repro.variation.canonical import CanonicalForm
+
+
+@dataclass
+class DelayAnnotation:
+    """Nominal and statistical delay of one timing-graph node."""
+
+    nominal_max: float
+    nominal_min: float
+    form_max: CanonicalForm
+    form_min: CanonicalForm
+
+
+class TimingGraph:
+    """Combinational timing graph of a :class:`~repro.circuit.design.CircuitDesign`.
+
+    Nodes
+    -----
+    * primary-input names (zero delay launch points),
+    * gate names (annotated with the gate's delay),
+    * flip-flop names (launch nodes, annotated with clock-to-Q),
+    * ``("sink", ff_name)`` tuples (capture nodes, zero delay),
+    * primary-output names (zero delay sinks).
+    """
+
+    def __init__(self, design: CircuitDesign) -> None:
+        self.design = design
+        self.graph: "nx.DiGraph" = design.netlist.combinational_digraph()
+        self._annotations: Dict[Hashable, DelayAnnotation] = {}
+        self._annotate()
+        self._topo_order: List[Hashable] = list(nx.topological_sort(self.graph))
+
+    # ------------------------------------------------------------------
+    def _annotate(self) -> None:
+        netlist = self.design.netlist
+        library = self.design.library
+        variation = self.design.variation_model
+        placement = self.design.placement
+
+        for node in self.graph.nodes:
+            if isinstance(node, tuple):
+                # Flip-flop capture node: no delay of its own.
+                self._annotations[node] = self._zero_annotation()
+                continue
+            inst = netlist.instance(node)
+            if inst.kind in (InstanceKind.PRIMARY_INPUT, InstanceKind.PRIMARY_OUTPUT):
+                self._annotations[node] = self._zero_annotation()
+                continue
+            cell = library.get(inst.cell)
+            x, y = placement.location(node) if node in placement.locations else (None, None)
+            if inst.is_flip_flop:
+                nominal_max = cell.ff_timing.clk_to_q
+                nominal_min = cell.ff_timing.clk_to_q * 0.8
+            else:
+                nominal_max = cell.delay
+                nominal_min = cell.contamination_delay
+            form_max = variation.delay_form(nominal_max, x, y).form
+            form_min = variation.delay_form(nominal_min, x, y).form
+            self._annotations[node] = DelayAnnotation(
+                nominal_max=nominal_max,
+                nominal_min=nominal_min,
+                form_max=form_max,
+                form_min=form_min,
+            )
+
+    def _zero_annotation(self) -> DelayAnnotation:
+        zero = self.design.variation_model.constant_form(0.0)
+        return DelayAnnotation(0.0, 0.0, zero, zero)
+
+    # ------------------------------------------------------------------
+    def annotation(self, node: Hashable) -> DelayAnnotation:
+        """Delay annotation of a node."""
+        return self._annotations[node]
+
+    @property
+    def topological_order(self) -> List[Hashable]:
+        """Topological order of the timing graph."""
+        return self._topo_order
+
+    def launch_nodes(self) -> List[str]:
+        """Timing start points: primary inputs and flip-flop launch nodes."""
+        netlist = self.design.netlist
+        return list(netlist.primary_inputs) + list(netlist.flip_flops)
+
+    def capture_node(self, ff: str) -> Tuple[str, str]:
+        """The capture (D-input) node of flip-flop ``ff``."""
+        return ("sink", ff)
+
+    def fanout_cone(self, source: Hashable) -> List[Hashable]:
+        """All nodes reachable from ``source`` (excluding the source itself)."""
+        return list(nx.descendants(self.graph, source))
+
+    def setup_form(self, ff: str) -> CanonicalForm:
+        """Canonical form of the setup time of flip-flop ``ff``."""
+        cell = self.design.library.get(self.design.netlist.instance(ff).cell)
+        x, y = self._ff_location(ff)
+        return self.design.variation_model.delay_form(cell.ff_timing.setup, x, y).form
+
+    def hold_form(self, ff: str) -> CanonicalForm:
+        """Canonical form of the hold time of flip-flop ``ff``."""
+        cell = self.design.library.get(self.design.netlist.instance(ff).cell)
+        x, y = self._ff_location(ff)
+        return self.design.variation_model.delay_form(cell.ff_timing.hold, x, y).form
+
+    def _ff_location(self, ff: str):
+        if ff in self.design.placement.locations:
+            return self.design.placement.location(ff)
+        return (None, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimingGraph({self.design.name!r}, nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

@@ -1,0 +1,139 @@
+"""Nominal critical-path extraction.
+
+Used for reporting, for the criticality-based baseline and for sanity
+checks of the synthetic circuit generator (a healthy benchmark has a wide
+spread of register-to-register path delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.timing.graph import TimingGraph
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """One register-to-register path.
+
+    Attributes
+    ----------
+    launch, capture:
+        End-point flip-flops.
+    delay:
+        Nominal maximum delay along the path, including clock-to-Q.
+    nodes:
+        The gate/instance names along the path from launch to capture.
+    """
+
+    launch: str
+    capture: str
+    delay: float
+    nodes: Tuple[str, ...]
+
+
+def nominal_critical_paths(
+    timing_graph: TimingGraph,
+    top_k: int = 10,
+    per_launch_limit: Optional[int] = None,
+) -> List[CriticalPath]:
+    """Return the ``top_k`` register-to-register paths by nominal max delay.
+
+    A single worst path is traced per (launch, capture) pair, so the result
+    lists distinct flip-flop pairs.
+
+    Parameters
+    ----------
+    per_launch_limit:
+        Optional cap on how many capture flip-flops are recorded per launch
+        flip-flop (keeps the scan cheap on very dense designs).
+    """
+    graph = timing_graph.graph
+    design = timing_graph.design
+    results: List[CriticalPath] = []
+
+    for launch in design.netlist.flip_flops:
+        arrivals, predecessor = _max_arrivals_from(timing_graph, launch)
+        captures: List[Tuple[float, Hashable]] = []
+        for node, value in arrivals.items():
+            if isinstance(node, tuple) and node[0] == "sink":
+                captures.append((value, node))
+        captures.sort(reverse=True)
+        if per_launch_limit is not None:
+            captures = captures[:per_launch_limit]
+        for value, node in captures:
+            path = _trace_back(node, predecessor, launch)
+            results.append(
+                CriticalPath(
+                    launch=launch,
+                    capture=node[1],
+                    delay=float(value),
+                    nodes=tuple(path),
+                )
+            )
+    results.sort(key=lambda p: p.delay, reverse=True)
+    return results[:top_k]
+
+
+def _max_arrivals_from(
+    timing_graph: TimingGraph, launch: str
+) -> Tuple[Dict[Hashable, float], Dict[Hashable, Hashable]]:
+    """Nominal max arrival from one launch flip-flop plus back-pointers."""
+    graph = timing_graph.graph
+    import networkx as nx
+
+    cone = set(nx.descendants(graph, launch))
+    cone.add(launch)
+    arrivals: Dict[Hashable, float] = {launch: timing_graph.annotation(launch).nominal_max}
+    predecessor: Dict[Hashable, Hashable] = {}
+
+    for node in timing_graph.topological_order:
+        if node == launch or node not in cone:
+            continue
+        best: Optional[float] = None
+        best_pred: Optional[Hashable] = None
+        for pred in graph.predecessors(node):
+            if pred in arrivals and (best is None or arrivals[pred] > best):
+                best = arrivals[pred]
+                best_pred = pred
+        if best is None:
+            continue
+        predecessor[node] = best_pred
+        if isinstance(node, tuple) and node[0] == "sink":
+            arrivals[node] = best
+        else:
+            arrivals[node] = best + timing_graph.annotation(node).nominal_max
+    # Only keep sink arrivals plus intermediate nodes needed for tracing.
+    return arrivals, predecessor
+
+
+def _trace_back(
+    node: Hashable, predecessor: Dict[Hashable, Hashable], launch: str
+) -> List[str]:
+    """Trace the worst path from ``node`` back to ``launch``."""
+    path: List[str] = []
+    current: Optional[Hashable] = node
+    while current is not None and current != launch:
+        if isinstance(current, tuple):
+            path.append(current[1])
+        else:
+            path.append(str(current))
+        current = predecessor.get(current)
+    path.append(launch)
+    path.reverse()
+    return path
+
+
+def path_delay_spread(timing_graph: TimingGraph, top_k: int = 50) -> Dict[str, float]:
+    """Summary statistics of the top-``k`` register-to-register path delays."""
+    paths = nominal_critical_paths(timing_graph, top_k=top_k)
+    if not paths:
+        return {"count": 0, "max": 0.0, "min": 0.0, "spread": 0.0}
+    delays = [p.delay for p in paths]
+    return {
+        "count": float(len(delays)),
+        "max": float(max(delays)),
+        "min": float(min(delays)),
+        "spread": float(max(delays) - min(delays)),
+    }

@@ -1,0 +1,136 @@
+"""Arrival-time propagation.
+
+Two engines are provided:
+
+* :func:`nominal_arrival_times` — classic deterministic STA over the whole
+  graph (used for critical-path reporting and sanity checks);
+* :func:`ff_pair_delay_forms` / :func:`all_ff_pair_delay_forms` — per
+  launch flip-flop propagation of *canonical statistical forms* restricted
+  to the flip-flop's fan-out cone, producing for every reachable capture
+  flip-flop the canonical form of the maximum and minimum combinational
+  delay (including the launching flip-flop's clock-to-Q).  These forms are
+  the statistical ``d_ij`` / ``d-bar_ij`` of the paper's constraints
+  (1)–(2) and are later evaluated per Monte-Carlo sample by
+  :mod:`repro.timing.constraints`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.timing.graph import TimingGraph
+from repro.variation.canonical import CanonicalForm
+
+
+def nominal_arrival_times(timing_graph: TimingGraph) -> Dict[Hashable, Tuple[float, float]]:
+    """Deterministic max/min arrival time at every node.
+
+    All launch points (primary inputs and flip-flop outputs) start at time
+    zero plus their own delay annotation (clock-to-Q for flip-flops).
+    Nodes unreachable from any launch point get ``(0, 0)``.
+
+    Returns
+    -------
+    dict
+        ``node -> (max_arrival, min_arrival)``.
+    """
+    graph = timing_graph.graph
+    launches = set(timing_graph.launch_nodes())
+    arrival: Dict[Hashable, Tuple[float, float]] = {}
+
+    for node in timing_graph.topological_order:
+        ann = timing_graph.annotation(node)
+        pred_max: Optional[float] = None
+        pred_min: Optional[float] = None
+        for pred in graph.predecessors(node):
+            if pred not in arrival:
+                continue
+            pmax, pmin = arrival[pred]
+            pred_max = pmax if pred_max is None else max(pred_max, pmax)
+            pred_min = pmin if pred_min is None else min(pred_min, pmin)
+        if pred_max is None:
+            if node in launches:
+                arrival[node] = (ann.nominal_max, ann.nominal_min)
+            else:
+                arrival[node] = (0.0, 0.0)
+        else:
+            arrival[node] = (pred_max + ann.nominal_max, pred_min + ann.nominal_min)
+    return arrival
+
+
+def ff_pair_delay_forms(
+    timing_graph: TimingGraph,
+    launch_ff: str,
+) -> Dict[str, Tuple[CanonicalForm, CanonicalForm]]:
+    """Canonical max/min combinational delay from ``launch_ff`` to every
+    capture flip-flop it reaches.
+
+    The launching flip-flop's clock-to-Q delay is included in the returned
+    forms, matching the paper's convention of folding it into ``d_ij``.
+
+    Returns
+    -------
+    dict
+        ``capture_ff -> (max_delay_form, min_delay_form)``.
+    """
+    graph = timing_graph.graph
+    if launch_ff not in graph:
+        raise KeyError(f"unknown launch flip-flop {launch_ff!r}")
+
+    cone = set(nx.descendants(graph, launch_ff))
+    cone.add(launch_ff)
+
+    launch_ann = timing_graph.annotation(launch_ff)
+    arrivals_max: Dict[Hashable, CanonicalForm] = {launch_ff: launch_ann.form_max}
+    arrivals_min: Dict[Hashable, CanonicalForm] = {launch_ff: launch_ann.form_min}
+
+    results: Dict[str, Tuple[CanonicalForm, CanonicalForm]] = {}
+    for node in timing_graph.topological_order:
+        if node == launch_ff or node not in cone:
+            continue
+        preds_in_cone = [p for p in graph.predecessors(node) if p in arrivals_max]
+        if not preds_in_cone:
+            continue
+        max_in = arrivals_max[preds_in_cone[0]]
+        min_in = arrivals_min[preds_in_cone[0]]
+        for pred in preds_in_cone[1:]:
+            max_in = max_in.max(arrivals_max[pred])
+            min_in = min_in.min(arrivals_min[pred])
+
+        if isinstance(node, tuple) and node[0] == "sink":
+            # Capture flip-flop: record and do not propagate further.
+            results[node[1]] = (max_in, min_in)
+            continue
+
+        ann = timing_graph.annotation(node)
+        arrivals_max[node] = max_in + ann.form_max
+        arrivals_min[node] = min_in + ann.form_min
+    return results
+
+
+def all_ff_pair_delay_forms(
+    timing_graph: TimingGraph,
+    launch_ffs: Optional[List[str]] = None,
+) -> Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]]:
+    """Canonical max/min delay forms for every connected flip-flop pair.
+
+    Parameters
+    ----------
+    launch_ffs:
+        Restrict the analysis to these launching flip-flops (defaults to
+        all flip-flops of the design).
+
+    Returns
+    -------
+    dict
+        ``(launch_ff, capture_ff) -> (max_delay_form, min_delay_form)``.
+    """
+    design = timing_graph.design
+    launch_ffs = launch_ffs if launch_ffs is not None else list(design.netlist.flip_flops)
+    pairs: Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]] = {}
+    for launch in launch_ffs:
+        for capture, forms in ff_pair_delay_forms(timing_graph, launch).items():
+            pairs[(launch, capture)] = forms
+    return pairs

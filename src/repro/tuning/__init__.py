@@ -1,0 +1,31 @@
+"""Post-silicon configuration of inserted tuning buffers.
+
+After manufacturing, each chip's delays are fixed (one Monte-Carlo sample
+in the reproduction).  The configurator decides, per chip, whether the
+inserted buffers can be programmed — within their ranges, on their
+discrete grids, and respecting buffer grouping — such that the chip meets
+the target clock period.  The fraction of configurable chips is the yield
+with buffers (columns ``Y`` of the paper's Table I).
+"""
+
+from repro.tuning.binning import (
+    BinningResult,
+    SpeedBin,
+    TestCostModel,
+    default_bins,
+    speed_binning,
+)
+from repro.tuning.configurator import (
+    PostSiliconConfigurator,
+    TuningEvaluation,
+)
+
+__all__ = [
+    "PostSiliconConfigurator",
+    "TuningEvaluation",
+    "SpeedBin",
+    "BinningResult",
+    "TestCostModel",
+    "default_bins",
+    "speed_binning",
+]

@@ -1,0 +1,283 @@
+"""Speed binning with post-silicon tuning (paper Sec. V, future work).
+
+The paper's conclusion names *clock binning* as the open problem following
+buffer insertion: manufactured chips are not simply pass/fail at a single
+period but are sorted into speed bins (each bin = a guaranteed clock
+period, faster bins sell for more), and post-silicon tuning shifts chips
+into faster bins at the price of extra test/configuration effort.
+
+This module provides that evaluation:
+
+* :class:`SpeedBin` / :func:`default_bins` — a bin ladder around the
+  un-tuned period distribution;
+* :class:`BinningResult` — per-bin chip counts with and without tuning,
+  plus the configuration effort spent;
+* :func:`speed_binning` — assign every chip of a sample batch to the
+  fastest bin it can meet, optionally using a buffer plan and counting the
+  per-chip configuration attempts;
+* :class:`TestCostModel` — a simple linear test-cost / bin-revenue model
+  that turns the bin populations into the cost-benefit trade-off the paper
+  alludes to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import BufferPlan
+from repro.core.sample_solver import ConstraintTopology
+from repro.timing.constraints import ConstraintSamples
+from repro.tuning.configurator import PostSiliconConfigurator
+from repro.utils.validation import check_non_negative, check_positive
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SpeedBin:
+    """One speed bin: chips assigned to it are guaranteed to run at ``period``.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"bin0"`` or ``"1.0 GHz"``.
+    period:
+        Guaranteed clock period of the bin (smaller = faster = more
+        valuable).
+    revenue:
+        Relative selling price of a chip in this bin (used by
+        :class:`TestCostModel`).
+    """
+
+    name: str
+    period: float
+    revenue: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.period, "period")
+        check_non_negative(self.revenue, "revenue")
+
+
+def default_bins(
+    mu_period: float,
+    sigma_period: float,
+    n_bins: int = 4,
+    revenue_step: float = 0.15,
+) -> List[SpeedBin]:
+    """A bin ladder spanning ``mu_T - sigma_T`` to ``mu_T + 2 sigma_T``.
+
+    The fastest bin sits one sigma below the mean period (only intrinsically
+    fast or tuned chips reach it); the slowest at the paper's relaxed target
+    ``mu_T + 2 sigma_T``.  Revenue decreases by ``revenue_step`` per bin.
+    """
+    check_positive(n_bins, "n_bins")
+    periods = np.linspace(mu_period - sigma_period, mu_period + 2.0 * sigma_period, n_bins)
+    bins = []
+    for index, period in enumerate(periods):
+        bins.append(
+            SpeedBin(
+                name=f"bin{index}",
+                period=float(period),
+                revenue=max(0.0, 1.0 - revenue_step * index),
+            )
+        )
+    return bins
+
+
+@dataclass
+class BinningResult:
+    """Outcome of speed binning over a sample batch.
+
+    Attributes
+    ----------
+    bins:
+        The bin ladder, fastest first.
+    untuned_counts / tuned_counts:
+        Chips per bin without / with post-silicon tuning; the extra
+        "scrap" entry (chips meeting no bin) is tracked separately.
+    untuned_scrap / tuned_scrap:
+        Number of chips that meet no bin.
+    configuration_attempts:
+        Total number of per-chip configuration attempts performed while
+        binning with tuning (one attempt = one trial of configuring the
+        buffers for one bin period).
+    n_samples:
+        Number of chips evaluated.
+    """
+
+    bins: List[SpeedBin]
+    untuned_counts: List[int]
+    tuned_counts: List[int]
+    untuned_scrap: int
+    tuned_scrap: int
+    configuration_attempts: int
+    n_samples: int
+
+    def untuned_fractions(self) -> List[float]:
+        """Per-bin chip fractions without tuning."""
+        return [count / self.n_samples for count in self.untuned_counts]
+
+    def tuned_fractions(self) -> List[float]:
+        """Per-bin chip fractions with tuning."""
+        return [count / self.n_samples for count in self.tuned_counts]
+
+    @property
+    def upgraded_fraction(self) -> float:
+        """Fraction of chips that end up in a strictly faster bin (or stop
+        being scrap) thanks to tuning."""
+        return float(self._upgraded) / self.n_samples if self.n_samples else 0.0
+
+    # populated by speed_binning
+    _upgraded: int = 0
+
+    def as_table(self) -> str:
+        """Plain-text bin population table."""
+        lines = [f"{'bin':<10}{'period':>10}{'untuned':>10}{'tuned':>10}"]
+        for index, bin_ in enumerate(self.bins):
+            lines.append(
+                f"{bin_.name:<10}{bin_.period:>10.2f}{self.untuned_counts[index]:>10}"
+                f"{self.tuned_counts[index]:>10}"
+            )
+        lines.append(f"{'scrap':<10}{'-':>10}{self.untuned_scrap:>10}{self.tuned_scrap:>10}")
+        return "\n".join(lines)
+
+
+def speed_binning(
+    topology: ConstraintTopology,
+    constraint_samples: ConstraintSamples,
+    bins: Sequence[SpeedBin],
+    plan: Optional[BufferPlan] = None,
+    step: float = 0.0,
+) -> BinningResult:
+    """Assign every chip to the fastest bin it can meet.
+
+    Without a plan a chip lands in the fastest bin whose period its un-tuned
+    minimum period meets (and whose hold constraints hold).  With a plan the
+    configurator additionally tries to tune the chip for each faster bin,
+    fastest first, counting every attempt (this is the test-cost driver).
+    """
+    bins = sorted(bins, key=lambda b: b.period)
+    n_samples = constraint_samples.n_samples
+    hold_bounds = constraint_samples.hold_bounds()
+    setup_bounds_per_bin = [constraint_samples.setup_bounds(b.period) for b in bins]
+
+    configurator = None
+    if plan is not None and plan.buffers:
+        configurator = PostSiliconConfigurator(topology, plan, step=step)
+
+    untuned_counts = [0] * len(bins)
+    tuned_counts = [0] * len(bins)
+    untuned_scrap = 0
+    tuned_scrap = 0
+    attempts = 0
+    upgraded = 0
+
+    for s in range(n_samples):
+        hold = hold_bounds[:, s]
+        hold_ok = bool(np.all(hold >= -_TOL))
+
+        untuned_bin = None
+        for index in range(len(bins)):
+            if hold_ok and np.all(setup_bounds_per_bin[index][:, s] >= -_TOL):
+                untuned_bin = index
+                break
+        if untuned_bin is None:
+            untuned_scrap += 1
+        else:
+            untuned_counts[untuned_bin] += 1
+
+        if configurator is None:
+            tuned_bin = untuned_bin
+        else:
+            tuned_bin = None
+            for index in range(len(bins)):
+                if untuned_bin is not None and index == untuned_bin:
+                    # The chip meets this bin natively; no attempt needed.
+                    tuned_bin = index
+                    break
+                attempts += 1
+                ok, _ = configurator.configure_sample(setup_bounds_per_bin[index][:, s], hold)
+                if ok:
+                    tuned_bin = index
+                    break
+        if tuned_bin is None:
+            tuned_scrap += 1
+        else:
+            tuned_counts[tuned_bin] += 1
+        if (untuned_bin is None and tuned_bin is not None) or (
+            untuned_bin is not None and tuned_bin is not None and tuned_bin < untuned_bin
+        ):
+            upgraded += 1
+
+    result = BinningResult(
+        bins=list(bins),
+        untuned_counts=untuned_counts,
+        tuned_counts=tuned_counts,
+        untuned_scrap=untuned_scrap,
+        tuned_scrap=tuned_scrap,
+        configuration_attempts=attempts,
+        n_samples=n_samples,
+    )
+    result._upgraded = upgraded
+    return result
+
+
+@dataclass(frozen=True)
+class TestCostModel:
+    """Linear model of the binning / configuration test cost.
+
+    Attributes
+    ----------
+    cost_per_speed_test:
+        Cost of one at-speed test of a chip against one bin period (paid for
+        every bin probed, tuned or not).
+    cost_per_configuration:
+        Additional cost of one buffer-configuration attempt (scan-in of the
+        configuration bits plus re-test).
+    """
+
+    #: Tell pytest this is not a test class despite the ``Test`` prefix.
+    __test__ = False
+
+    cost_per_speed_test: float = 1.0
+    cost_per_configuration: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.cost_per_speed_test, "cost_per_speed_test")
+        check_non_negative(self.cost_per_configuration, "cost_per_configuration")
+
+    def evaluate(self, result: BinningResult) -> Dict[str, float]:
+        """Revenue and cost summary of a binning run.
+
+        Returns a dictionary with total revenue without tuning, with tuning,
+        the total test cost, and the net benefit of tuning per chip.
+        """
+        revenue_untuned = sum(
+            count * bin_.revenue for count, bin_ in zip(result.untuned_counts, result.bins)
+        )
+        revenue_tuned = sum(
+            count * bin_.revenue for count, bin_ in zip(result.tuned_counts, result.bins)
+        )
+        # Every chip is speed-tested once per bin it was probed against; a
+        # conservative upper bound is one test per bin per chip.
+        speed_tests = result.n_samples * len(result.bins)
+        cost = (
+            speed_tests * self.cost_per_speed_test
+            + result.configuration_attempts * self.cost_per_configuration
+        )
+        net_gain = revenue_tuned - revenue_untuned - (
+            result.configuration_attempts * self.cost_per_configuration
+        )
+        return {
+            "revenue_untuned": float(revenue_untuned),
+            "revenue_tuned": float(revenue_tuned),
+            "test_cost": float(cost),
+            "configuration_cost": float(
+                result.configuration_attempts * self.cost_per_configuration
+            ),
+            "net_gain_from_tuning": float(net_gain),
+            "net_gain_per_chip": float(net_gain / result.n_samples) if result.n_samples else 0.0,
+        }

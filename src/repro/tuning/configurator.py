@@ -1,0 +1,230 @@
+"""Per-chip buffer configuration and yield evaluation.
+
+:class:`PostSiliconConfigurator` takes a finished
+:class:`~repro.core.results.BufferPlan` and answers, for each manufactured
+chip (Monte-Carlo sample), whether a feasible setting of the inserted
+buffers exists.  Grouped buffers share a single tuning value; buffers keep
+their discrete step grid; all other flip-flops are fixed at zero.
+
+The feasibility test is the same difference-constraint engine used by the
+design-time solver (:mod:`repro.core.difference`), so the evaluation is
+exact with respect to the constraint model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.difference import (
+    REFERENCE,
+    DifferenceConstraint,
+    solve_difference_system,
+)
+from repro.core.results import BufferPlan
+from repro.core.sample_solver import ConstraintTopology
+from repro.timing.constraints import ConstraintSamples
+
+_TOL = 1e-9
+
+
+@dataclass
+class TuningEvaluation:
+    """Result of evaluating a buffer plan over a sample batch.
+
+    Attributes
+    ----------
+    passed:
+        Boolean per-sample flag: the chip meets timing after configuration.
+    needed_tuning:
+        Boolean per-sample flag: the chip failed at the neutral setting and
+        required the buffers to be adjusted.
+    yield_fraction:
+        Fraction of passing chips.
+    untuned_yield_fraction:
+        Fraction of chips that pass without touching any buffer.
+    """
+
+    passed: np.ndarray
+    needed_tuning: np.ndarray
+
+    @property
+    def yield_fraction(self) -> float:
+        """Yield with post-silicon tuning."""
+        return float(np.mean(self.passed)) if self.passed.size else 1.0
+
+    @property
+    def untuned_yield_fraction(self) -> float:
+        """Yield without tuning (chips passing at the neutral setting)."""
+        ok = self.passed & ~self.needed_tuning
+        return float(np.mean(ok)) if self.passed.size else 1.0
+
+    @property
+    def rescued_fraction(self) -> float:
+        """Fraction of chips rescued by tuning (failed untuned, pass tuned)."""
+        rescued = self.passed & self.needed_tuning
+        return float(np.mean(rescued)) if self.passed.size else 0.0
+
+
+class PostSiliconConfigurator:
+    """Configures a buffer plan for individual chips.
+
+    Parameters
+    ----------
+    topology:
+        Constraint-graph topology of the design.
+    plan:
+        The buffer plan produced by the insertion flow.
+    step:
+        Discrete tuning step in time units (0 disables the grid).
+    """
+
+    def __init__(self, topology: ConstraintTopology, plan: BufferPlan, step: float = 0.0) -> None:
+        self.topology = topology
+        self.plan = plan
+        self.step = float(step)
+
+        ff_index = {name: i for i, name in enumerate(topology.ff_names)}
+        self._var_of_ff: Dict[int, int] = {}
+        self._var_lower: List[float] = []
+        self._var_upper: List[float] = []
+
+        groups: List[List[str]] = plan.groups or [[b.flip_flop] for b in plan.buffers]
+        buffer_by_ff = {b.flip_flop: b for b in plan.buffers}
+        for group in groups:
+            members = [ff for ff in group if ff in buffer_by_ff]
+            if not members:
+                continue
+            var_id = len(self._var_lower)
+            lower = min(buffer_by_ff[ff].lower for ff in members)
+            upper = max(buffer_by_ff[ff].upper for ff in members)
+            self._var_lower.append(lower)
+            self._var_upper.append(upper)
+            for ff in members:
+                if ff not in ff_index:
+                    raise KeyError(f"buffered flip-flop {ff!r} is not in the topology")
+                self._var_of_ff[ff_index[ff]] = var_id
+
+        # Scope: every edge incident to a buffered flip-flop.
+        scope: Set[int] = set()
+        for ff_idx in self._var_of_ff:
+            scope.update(topology.edges_of_ff[ff_idx])
+        self._scope = sorted(scope)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        """Number of independent tuning values (physical buffers)."""
+        return len(self._var_lower)
+
+    def _solver_bounds(self) -> Tuple[List[float], List[float]]:
+        """Variable bounds in solver units (steps when discrete)."""
+        if self.step > 0:
+            lower = [math.ceil(lo / self.step - 1e-9) for lo in self._var_lower]
+            upper = [math.floor(hi / self.step + 1e-9) for hi in self._var_upper]
+        else:
+            lower = list(self._var_lower)
+            upper = list(self._var_upper)
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    def configure_sample(
+        self,
+        setup_bound: np.ndarray,
+        hold_bound: np.ndarray,
+    ) -> Tuple[bool, Optional[Dict[str, float]]]:
+        """Try to configure the buffers for one chip.
+
+        Parameters
+        ----------
+        setup_bound / hold_bound:
+            Per-edge right-hand sides (time units) of the difference
+            constraints at the target period.
+
+        Returns
+        -------
+        (passes, assignment)
+            ``passes`` tells whether the chip meets timing;  ``assignment``
+            maps buffered flip-flops to their configured delays (``None``
+            when the chip cannot be rescued, empty when no tuning needed).
+        """
+        violated = np.where((setup_bound < -_TOL) | (hold_bound < -_TOL))[0]
+        if violated.size == 0:
+            return True, {}
+
+        launch, capture = self.topology.edge_launch, self.topology.edge_capture
+        # A violated edge with no buffered endpoint cannot be repaired.
+        for k in violated:
+            if int(launch[k]) not in self._var_of_ff and int(capture[k]) not in self._var_of_ff:
+                return False, None
+        if not self._var_lower:
+            return False, None
+
+        scale = self.step if self.step > 0 else 1.0
+        constraints: List[DifferenceConstraint] = []
+        scope = set(self._scope) | {int(k) for k in violated}
+        for k in sorted(scope):
+            i, j = int(launch[k]), int(capture[k])
+            bs = float(setup_bound[k]) / scale
+            bh = float(hold_bound[k]) / scale
+            if self.step > 0:
+                bs = math.floor(bs + 1e-9)
+                bh = math.floor(bh + 1e-9)
+            vi = self._var_of_ff.get(i)
+            vj = self._var_of_ff.get(j)
+            if vi is not None and vj is not None:
+                if vi == vj:
+                    # Same physical buffer on both ends: the difference is 0.
+                    if bs < -_TOL or bh < -_TOL:
+                        return False, None
+                    continue
+                constraints.append(DifferenceConstraint(vi, vj, bs))
+                constraints.append(DifferenceConstraint(vj, vi, bh))
+            elif vi is not None:
+                constraints.append(DifferenceConstraint(vi, REFERENCE, bs))
+                constraints.append(DifferenceConstraint(REFERENCE, vi, bh))
+            elif vj is not None:
+                constraints.append(DifferenceConstraint(REFERENCE, vj, bs))
+                constraints.append(DifferenceConstraint(vj, REFERENCE, bh))
+            else:
+                if bs < -_TOL or bh < -_TOL:
+                    return False, None
+
+        lower, upper = self._solver_bounds()
+        variables = list(range(self.n_variables))
+        assignment = solve_difference_system(
+            variables,
+            constraints,
+            {v: lower[v] for v in variables},
+            {v: upper[v] for v in variables},
+        )
+        if assignment is None:
+            return False, None
+
+        result: Dict[str, float] = {}
+        for ff_idx, var in self._var_of_ff.items():
+            value = assignment[var] * scale
+            result[self.topology.ff_names[ff_idx]] = float(value)
+        return True, result
+
+    # ------------------------------------------------------------------
+    def evaluate(self, constraint_samples: ConstraintSamples, period: float) -> TuningEvaluation:
+        """Evaluate the plan over a whole sample batch at a target period."""
+        setup_bounds = constraint_samples.setup_bounds(period)
+        hold_bounds = constraint_samples.hold_bounds()
+        n_samples = constraint_samples.n_samples
+        passed = np.zeros(n_samples, dtype=bool)
+        needed = np.zeros(n_samples, dtype=bool)
+        for s in range(n_samples):
+            sb = setup_bounds[:, s]
+            hb = hold_bounds[:, s]
+            if np.all(sb >= -_TOL) and np.all(hb >= -_TOL):
+                passed[s] = True
+                continue
+            needed[s] = True
+            ok, _ = self.configure_sample(sb, hb)
+            passed[s] = ok
+        return TuningEvaluation(passed=passed, needed_tuning=needed)

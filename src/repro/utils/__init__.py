@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation helpers and timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timers import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,55 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component of the library accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps the
+behaviour identical across modules and makes every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh unpredictable generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot interpret {rng!r} as a random generator or seed")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> Sequence[np.random.Generator]:
+    """Spawn ``n`` statistically independent child generators.
+
+    Used when a flow fans work out over samples or circuits and each part
+    needs its own deterministic stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: RngLike, salt: Optional[int] = None) -> int:
+    """Derive a single integer seed from ``rng`` (optionally salted)."""
+    base = ensure_rng(rng)
+    value = int(base.integers(0, 2**63 - 1))
+    if salt is not None:
+        value ^= (salt * 0x9E3779B97F4A7C15) & (2**63 - 1)
+    return value

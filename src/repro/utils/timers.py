@@ -1,0 +1,58 @@
+"""Simple wall-clock timing helpers used by the flow and the benchmark
+harnesses to report per-step runtimes (the ``T (s)`` column of Table I)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Stopwatch:
+    """Accumulate named wall-clock durations.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("step1"):
+    ...     _ = sum(range(1000))
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def measure(self, name: str) -> "_Measurement":
+        """Return a context manager that adds its elapsed time to ``name``."""
+        return _Measurement(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated duration of ``name``."""
+        self.durations[name] = self.durations.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        """Total accumulated time over all named measurements."""
+        return float(sum(self.durations.values()))
+
+    def report(self) -> str:
+        """Human-readable multi-line report of the accumulated durations."""
+        lines = [f"{name:30s} {secs:10.3f} s" for name, secs in self.durations.items()]
+        lines.append(f"{'total':30s} {self.total():10.3f} s")
+        return "\n".join(lines)
+
+
+class _Measurement:
+    """Context manager produced by :meth:`Stopwatch.measure`."""
+
+    def __init__(self, stopwatch: Stopwatch, name: str):
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stopwatch.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,109 @@
+"""Physical process-variation sources.
+
+The experimental setup of the paper (Sec. IV) fixes the standard deviations
+of transistor length, oxide thickness and threshold voltage to 15.7 %,
+5.3 % and 4.4 % of their nominal values.  A physical parameter deviation
+does not translate one-to-one into a delay deviation; the translation
+factor (the *delay sensitivity*) is a property of the cell library.  The
+default sensitivities below are chosen so that the resulting per-gate delay
+sigma is in the usual 8–15 % range reported for submicron libraries.
+
+Each source's variance is split into three statistical components:
+
+* a **global** (chip-to-chip / die-to-die) component shared by every gate,
+* a **spatial** (within-die, regionally correlated) component shared by all
+  gates placed in the same region of a rectangular grid,
+* an **independent** (purely random, gate-to-gate) component.
+
+This mirrors the decomposition the canonical delay model of reference [3]
+is built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class VarianceSplit:
+    """Fractions of a source's variance assigned to each correlation level.
+
+    The three fractions must sum to 1 (within numerical tolerance).
+    """
+
+    global_frac: float = 0.4
+    spatial_frac: float = 0.4
+    independent_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in ("global_frac", "spatial_frac", "independent_frac"):
+            check_non_negative(getattr(self, name), name)
+        total = self.global_frac + self.spatial_frac + self.independent_frac
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"variance split fractions must sum to 1, got {total}"
+            )
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """Return ``(global, spatial, independent)`` fractions."""
+        return (self.global_frac, self.spatial_frac, self.independent_frac)
+
+
+@dataclass(frozen=True)
+class VariationSource:
+    """One physical variation source (e.g. transistor length).
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"length"``.
+    sigma_fraction:
+        Standard deviation of the physical parameter as a fraction of its
+        nominal value (paper Sec. IV: 0.157 for length).
+    delay_sensitivity:
+        Relative delay change per relative parameter change
+        (``d(delay)/delay`` divided by ``d(param)/param``).  The product
+        ``sigma_fraction * delay_sensitivity`` is the delay sigma fraction
+        contributed by this source.
+    split:
+        How the source's variance is divided into global, spatial and
+        independent components.
+    """
+
+    name: str
+    sigma_fraction: float
+    delay_sensitivity: float = 1.0
+    split: VarianceSplit = VarianceSplit()
+
+    def __post_init__(self) -> None:
+        check_fraction(self.sigma_fraction, "sigma_fraction")
+        check_non_negative(self.delay_sensitivity, "delay_sensitivity")
+
+    @property
+    def delay_sigma_fraction(self) -> float:
+        """Delay standard deviation (fraction of nominal delay) this source
+        contributes to a nominal-sensitivity gate."""
+        return self.sigma_fraction * self.delay_sensitivity
+
+
+#: The three sources used in the paper's experiments.  Sensitivities are
+#: library-dependent; the chosen values give a combined per-gate delay sigma
+#: of roughly 11 % of nominal, in line with submicron technology reports.
+DEFAULT_SOURCES: Tuple[VariationSource, ...] = (
+    VariationSource("length", sigma_fraction=0.157, delay_sensitivity=0.55),
+    VariationSource("oxide_thickness", sigma_fraction=0.053, delay_sensitivity=0.60),
+    VariationSource("threshold_voltage", sigma_fraction=0.044, delay_sensitivity=0.90),
+)
+
+
+def combined_delay_sigma_fraction(
+    sources: Sequence[VariationSource] = DEFAULT_SOURCES,
+) -> float:
+    """Root-sum-square delay sigma fraction of several independent sources."""
+    total = 0.0
+    for src in sources:
+        total += src.delay_sigma_fraction**2
+    return total**0.5

@@ -1,0 +1,13 @@
+"""Monte-Carlo yield estimation.
+
+* :mod:`repro.yieldsim.estimator` — the :class:`YieldEstimator` front end:
+  original yield (no buffers), yield with a buffer plan, and the paper's
+  ``mu_T + n sigma_T`` target-period protocol;
+* :mod:`repro.yieldsim.report` — result dataclasses used by the analysis
+  and benchmark layers.
+"""
+
+from repro.yieldsim.estimator import YieldEstimator
+from repro.yieldsim.report import YieldReport
+
+__all__ = ["YieldEstimator", "YieldReport"]

@@ -1,0 +1,122 @@
+"""Yield estimation front end.
+
+:class:`YieldEstimator` bundles the Monte-Carlo machinery needed to follow
+the paper's experimental protocol (Sec. IV):
+
+1. sample the un-tuned minimum clock period to obtain ``mu_T`` and
+   ``sigma_T`` (original yields of ~50 %, ~84 % and ~98 % at the three
+   target periods);
+2. evaluate the yield of a finished buffer plan on a *fresh* batch of
+   samples via the post-silicon configurator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.design import CircuitDesign
+from repro.core.results import BufferPlan
+from repro.core.sample_solver import ConstraintTopology
+from repro.timing.constraints import (
+    ConstraintSamples,
+    SequentialConstraintGraph,
+    ensure_constraint_graph,
+)
+from repro.timing.period import PeriodAnalysis, sample_min_periods
+from repro.tuning.configurator import PostSiliconConfigurator
+from repro.utils.rng import RngLike, ensure_rng
+from repro.variation.sampling import MonteCarloSampler
+from repro.yieldsim.report import YieldReport
+
+
+class YieldEstimator:
+    """Monte-Carlo yield estimation for a design.
+
+    Parameters
+    ----------
+    design:
+        The circuit design under analysis.
+    constraint_graph:
+        Optional pre-extracted sequential constraint graph.
+    n_samples:
+        Default sample count for estimates.
+    rng:
+        Seed or generator for the sample batches.
+    """
+
+    def __init__(
+        self,
+        design: CircuitDesign,
+        constraint_graph: Optional[SequentialConstraintGraph] = None,
+        n_samples: int = 2000,
+        rng: RngLike = 0,
+    ) -> None:
+        self.design = design
+        self.constraint_graph = constraint_graph or ensure_constraint_graph(design)
+        self.n_samples = int(n_samples)
+        self._rng = ensure_rng(rng)
+        self._sampler = MonteCarloSampler(design.variation_model, rng=self._rng)
+        self._topology = ConstraintTopology.from_constraint_graph(self.constraint_graph)
+
+    # ------------------------------------------------------------------
+    def draw_samples(self, n_samples: Optional[int] = None) -> ConstraintSamples:
+        """Draw a fresh batch of chips and evaluate all edge quantities."""
+        n = int(n_samples or self.n_samples)
+        batch = self._sampler.sample(n)
+        return self.constraint_graph.sample(batch, sampler=self._sampler)
+
+    def period_analysis(
+        self, constraint_samples: Optional[ConstraintSamples] = None
+    ) -> PeriodAnalysis:
+        """Distribution of the un-tuned minimum clock period."""
+        samples = constraint_samples or self.draw_samples()
+        return sample_min_periods(
+            self.design,
+            constraint_graph=self.constraint_graph,
+            constraint_samples=samples,
+        )
+
+    # ------------------------------------------------------------------
+    def original_yield(
+        self,
+        period: float,
+        constraint_samples: Optional[ConstraintSamples] = None,
+    ) -> float:
+        """Yield without tuning buffers at a target period."""
+        samples = constraint_samples or self.draw_samples()
+        analysis = self.period_analysis(samples)
+        return analysis.yield_at(period)
+
+    def evaluate_plan(
+        self,
+        plan: BufferPlan,
+        period: float,
+        constraint_samples: Optional[ConstraintSamples] = None,
+        step: Optional[float] = None,
+    ) -> YieldReport:
+        """Yield with a buffer plan at a target period (fresh samples).
+
+        Parameters
+        ----------
+        step:
+            Discrete tuning step in time units; defaults to the step stored
+            in the plan's buffers (0 when continuous).
+        """
+        samples = constraint_samples or self.draw_samples()
+        analysis = self.period_analysis(samples)
+        original = analysis.yield_at(period)
+        if step is None:
+            step = plan.buffers[0].step if plan.buffers else 0.0
+        configurator = PostSiliconConfigurator(self._topology, plan, step=step)
+        evaluation = configurator.evaluate(samples, period)
+        return YieldReport(
+            target_period=float(period),
+            original_yield=float(original),
+            tuned_yield=float(evaluation.yield_fraction),
+            n_samples=samples.n_samples,
+            mu_period=float(analysis.mean),
+            sigma_period=float(analysis.std),
+        )

@@ -1,0 +1,50 @@
+"""Yield-report dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Yield of one design at one target period.
+
+    Attributes
+    ----------
+    target_period:
+        The clock period the yield refers to.
+    original_yield:
+        Fraction of chips meeting the period without any tuning.
+    tuned_yield:
+        Fraction of chips meeting the period after configuring the
+        inserted buffers (equals ``original_yield`` when no plan is given).
+    n_samples:
+        Number of Monte-Carlo samples behind the estimate.
+    mu_period / sigma_period:
+        Statistics of the un-tuned minimum period of the same batch.
+    """
+
+    target_period: float
+    original_yield: float
+    tuned_yield: float
+    n_samples: int
+    mu_period: float = 0.0
+    sigma_period: float = 0.0
+
+    @property
+    def yield_improvement(self) -> float:
+        """``Yi = Y - Yo`` in the paper's notation."""
+        return self.tuned_yield - self.original_yield
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (used by the table formatter)."""
+        return {
+            "target_period": self.target_period,
+            "original_yield": self.original_yield,
+            "tuned_yield": self.tuned_yield,
+            "yield_improvement": self.yield_improvement,
+            "n_samples": self.n_samples,
+            "mu_period": self.mu_period,
+            "sigma_period": self.sigma_period,
+        }

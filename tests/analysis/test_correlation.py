@@ -1,0 +1,40 @@
+"""Tests for correlation summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_summary
+
+
+class TestCorrelationSummary:
+    @pytest.fixture()
+    def data(self):
+        flip_flops = ["a", "b", "c"]
+        base = np.array([1.0, 2, 3, 4])
+        matrix = np.vstack([base, base + 0.1, -base])
+        locations = {"a": (0, 0), "b": (1, 1), "c": (30, 30)}
+        return flip_flops, matrix, locations
+
+    def test_groupable_pairs_respect_both_thresholds(self, data):
+        flip_flops, matrix, locations = data
+        summary = correlation_summary(flip_flops, matrix, locations, 0.8, distance_threshold=5.0)
+        pairs = {(a, b) for a, b, _, _ in summary.groupable_pairs}
+        assert pairs == {("a", "b")}
+
+    def test_distance_excludes_far_pairs(self, data):
+        flip_flops, matrix, locations = data
+        summary = correlation_summary(flip_flops, matrix, locations, 0.8, distance_threshold=1000.0)
+        pairs = {(a, b) for a, b, _, _ in summary.groupable_pairs}
+        assert ("a", "b") in pairs
+        # c is anti-correlated so it still never qualifies.
+        assert not any("c" in pair for pair in pairs)
+
+    def test_max_off_diagonal(self, data):
+        flip_flops, matrix, locations = data
+        summary = correlation_summary(flip_flops, matrix, locations)
+        assert summary.max_off_diagonal() == pytest.approx(1.0, abs=1e-6)
+
+    def test_single_buffer_has_no_pairs(self):
+        summary = correlation_summary(["a"], np.array([[1.0, 2.0]]), {"a": (0, 0)})
+        assert summary.n_groupable_pairs == 0
+        assert summary.max_off_diagonal() == 0.0

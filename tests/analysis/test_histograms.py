@@ -1,0 +1,53 @@
+"""Tests for tuning-value histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import histograms_from_artifacts, tuning_histogram
+
+
+class TestTuningHistogram:
+    def test_counts_sum_to_values(self):
+        histogram = tuning_histogram("ff1", [1, 1, 2, 3, 5], bin_width=1.0)
+        assert histogram.n_values == 5
+        assert histogram.spread == 4.0
+
+    def test_statistics(self):
+        values = [2.0, 4.0, 6.0]
+        histogram = tuning_histogram("ff1", values)
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.std == pytest.approx(np.std(values))
+
+    def test_empty_values(self):
+        histogram = tuning_histogram("ff1", [])
+        assert histogram.n_values == 0
+        assert histogram.spread == 0.0
+
+    def test_explicit_range(self):
+        histogram = tuning_histogram("ff1", [0.0, 1.0], bin_width=1.0, value_range=(-5, 5))
+        assert histogram.bin_edges[0] <= -5
+        assert histogram.bin_edges[-1] >= 5
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            tuning_histogram("ff1", [1.0], bin_width=0.0)
+
+    def test_ascii_rendering(self):
+        text = tuning_histogram("ff1", [1, 1, 2]).as_text()
+        assert "ff1" in text
+        assert "#" in text
+
+
+class TestHistogramsFromArtifacts:
+    def test_top_k_selection(self):
+        artifacts = {
+            "a": np.array([1.0, 2.0, 3.0]),
+            "b": np.array([1.0]),
+            "c": np.array([1.0, 2.0]),
+        }
+        histograms = histograms_from_artifacts(artifacts, top_k=2)
+        assert set(histograms) == {"a", "c"}
+
+    def test_all_when_no_top_k(self):
+        artifacts = {"a": np.array([1.0]), "b": np.array([2.0])}
+        assert set(histograms_from_artifacts(artifacts)) == {"a", "b"}

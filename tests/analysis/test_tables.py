@@ -1,0 +1,80 @@
+"""Tests for Table-I style reporting."""
+
+import pytest
+
+from repro.analysis.tables import (
+    TableOneRow,
+    format_table_one,
+    paper_table_one,
+    rows_to_markdown,
+)
+from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
+
+
+def make_row(**overrides):
+    defaults = dict(
+        circuit="s9234",
+        n_flip_flops=211,
+        n_gates=5597,
+        target_sigma=0.0,
+        n_buffers=2,
+        avg_range=12.5,
+        tuned_yield=0.7711,
+        original_yield=0.50,
+        runtime_s=54.22,
+    )
+    defaults.update(overrides)
+    return TableOneRow(**defaults)
+
+
+class TestTableOneRow:
+    def test_yield_improvement(self):
+        assert make_row().yield_improvement == pytest.approx(0.2711)
+
+    def test_from_flow_result(self):
+        result = FlowResult(
+            plan=BufferPlan(buffers=[Buffer("ff1", -1, 1, 0.5)]),
+            target_period=30.0,
+            mu_period=30.0,
+            sigma_period=1.0,
+            original_yield=0.5,
+            improved_yield=0.9,
+            step1=StepArtifacts(),
+            step2=StepArtifacts(),
+            runtime_seconds={"x": 2.0},
+        )
+        row = TableOneRow.from_flow_result("tiny", 12, 100, 0.0, result)
+        assert row.n_buffers == 1
+        assert row.runtime_s == pytest.approx(2.0)
+        assert row.yield_improvement == pytest.approx(0.4)
+
+
+class TestFormatting:
+    def test_plain_text_contains_all_rows(self):
+        rows = [make_row(), make_row(target_sigma=1.0, tuned_yield=0.9594)]
+        text = format_table_one(rows)
+        assert "s9234" in text
+        assert "muT+1s" in text
+        assert text.count("\n") >= 3
+
+    def test_markdown_table(self):
+        markdown = rows_to_markdown([make_row()])
+        assert markdown.startswith("| circuit |")
+        assert "| s9234 |" in markdown
+
+
+class TestPaperReference:
+    def test_all_24_entries(self):
+        reference = paper_table_one()
+        assert len(reference) == 24
+        circuits = {entry["circuit"] for entry in reference}
+        assert len(circuits) == 8
+
+    def test_headline_value_present(self):
+        reference = paper_table_one()
+        best = max(entry["yield_improvement"] for entry in reference)
+        assert best == pytest.approx(0.3597)
+
+    def test_buffer_counts_below_one_percent_of_ffs(self):
+        for entry in paper_table_one():
+            assert entry["n_buffers"] <= 0.011 * entry["n_flip_flops"]

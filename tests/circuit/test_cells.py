@@ -1,0 +1,45 @@
+"""Tests for repro.circuit.cells."""
+
+import pytest
+
+from repro.circuit.cells import Cell, CellKind, FlipFlopTiming
+
+
+class TestFlipFlopTiming:
+    def test_defaults_non_negative(self):
+        timing = FlipFlopTiming()
+        assert timing.setup >= 0 and timing.hold >= 0 and timing.clk_to_q >= 0
+
+    def test_rejects_negative_setup(self):
+        with pytest.raises(ValueError):
+            FlipFlopTiming(setup=-1.0)
+
+
+class TestCell:
+    def test_contamination_defaults_to_60_percent(self):
+        cell = Cell("X", CellKind.COMBINATIONAL, 2, delay=10.0)
+        assert cell.contamination_delay == pytest.approx(6.0)
+
+    def test_explicit_min_delay_used(self):
+        cell = Cell("X", CellKind.COMBINATIONAL, 2, delay=10.0, min_delay=4.0)
+        assert cell.contamination_delay == 4.0
+
+    def test_min_delay_cannot_exceed_delay(self):
+        with pytest.raises(ValueError):
+            Cell("X", CellKind.COMBINATIONAL, 2, delay=1.0, min_delay=2.0)
+
+    def test_flip_flop_requires_timing(self):
+        with pytest.raises(ValueError):
+            Cell("FF", CellKind.FLIP_FLOP, 1, delay=2.0)
+
+    def test_flip_flop_is_sequential(self):
+        cell = Cell("FF", CellKind.FLIP_FLOP, 1, delay=2.0, ff_timing=FlipFlopTiming())
+        assert cell.is_sequential
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("", CellKind.COMBINATIONAL, 1, delay=1.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("X", CellKind.COMBINATIONAL, 1, delay=-1.0)

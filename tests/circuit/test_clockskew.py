@@ -1,0 +1,53 @@
+"""Tests for repro.circuit.clockskew."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.clockskew import ClockSkewMap, random_clock_skews
+
+
+class TestClockSkewMap:
+    def test_default_zero_for_unknown(self):
+        skews = ClockSkewMap({"a": 1.0})
+        assert skews.skew("b") == 0.0
+        assert skews["a"] == 1.0
+
+    def test_zero_factory(self):
+        skews = ClockSkewMap.zero(["a", "b"])
+        assert len(skews) == 2
+        assert skews.max_abs_skew() == 0.0
+
+    def test_from_mapping(self):
+        skews = ClockSkewMap.from_mapping({"a": -2})
+        assert skews.skew("a") == -2.0
+
+    def test_max_abs_skew(self):
+        skews = ClockSkewMap({"a": -3.0, "b": 2.0})
+        assert skews.max_abs_skew() == 3.0
+
+
+class TestRandomClockSkews:
+    def test_bounded_by_magnitude(self):
+        ffs = [f"ff{i}" for i in range(200)]
+        skews = random_clock_skews(ffs, magnitude=2.0, rng=0)
+        values = np.array([skews.skew(ff) for ff in ffs])
+        assert np.all(np.abs(values) <= 2.0)
+        assert values.std() > 0.0
+
+    def test_normal_distribution_clipped(self):
+        ffs = [f"ff{i}" for i in range(200)]
+        skews = random_clock_skews(ffs, magnitude=1.0, rng=0, distribution="normal")
+        values = np.array([skews.skew(ff) for ff in ffs])
+        assert np.all(np.abs(values) <= 1.0)
+
+    def test_zero_magnitude(self):
+        skews = random_clock_skews(["a", "b"], magnitude=0.0, rng=0)
+        assert skews.max_abs_skew() == 0.0
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            random_clock_skews(["a"], 1.0, distribution="cauchy")
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            random_clock_skews(["a"], -1.0)

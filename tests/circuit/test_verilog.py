@@ -1,0 +1,93 @@
+"""Tests for the structural Verilog reader / writer."""
+
+import pytest
+
+from repro.circuit.verilog import (
+    VerilogParseError,
+    load_verilog,
+    parse_verilog,
+    save_verilog,
+    write_verilog,
+)
+
+EXAMPLE = """
+// a tiny pipelined example
+module top (a, b, q);
+  input a, b;
+  output q;
+  wire n1, n2;
+  NAND2 u1 (.A(a), .B(b), .Y(n1));
+  INV   u2 (.A(n1), .Y(n2));
+  DFF   r1 (.D(n2), .CLK(clk), .Q(r1_q));
+  AND2  u3 (.A(r1_q), .B(a), .Y(q));
+endmodule
+"""
+
+
+class TestParse:
+    def test_counts_and_kinds(self, library):
+        netlist = parse_verilog(EXAMPLE, library=library)
+        assert netlist.name == "top"
+        assert netlist.n_flip_flops == 1
+        assert netlist.n_gates == 3
+        assert set(netlist.primary_inputs) == {"a", "b"}
+
+    def test_instances_named_after_output_nets(self, library):
+        netlist = parse_verilog(EXAMPLE, library=library)
+        assert "n1" in netlist
+        assert netlist.instance("n1").cell == "NAND2"
+        assert netlist.instance("r1_q").is_flip_flop
+
+    def test_clock_pin_ignored_as_fanin(self, library):
+        netlist = parse_verilog(EXAMPLE, library=library)
+        assert netlist.instance("r1_q").fanins == ["n2"]
+
+    def test_output_port_wrapper(self, library):
+        netlist = parse_verilog(EXAMPLE, library=library)
+        po = netlist.instance(netlist.primary_outputs[0])
+        assert po.fanins == ["q"]
+
+    def test_block_comments_stripped(self, library):
+        text = EXAMPLE.replace("// a tiny pipelined example", "/* multi\nline */")
+        parse_verilog(text, library=library)
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(VerilogParseError, match="module"):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(VerilogParseError, match="endmodule"):
+            parse_verilog("module m (a); input a;")
+
+    def test_positional_connections_rejected(self):
+        text = "module m (a, y);\n input a;\n output y;\n INV u1 (a, y);\nendmodule"
+        with pytest.raises(VerilogParseError, match="named port"):
+            parse_verilog(text)
+
+    def test_unknown_cell_rejected(self):
+        text = "module m (a, y);\n input a;\n output y;\n MAGIC u1 (.A(a), .Y(y));\nendmodule"
+        with pytest.raises(VerilogParseError, match="MAGIC"):
+            parse_verilog(text)
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, library):
+        original = parse_verilog(EXAMPLE, library=library)
+        text = write_verilog(original, library=library)
+        parsed = parse_verilog(text, library=library)
+        assert parsed.stats() == original.stats()
+        assert set(parsed.flip_flops) == set(original.flip_flops)
+
+    def test_generated_circuit_round_trip(self, tiny_netlist, library):
+        text = write_verilog(tiny_netlist, library=library)
+        parsed = parse_verilog(text, library=library)
+        assert parsed.n_flip_flops == tiny_netlist.n_flip_flops
+        assert parsed.n_gates == tiny_netlist.n_gates
+
+    def test_file_round_trip(self, tmp_path, library):
+        original = parse_verilog(EXAMPLE, library=library)
+        path = tmp_path / "top.v"
+        save_verilog(original, path, library=library)
+        loaded = load_verilog(path, library=library)
+        assert loaded.stats() == original.stats()
+        assert loaded.name == "top"

@@ -1,0 +1,75 @@
+"""Tests for the sliding-window lower-bound assignment (Sec. III-A4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import assign_lower_bounds, best_window, outside_window_fraction
+
+
+class TestBestWindow:
+    def test_covers_densest_cluster(self):
+        # Most values sit between 3 and 8; window width 10 restricted to
+        # cover zero should sit at lower bound ~ -1 .. 0.
+        values = [3, 4, 5, 5, 6, 7, 8, -9, -8]
+        window = best_window(values, window_width=10, step=1.0)
+        assert window.lower <= 0.0 <= window.upper
+        assert window.covered == 7
+
+    def test_all_values_covered_when_range_large(self):
+        values = [-2, -1, 0, 1, 2]
+        window = best_window(values, window_width=20, step=1.0)
+        assert window.coverage == 1.0
+
+    def test_negative_cluster(self):
+        values = [-8, -7, -7, -6, 9, 10]
+        window = best_window(values, window_width=10, step=1.0)
+        assert window.lower == pytest.approx(-10.0)
+        assert window.covered == 4
+
+    def test_empty_values_centred_window(self):
+        window = best_window([], window_width=10, step=1.0)
+        assert window.total == 0
+        assert window.coverage == 1.0
+        assert window.lower <= 0.0 <= window.upper
+
+    def test_without_zero_requirement(self):
+        values = [30, 31, 32]
+        window = best_window(values, window_width=4, step=1.0, require_zero=False)
+        assert window.covered == 3
+        assert window.lower >= 26.0
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            best_window([1.0], 10.0, step=0.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            best_window([1.0], -1.0)
+
+    def test_contains(self):
+        window = best_window([1, 2, 3], window_width=5, step=1.0)
+        assert window.contains(window.lower)
+        assert not window.contains(window.upper + 1.0)
+
+
+class TestAssignAndOutside:
+    def test_assign_lower_bounds(self):
+        values = {"ff1": np.array([1, 2, 3.0]), "ff2": np.array([-4, -5.0])}
+        windows = assign_lower_bounds(values, window_width=6, step=1.0)
+        assert set(windows) == {"ff1", "ff2"}
+        assert windows["ff1"].coverage == 1.0
+
+    def test_outside_window_fraction(self):
+        values = {"ff1": np.array([1.0, 2.0, 11.0])}
+        windows = assign_lower_bounds(values, window_width=5, step=1.0)
+        fraction = outside_window_fraction(values, windows, n_samples=100)
+        assert fraction == pytest.approx(0.01)
+
+    def test_outside_fraction_zero_when_all_covered(self):
+        values = {"ff1": np.array([0.0, 1.0])}
+        windows = assign_lower_bounds(values, window_width=5, step=1.0)
+        assert outside_window_fraction(values, windows, n_samples=50) == 0.0
+
+    def test_outside_requires_positive_samples(self):
+        with pytest.raises(ValueError):
+            outside_window_fraction({}, {}, 0)

@@ -1,0 +1,63 @@
+"""Tests for flow configuration."""
+
+import pytest
+
+from repro.core.config import BufferSpec, FlowConfig
+
+
+class TestBufferSpec:
+    def test_paper_defaults(self):
+        spec = BufferSpec()
+        assert spec.max_range_fraction == pytest.approx(1 / 8)
+        assert spec.n_steps == 20
+        assert spec.discrete
+
+    def test_range_and_step(self):
+        spec = BufferSpec(max_range_fraction=0.25, n_steps=10)
+        assert spec.max_range(40.0) == pytest.approx(10.0)
+        assert spec.step_size(40.0) == pytest.approx(1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            BufferSpec(max_range_fraction=0.0)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            BufferSpec(n_steps=0)
+
+    def test_range_requires_positive_period(self):
+        with pytest.raises(ValueError):
+            BufferSpec().max_range(0.0)
+
+
+class TestFlowConfig:
+    def test_defaults_valid(self):
+        config = FlowConfig()
+        assert config.solver == "graph"
+        assert config.buffer_spec.n_steps == 20
+
+    def test_prune_critical_count_scales_with_samples(self):
+        assert FlowConfig(n_samples=10000).prune_critical_count == 5
+        assert FlowConfig(n_samples=2000).prune_critical_count == 1
+
+    def test_keep_threshold(self):
+        config = FlowConfig(keep_usage_fraction=0.02)
+        assert config.keep_threshold(1000) == 20
+        assert config.keep_threshold(10) == 2  # absolute floor
+        assert config.keep_threshold(0) == 2
+
+    def test_invalid_solver(self):
+        with pytest.raises(ValueError):
+            FlowConfig(solver="gurobi")
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            FlowConfig(n_samples=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FlowConfig(correlation_threshold=1.5)
+
+    def test_target_period_override_validated(self):
+        with pytest.raises(ValueError):
+            FlowConfig(target_period=-1.0)

@@ -1,0 +1,102 @@
+"""Tests for the end-to-end buffer-insertion flow on a small design."""
+
+import numpy as np
+import pytest
+
+from repro.core import BufferInsertionFlow, FlowConfig, insert_buffers
+from repro.core.config import BufferSpec
+
+
+@pytest.fixture(scope="module")
+def flow_result(small_design):
+    config = FlowConfig(n_samples=250, n_eval_samples=400, seed=5, target_sigma=0.0)
+    return BufferInsertionFlow(small_design, config).run()
+
+
+class TestFlowResultShape:
+    def test_yield_improves(self, flow_result):
+        assert flow_result.improved_yield > flow_result.original_yield + 0.05
+
+    def test_original_yield_near_half_at_mu(self, flow_result):
+        assert 0.35 < flow_result.original_yield < 0.65
+
+    def test_buffer_count_small_fraction_of_ffs(self, flow_result, small_design):
+        n_ffs = small_design.netlist.n_flip_flops
+        assert 0 < flow_result.plan.n_buffers <= max(3, 0.35 * n_ffs)
+
+    def test_ranges_within_buffer_spec(self, flow_result):
+        spec = BufferSpec()
+        max_range = spec.max_range(flow_result.target_period)
+        for buffer in flow_result.plan.buffers:
+            assert buffer.range_width <= max_range + 1e-9
+            assert buffer.lower <= 0.0 <= buffer.upper
+
+    def test_average_range_below_max_steps(self, flow_result):
+        assert 0.0 < flow_result.plan.average_range_steps <= 20.0
+
+    def test_buffers_are_real_flip_flops(self, flow_result, small_design):
+        ffs = set(small_design.netlist.flip_flops)
+        for buffer in flow_result.plan.buffers:
+            assert buffer.flip_flop in ffs
+
+    def test_groups_partition_buffers(self, flow_result):
+        grouped = [ff for group in flow_result.plan.groups for ff in group]
+        assert sorted(grouped) == sorted(b.flip_flop for b in flow_result.plan.buffers)
+        assert len(grouped) == len(set(grouped))
+
+    def test_step_artifacts_recorded(self, flow_result):
+        assert flow_result.step1.n_tuned_samples > 0
+        assert flow_result.step2.n_tuned_samples > 0
+        assert flow_result.step1.usage_counts
+        assert flow_result.step2.tuning_values
+
+    def test_usage_counts_match_buffers(self, flow_result):
+        for buffer in flow_result.plan.buffers:
+            assert buffer.usage_count >= 2
+
+    def test_runtime_breakdown_present(self, flow_result):
+        assert flow_result.total_runtime > 0.0
+        assert "step1_sampling" in flow_result.runtime_seconds
+
+    def test_lower_bounds_recorded_for_buffers(self, flow_result):
+        for buffer in flow_result.plan.buffers:
+            assert buffer.flip_flop in flow_result.lower_bounds
+
+    def test_target_period_matches_mu_sigma(self, flow_result):
+        assert flow_result.target_period == pytest.approx(flow_result.mu_period, rel=1e-9)
+
+
+class TestFlowVariants:
+    def test_relaxed_target_needs_fewer_tunings(self, small_design, flow_result):
+        config = FlowConfig(n_samples=250, n_eval_samples=400, seed=5, target_sigma=2.0)
+        relaxed = BufferInsertionFlow(small_design, config).run()
+        assert relaxed.step1.n_tuned_samples < flow_result.step1.n_tuned_samples
+        assert relaxed.yield_improvement <= flow_result.yield_improvement + 0.05
+
+    def test_explicit_target_period(self, small_design):
+        config = FlowConfig(n_samples=100, n_eval_samples=200, seed=5, target_period=1e6)
+        result = BufferInsertionFlow(small_design, config).run()
+        # A hugely relaxed period needs essentially no tuning: setup can never
+        # fail, only the rare hold violation remains.
+        assert result.plan.n_buffers <= 1
+        assert result.original_yield > 0.95
+        assert result.improved_yield >= result.original_yield
+
+    def test_insert_buffers_wrapper(self, small_design):
+        config = FlowConfig(n_samples=60, n_eval_samples=100, seed=2, target_sigma=2.0)
+        result = insert_buffers(small_design, config)
+        assert result.target_period > 0
+
+    def test_determinism_given_seed(self, small_design):
+        config = FlowConfig(n_samples=80, n_eval_samples=150, seed=9, target_sigma=1.0)
+        a = BufferInsertionFlow(small_design, config).run()
+        b = BufferInsertionFlow(small_design, config).run()
+        assert [buf.flip_flop for buf in a.plan.buffers] == [buf.flip_flop for buf in b.plan.buffers]
+        assert a.improved_yield == pytest.approx(b.improved_yield)
+
+    def test_max_buffers_cap_enforced(self, small_design):
+        config = FlowConfig(
+            n_samples=150, n_eval_samples=200, seed=5, target_sigma=0.0, max_buffers=2
+        )
+        result = BufferInsertionFlow(small_design, config).run()
+        assert result.plan.n_physical_buffers <= 2

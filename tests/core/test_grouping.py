@@ -1,0 +1,78 @@
+"""Tests for buffer grouping (Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import group_buffers, tuning_correlation_matrix
+
+
+class TestCorrelationMatrix:
+    def test_identical_rows_fully_correlated(self):
+        matrix = np.array([[1.0, 2, 3, 0], [1.0, 2, 3, 0]])
+        corr = tuning_correlation_matrix(matrix)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_anti_correlated(self):
+        matrix = np.array([[1.0, -1, 2, -2], [-1.0, 1, -2, 2]])
+        corr = tuning_correlation_matrix(matrix)
+        assert corr[0, 1] == pytest.approx(-1.0)
+
+    def test_constant_row_gets_zero_correlation(self):
+        matrix = np.array([[0.0, 0, 0], [1.0, 2, 3]])
+        corr = tuning_correlation_matrix(matrix)
+        assert corr[0, 1] == 0.0
+        assert corr[0, 0] == 1.0
+
+    def test_empty(self):
+        assert tuning_correlation_matrix(np.zeros((0, 5))).shape == (0, 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            tuning_correlation_matrix(np.zeros(5))
+
+
+class TestGroupBuffers:
+    @pytest.fixture()
+    def setup(self):
+        flip_flops = ["a", "b", "c", "d"]
+        # a and b perfectly correlated, c anti-correlated, d uncorrelated.
+        base = np.array([1.0, 2, 3, 4, 5, 6])
+        matrix = np.vstack([base, base * 2, -base, np.array([1.0, -1, 1, -1, 1, -1])])
+        locations = {"a": (0, 0), "b": (1, 0), "c": (0, 1), "d": (50, 50)}
+        usage = {"a": 10, "b": 8, "c": 6, "d": 4}
+        return flip_flops, matrix, locations, usage
+
+    def test_correlated_and_close_buffers_grouped(self, setup):
+        flip_flops, matrix, locations, usage = setup
+        result = group_buffers(flip_flops, matrix, locations, usage, 0.8, distance_threshold=5.0)
+        assert sorted(result.groups, key=len, reverse=True)[0] == ["a", "b"]
+        assert result.n_physical_buffers == 3
+
+    def test_distance_threshold_prevents_grouping(self, setup):
+        flip_flops, matrix, locations, usage = setup
+        locations = dict(locations, b=(100, 100))
+        result = group_buffers(flip_flops, matrix, locations, usage, 0.8, distance_threshold=5.0)
+        assert all(len(group) == 1 for group in result.groups)
+
+    def test_correlation_threshold_prevents_grouping(self, setup):
+        flip_flops, matrix, locations, usage = setup
+        result = group_buffers(flip_flops, matrix, locations, usage, 1.01, distance_threshold=5.0)
+        assert result.n_physical_buffers == 4
+
+    def test_buffer_cap_drops_least_used(self, setup):
+        flip_flops, matrix, locations, usage = setup
+        result = group_buffers(
+            flip_flops, matrix, locations, usage, 0.8, distance_threshold=5.0, max_buffers=2
+        )
+        assert result.n_physical_buffers == 2
+        assert "d" in result.dropped
+
+    def test_group_of(self, setup):
+        flip_flops, matrix, locations, usage = setup
+        result = group_buffers(flip_flops, matrix, locations, usage, 0.8, distance_threshold=5.0)
+        assert result.group_of("a") == result.group_of("b")
+        assert result.group_of("zz") == -1
+
+    def test_empty_input(self):
+        result = group_buffers([], np.zeros((0, 3)), {}, {})
+        assert result.groups == []

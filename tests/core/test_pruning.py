@@ -1,0 +1,76 @@
+"""Tests for buffer pruning (Sec. III-A2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import prune_buffers, prune_usage_graph
+from repro.core.sample_solver import ConstraintTopology
+
+
+def star_topology():
+    """ff0 in the middle, ff1..ff4 around it."""
+    return ConstraintTopology(
+        ff_names=[f"ff{i}" for i in range(5)],
+        edge_launch=np.array([1, 2, 0, 0]),
+        edge_capture=np.array([0, 0, 3, 4]),
+    )
+
+
+class TestPruneBuffers:
+    def test_low_usage_isolated_pruned(self):
+        topology = star_topology()
+        usage = np.array([0, 1, 0, 1, 0])
+        result = prune_buffers(topology, usage, min_count=1, critical_count=5)
+        assert result.n_kept == 0
+        assert set(result.pruned_flip_flops) == set(topology.ff_names)
+
+    def test_high_usage_kept(self):
+        topology = star_topology()
+        usage = np.array([10, 1, 0, 0, 0])
+        result = prune_buffers(topology, usage, min_count=1, critical_count=5)
+        assert result.kept[0]
+        assert "ff0" in result.critical_flip_flops
+
+    def test_neighbours_of_critical_survive(self):
+        topology = star_topology()
+        usage = np.array([10, 1, 1, 1, 1])
+        result = prune_buffers(topology, usage, min_count=1, critical_count=5)
+        # All spokes neighbour the critical hub and therefore survive.
+        assert result.n_kept == 5
+
+    def test_respects_existing_candidate_mask(self):
+        topology = star_topology()
+        usage = np.array([10, 10, 10, 10, 10])
+        candidates = np.array([True, False, True, True, True])
+        result = prune_buffers(topology, usage, candidates=candidates)
+        assert not result.kept[1]
+
+    def test_usage_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prune_buffers(star_topology(), np.zeros(3))
+
+
+class TestFigFourExample:
+    def test_paper_figure_four(self):
+        """Reproduce the pruning decision of paper Fig. 4: the node with a
+        single tuning that is not connected to a critical node is removed;
+        low-count nodes next to critical ones stay."""
+        usage = {"a": 20, "b": 5, "c": 5, "d": 1, "e": 1, "f": 5, "g": 19, "h": 1, "i": 15, "j": 1}
+        edges = [
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+            ("a", "e"),
+            ("e", "f"),
+            ("f", "g"),
+            ("g", "i"),
+            ("i", "h"),
+            ("j", "d"),
+        ]
+        kept = prune_usage_graph(usage, edges, min_count=1, critical_count=5)
+        # "j" has one tuning and only neighbours "d" (count 1): pruned.
+        assert "j" not in kept
+        # "h" has one tuning but neighbours the critical "i": kept.
+        assert "h" in kept
+        # Critical nodes always stay.
+        assert {"a", "b", "c", "f", "g", "i"}.issubset(kept)

@@ -1,0 +1,70 @@
+"""Tests for result dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
+
+
+class TestBuffer:
+    def test_range_width_and_steps(self):
+        buffer = Buffer("ff1", lower=-2.0, upper=4.0, step=0.5)
+        assert buffer.range_width == 6.0
+        assert buffer.range_steps == 12.0
+
+    def test_continuous_buffer_has_nan_steps(self):
+        buffer = Buffer("ff1", lower=-1.0, upper=1.0, step=0.0)
+        assert np.isnan(buffer.range_steps)
+
+
+class TestBufferPlan:
+    @pytest.fixture()
+    def plan(self):
+        return BufferPlan(
+            buffers=[
+                Buffer("ff1", -1.0, 3.0, 0.5, usage_count=10),
+                Buffer("ff2", 0.0, 2.0, 0.5, usage_count=5),
+            ],
+            target_period=30.0,
+            groups=[["ff1", "ff2"]],
+        )
+
+    def test_counts(self, plan):
+        assert plan.n_buffers == 2
+        assert plan.n_physical_buffers == 1
+
+    def test_average_range_steps(self, plan):
+        assert plan.average_range_steps == pytest.approx((8 + 4) / 2)
+
+    def test_buffer_lookup(self, plan):
+        assert plan.buffer_for("ff1").usage_count == 10
+        assert plan.buffer_for("zz") is None
+
+    def test_buffered_flip_flops(self, plan):
+        assert plan.buffered_flip_flops() == ["ff1", "ff2"]
+
+    def test_empty_plan(self):
+        plan = BufferPlan()
+        assert plan.n_buffers == 0
+        assert plan.average_range_steps == 0.0
+        assert plan.n_physical_buffers == 0
+
+
+class TestFlowResult:
+    def test_summary_and_improvement(self):
+        result = FlowResult(
+            plan=BufferPlan(buffers=[Buffer("ff1", -1, 1, 0.5)]),
+            target_period=30.0,
+            mu_period=30.0,
+            sigma_period=2.0,
+            original_yield=0.5,
+            improved_yield=0.8,
+            step1=StepArtifacts(),
+            step2=StepArtifacts(),
+            runtime_seconds={"step1": 1.0, "step2": 2.0},
+        )
+        assert result.yield_improvement == pytest.approx(0.3)
+        assert result.total_runtime == pytest.approx(3.0)
+        summary = result.summary()
+        assert summary["n_buffers"] == 1
+        assert summary["yield_improvement"] == pytest.approx(0.3)

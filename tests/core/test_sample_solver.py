@@ -1,0 +1,229 @@
+"""Tests for the per-sample solver (graph and MILP backends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sample_solver import (
+    ConstraintTopology,
+    PerSampleSolver,
+    SampleProblem,
+    SampleSolution,
+)
+
+
+def chain_topology(n_ffs=4):
+    """ff0 -> ff1 -> ... -> ff{n-1} as a simple chain of sequential edges."""
+    launch = np.arange(n_ffs - 1)
+    capture = np.arange(1, n_ffs)
+    return ConstraintTopology(
+        ff_names=[f"ff{i}" for i in range(n_ffs)],
+        edge_launch=launch,
+        edge_capture=capture,
+    )
+
+
+def make_problem(topology, setup, hold, bound=20.0):
+    n = topology.n_ffs
+    return SampleProblem(
+        setup_bound=np.asarray(setup, dtype=float),
+        hold_bound=np.asarray(hold, dtype=float),
+        lower=np.full(n, -bound),
+        upper=np.full(n, bound),
+    )
+
+
+def verify_solution(topology, problem, solution):
+    """Check the returned tuning values satisfy every edge constraint."""
+    x = np.zeros(topology.n_ffs)
+    for ff, value in solution.tunings.items():
+        x[ff] = value
+        assert problem.lower[ff] - 1e-6 <= value <= problem.upper[ff] + 1e-6
+    for k in range(topology.n_edges):
+        i, j = int(topology.edge_launch[k]), int(topology.edge_capture[k])
+        assert x[i] - x[j] <= problem.setup_bound[k] + 1e-6
+        assert x[j] - x[i] <= problem.hold_bound[k] + 1e-6
+
+
+class TestTopology:
+    def test_from_constraint_graph(self, small_constraint_graph):
+        topology = ConstraintTopology.from_constraint_graph(small_constraint_graph)
+        assert topology.n_ffs == small_constraint_graph.n_flip_flops
+        assert topology.n_edges == small_constraint_graph.n_edges
+
+    def test_neighbors(self):
+        topology = chain_topology(4)
+        assert topology.neighbors(1) == {0, 2}
+        assert topology.neighbors(0) == {1}
+
+    def test_edges_of_ff(self):
+        topology = chain_topology(4)
+        assert topology.edges_of_ff[1] == [0, 1]
+
+
+class TestGraphBackend:
+    def test_no_violation_no_tuning(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, 5, 5], [5, 5, 5])
+        solution = PerSampleSolver(topology).solve(problem)
+        assert solution.feasible
+        assert solution.n_adjusted == 0
+
+    def test_single_violation_single_buffer(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, -3, 5], [10, 10, 10])
+        solution = PerSampleSolver(topology).solve(problem)
+        assert solution.feasible
+        assert solution.n_adjusted == 1
+        verify_solution(topology, problem, solution)
+
+    def test_concentration_minimises_absolute_value(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, -3, 5], [10, 10, 10])
+        solution = PerSampleSolver(topology).solve(problem)
+        (value,) = solution.tunings.values()
+        assert abs(value) == pytest.approx(3.0, abs=1e-6)
+
+    def test_ripple_requires_two_buffers(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [1, -3, 1], [10, 10, 10])
+        solution = PerSampleSolver(topology).solve(problem)
+        assert solution.feasible
+        assert solution.n_adjusted == 2
+        verify_solution(topology, problem, solution)
+
+    def test_unrescuable_when_exceeding_ranges(self):
+        topology = chain_topology(3)
+        problem = make_problem(topology, [5, -50], [10, 10], bound=20.0)
+        solution = PerSampleSolver(topology).solve(problem)
+        assert not solution.feasible
+        assert solution.unrescuable_regions == 1
+
+    def test_unrescuable_when_endpoints_not_candidates(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, -3, 5], [10, 10, 10])
+        candidates = np.array([True, False, False, True])
+        solution = PerSampleSolver(topology).solve(problem, candidates=candidates)
+        assert not solution.feasible
+
+    def test_two_independent_regions(self):
+        topology = chain_topology(8)
+        setup = [5, -2, 5, 5, 5, -4, 5]
+        problem = make_problem(topology, setup, [10] * 7)
+        solution = PerSampleSolver(topology).solve(problem)
+        assert solution.feasible
+        assert solution.n_adjusted == 2
+        verify_solution(topology, problem, solution)
+
+    def test_hold_violation_repaired(self):
+        topology = chain_topology(3)
+        # Hold violation on edge (ff0, ff1): x1 - x0 <= -2 requires x1 < x0.
+        problem = make_problem(topology, [5, 5], [-2, 10])
+        solution = PerSampleSolver(topology).solve(problem)
+        assert solution.feasible
+        assert solution.n_adjusted >= 1
+        verify_solution(topology, problem, solution)
+
+    def test_discrete_mode_returns_integers(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, -3, 5], [10, 10, 10])
+        solution = PerSampleSolver(topology, integral=True).solve(problem)
+        for value in solution.tunings.values():
+            assert value == int(value)
+
+    def test_targets_pull_solution_toward_average(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, -3, 5], [10, 10, 10])
+        plain = PerSampleSolver(topology).solve(problem)
+        (ff,) = plain.tunings.keys()
+        targets = np.zeros(topology.n_ffs)
+        targets[ff] = -6.0 if plain.tunings[ff] < 0 else 6.0
+        targeted = PerSampleSolver(topology).solve(problem, targets=targets)
+        assert targeted.feasible
+        # The targeted solution must be at least as close to the target.
+        assert abs(targeted.tunings.get(ff, 0.0) - targets[ff]) <= abs(
+            plain.tunings[ff] - targets[ff]
+        ) + 1e-9
+
+    def test_concentration_disabled_still_feasible(self):
+        topology = chain_topology(4)
+        problem = make_problem(topology, [5, -3, 5], [10, 10, 10])
+        solution = PerSampleSolver(topology, concentrate=False).solve(problem)
+        assert solution.feasible
+        verify_solution(topology, problem, solution)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            PerSampleSolver(chain_topology(3), backend="cplex")
+
+
+class TestMilpBackend:
+    @pytest.mark.parametrize(
+        "setup",
+        [
+            [5, -3, 5],
+            [1, -3, 1],
+            [-2, 5, -1],
+        ],
+    )
+    def test_milp_matches_graph_on_chains(self, setup):
+        topology = chain_topology(4)
+        problem = make_problem(topology, setup, [10, 10, 10])
+        solver = PerSampleSolver(topology)
+        graph_solution = solver.solve(problem)
+        milp_solution = solver.solve_with_milp(problem)
+        assert milp_solution.feasible == graph_solution.feasible
+        assert milp_solution.n_adjusted <= graph_solution.n_adjusted
+        verify_solution(topology, problem, milp_solution)
+
+    def test_milp_no_violation(self):
+        topology = chain_topology(3)
+        problem = make_problem(topology, [5, 5], [10, 10])
+        solution = PerSampleSolver(topology).solve_with_milp(problem)
+        assert solution.feasible and solution.n_adjusted == 0
+
+    def test_milp_unrescuable(self):
+        topology = chain_topology(3)
+        problem = make_problem(topology, [5, -50], [10, 10], bound=20.0)
+        solution = PerSampleSolver(topology).solve_with_milp(problem)
+        assert not solution.feasible
+
+
+class TestAgainstRealCircuit:
+    def test_graph_solver_close_to_milp_optimum(self, small_design, small_constraint_graph, small_samples):
+        """On real samples the greedy graph solver must find buffer counts
+        equal to the exact MILP optimum in the vast majority of cases and
+        never below it."""
+        from repro.core.config import BufferSpec
+        from repro.timing.period import sample_min_periods
+
+        analysis = sample_min_periods(
+            small_design,
+            constraint_graph=small_constraint_graph,
+            constraint_samples=small_samples,
+        )
+        period = analysis.target_period(1.0)
+        spec = BufferSpec()
+        step = spec.step_size(period)
+        setup = np.floor(small_samples.setup_bounds(period) / step + 1e-9)
+        hold = np.floor(small_samples.hold_bounds() / step + 1e-9)
+        topology = ConstraintTopology.from_constraint_graph(small_constraint_graph)
+        lower = np.full(topology.n_ffs, -20.0)
+        upper = np.full(topology.n_ffs, 20.0)
+        solver = PerSampleSolver(topology)
+
+        checked = 0
+        matches = 0
+        for s in range(small_samples.n_samples):
+            problem = SampleProblem(setup[:, s], hold[:, s], lower, upper)
+            if problem.violated_edges().size == 0:
+                continue
+            graph_solution = solver.solve(problem)
+            milp_solution = solver.solve_with_milp(problem)
+            checked += 1
+            assert milp_solution.n_adjusted <= graph_solution.n_adjusted
+            if milp_solution.n_adjusted == graph_solution.n_adjusted:
+                matches += 1
+            if checked >= 25:
+                break
+        assert checked > 5
+        assert matches / checked >= 0.8

@@ -1,0 +1,95 @@
+"""Integration tests: the full pipeline on suite circuits.
+
+These mirror the claims of the paper's evaluation section at reduced scale:
+yield improves markedly at the tight target period and the improvement
+shrinks as the target relaxes, while the number of inserted buffers stays a
+small fraction of the flip-flop count.
+"""
+
+import pytest
+
+from repro.analysis.tables import TableOneRow, format_table_one
+from repro.circuit.suite import build_suite_circuit
+from repro.core import BufferInsertionFlow, FlowConfig
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_suite_circuit("s13207", scale=0.08, seed=11)
+
+
+@pytest.fixture(scope="module")
+def results(design):
+    out = {}
+    for sigma in (0.0, 1.0, 2.0):
+        config = FlowConfig(n_samples=200, n_eval_samples=300, seed=3, target_sigma=sigma)
+        out[sigma] = BufferInsertionFlow(design, config).run()
+    return out
+
+
+class TestTableOneShape:
+    def test_original_yields_track_gaussian_targets(self, results):
+        assert 0.30 < results[0.0].original_yield < 0.70
+        assert 0.68 < results[1.0].original_yield < 0.95
+        assert results[2.0].original_yield > 0.88
+
+    def test_yield_improvement_positive_at_tight_target(self, results):
+        assert results[0.0].yield_improvement > 0.10
+
+    def test_improvement_shrinks_with_relaxed_target(self, results):
+        assert results[0.0].yield_improvement >= results[1.0].yield_improvement - 0.02
+        assert results[1.0].yield_improvement >= results[2.0].yield_improvement - 0.02
+
+    def test_buffer_count_small(self, results, design):
+        n_ffs = design.netlist.n_flip_flops
+        for result in results.values():
+            assert result.plan.n_buffers <= max(4, 0.4 * n_ffs)
+
+    def test_average_range_below_maximum(self, results):
+        for result in results.values():
+            if result.plan.n_buffers:
+                assert result.plan.average_range_steps <= 20.0
+
+    def test_rows_render(self, results, design):
+        rows = [
+            TableOneRow.from_flow_result(
+                design.name, design.netlist.n_flip_flops, design.netlist.n_gates, sigma, result
+            )
+            for sigma, result in sorted(results.items())
+        ]
+        text = format_table_one(rows)
+        assert design.name in text
+
+
+class TestSolverBackendsEndToEnd:
+    def test_milp_flow_on_tiny_circuit(self):
+        design = build_suite_circuit("s9234", scale=0.05, seed=21)
+        graph_config = FlowConfig(n_samples=60, n_eval_samples=120, seed=13, target_sigma=1.0)
+        milp_config = FlowConfig(
+            n_samples=60, n_eval_samples=120, seed=13, target_sigma=1.0, solver="milp"
+        )
+        graph_result = BufferInsertionFlow(design, graph_config).run()
+        milp_result = BufferInsertionFlow(design, milp_config).run()
+        # Both backends must rescue chips; their buffer sets are built from
+        # the same samples and should be of comparable size.
+        assert milp_result.improved_yield >= milp_result.original_yield
+        assert graph_result.improved_yield >= graph_result.original_yield
+        if graph_result.plan.n_buffers and milp_result.plan.n_buffers:
+            assert abs(graph_result.plan.n_buffers - milp_result.plan.n_buffers) <= 3
+
+
+class TestSampleCountRobustness:
+    def test_buffer_locations_stable_across_sample_counts(self):
+        design = build_suite_circuit("s9234", scale=0.1, seed=17)
+        few = BufferInsertionFlow(
+            design, FlowConfig(n_samples=120, n_eval_samples=150, seed=1, target_sigma=0.0)
+        ).run()
+        many = BufferInsertionFlow(
+            design, FlowConfig(n_samples=360, n_eval_samples=150, seed=2, target_sigma=0.0)
+        ).run()
+        ffs_few = set(few.plan.buffered_flip_flops())
+        ffs_many = set(many.plan.buffered_flip_flops())
+        if ffs_few and ffs_many:
+            overlap = len(ffs_few & ffs_many) / min(len(ffs_few), len(ffs_many))
+            assert overlap >= 0.5
+        assert abs(few.improved_yield - many.improved_yield) < 0.15

@@ -1,0 +1,80 @@
+"""Tests for branch & bound on integer and binary variables."""
+
+import numpy as np
+import pytest
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model, VarType
+from repro.milp.status import SolveStatus
+
+
+@pytest.mark.parametrize("backend", ["scipy", "simplex"])
+class TestBranchAndBound:
+    def test_integer_program_below_lp_relaxation(self, backend):
+        # max x + y s.t. 2x + 3y <= 12, 4x + y <= 10: the LP relaxation
+        # optimum is fractional (x=1.8, y=2.8, objective 4.6) while the
+        # integer optimum is 4.
+        model = Model()
+        x = model.add_var("x", lb=0, ub=10, vtype=VarType.INTEGER)
+        y = model.add_var("y", lb=0, ub=10, vtype=VarType.INTEGER)
+        model.add_constr(2 * x + 3 * y <= 12)
+        model.add_constr(4 * x + y <= 10)
+        model.set_objective(x + y, minimise=False)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(4.0)
+        assert abs(solution[x] - round(solution[x])) < 1e-6
+        assert abs(solution[y] - round(solution[y])) < 1e-6
+
+    def test_knapsack(self, backend):
+        values = [10, 13, 7, 8]
+        weights = [3, 4, 2, 3]
+        capacity = 7
+        model = Model()
+        picks = [model.add_var(f"p{i}", vtype=VarType.BINARY) for i in range(4)]
+        model.add_constr(LinExpr.sum_of([w * p for w, p in zip(weights, picks)]) <= capacity)
+        model.set_objective(LinExpr.sum_of([v * p for v, p in zip(values, picks)]), minimise=False)
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(23.0)  # items 1 and 3 (13 + 10)
+
+    def test_big_m_support_minimisation(self, backend):
+        # Minimise the number of non-zero x subject to x1 + x2 + x3 >= 5,
+        # each |x_i| <= 5: one non-zero variable suffices.
+        model = Model()
+        xs = [model.add_var(f"x{i}", lb=-5, ub=5) for i in range(3)]
+        cs = [model.add_var(f"c{i}", vtype=VarType.BINARY) for i in range(3)]
+        gamma = 10.0
+        for x, c in zip(xs, cs):
+            model.add_constr(x - gamma * c <= 0)
+            model.add_constr(-1.0 * x - gamma * c <= 0)
+        model.add_constr(LinExpr.sum_of(xs) >= 5)
+        model.set_objective(LinExpr.sum_of(cs))
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_infeasible_integer_program(self, backend):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=10, vtype=VarType.INTEGER)
+        model.add_constr(2 * x == 3)  # no integer solution
+        model.set_objective(x)
+        assert model.solve(backend=backend).status is SolveStatus.INFEASIBLE
+
+    def test_warm_start_is_used_and_optimal_returned(self, backend):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=4, vtype=VarType.INTEGER)
+        model.add_constr(x >= 1.2)
+        model.set_objective(x)
+        warm = {x: 4.0}
+        solution = model.solve(backend=backend, warm_start=warm)
+        assert solution.objective == pytest.approx(2.0)
+
+
+class TestNodeLimit:
+    def test_node_limit_returns_incumbent_if_any(self):
+        model = Model()
+        xs = [model.add_var(f"x{i}", lb=0, ub=1, vtype=VarType.BINARY) for i in range(12)]
+        model.add_constr(LinExpr.sum_of(xs) >= 5.5)
+        model.set_objective(LinExpr.sum_of(xs))
+        solution = model.solve(max_nodes=1, warm_start={x: 1.0 for x in xs})
+        assert solution.status in (SolveStatus.NODE_LIMIT, SolveStatus.OPTIMAL)
+        assert solution.is_feasible

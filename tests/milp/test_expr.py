@@ -1,0 +1,84 @@
+"""Tests for MILP expressions and constraints."""
+
+import pytest
+
+from repro.milp.expr import Constraint, LinExpr, Sense
+from repro.milp.model import Model
+
+
+@pytest.fixture()
+def variables():
+    model = Model()
+    return model.add_var("x"), model.add_var("y"), model.add_var("z")
+
+
+class TestLinExpr:
+    def test_addition_merges_coefficients(self, variables):
+        x, y, _ = variables
+        expr = x + y + x
+        assert expr.coeffs[x] == 2.0
+        assert expr.coeffs[y] == 1.0
+
+    def test_scalar_terms(self, variables):
+        x, _, _ = variables
+        expr = 2 * x + 3 - 1
+        assert expr.coeffs[x] == 2.0
+        assert expr.constant == 2.0
+
+    def test_subtraction_and_negation(self, variables):
+        x, y, _ = variables
+        expr = -(x - y)
+        assert expr.coeffs[x] == -1.0
+        assert expr.coeffs[y] == 1.0
+
+    def test_rsub(self, variables):
+        x, _, _ = variables
+        expr = 5 - x
+        assert expr.constant == 5.0
+        assert expr.coeffs[x] == -1.0
+
+    def test_sum_of(self, variables):
+        x, y, z = variables
+        expr = LinExpr.sum_of([x, y, z, 1.5])
+        assert len(expr.coeffs) == 3
+        assert expr.constant == 1.5
+
+    def test_value_evaluation(self, variables):
+        x, y, _ = variables
+        expr = 2 * x - y + 1
+        assert expr.value({x: 3, y: 4}) == 3.0
+
+    def test_not_hashable(self, variables):
+        x, _, _ = variables
+        with pytest.raises(TypeError):
+            hash(x + 1)
+
+
+class TestConstraint:
+    def test_le_builds_constraint(self, variables):
+        x, y, _ = variables
+        constraint = x - y <= 5
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 5.0
+
+    def test_ge_and_eq(self, variables):
+        x, _, _ = variables
+        assert (x >= 1).sense is Sense.GE
+        assert (x + 0 == 2).sense is Sense.EQ
+
+    def test_violation(self, variables):
+        x, y, _ = variables
+        constraint = x - y <= 1
+        assert constraint.violation({x: 3, y: 1}) == pytest.approx(1.0)
+        assert constraint.violation({x: 1, y: 1}) == 0.0
+
+    def test_ge_violation(self, variables):
+        x, _, _ = variables
+        constraint = x >= 2
+        assert constraint.violation({x: 0.5}) == pytest.approx(1.5)
+
+    def test_eq_violation(self, variables):
+        x, _, _ = variables
+        constraint = x + 0 == 2
+        assert constraint.violation({x: 2.5}) == pytest.approx(0.5)

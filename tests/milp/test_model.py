@@ -1,0 +1,108 @@
+"""Tests for the MILP model front end."""
+
+import numpy as np
+import pytest
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model, VarType
+from repro.milp.status import SolveStatus
+
+
+class TestModelBuilding:
+    def test_add_var_defaults(self):
+        model = Model()
+        x = model.add_var("x")
+        assert x.lb == 0.0
+        assert x.vtype is VarType.CONTINUOUS
+
+    def test_binary_bounds_forced(self):
+        model = Model()
+        b = model.add_var("b", lb=-5, ub=5, vtype=VarType.BINARY)
+        assert (b.lb, b.ub) == (0.0, 1.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Model().add_var("x", lb=2, ub=1)
+
+    def test_add_vars_names(self):
+        model = Model()
+        xs = model.add_vars(3, "q")
+        assert [v.name for v in xs] == ["q_0", "q_1", "q_2"]
+
+    def test_add_constr_requires_constraint(self):
+        model = Model()
+        x = model.add_var("x")
+        with pytest.raises(TypeError):
+            model.add_constr(x + 1)
+
+    def test_counts(self):
+        model = Model()
+        x = model.add_var("x")
+        b = model.add_var("b", vtype=VarType.BINARY)
+        model.add_constr(x + b <= 2)
+        assert model.n_variables == 2
+        assert model.n_constraints == 1
+        assert model.integer_variables() == [b]
+
+
+class TestToArrays:
+    def test_objective_and_constraints(self):
+        model = Model()
+        x = model.add_var("x", lb=-1, ub=4)
+        y = model.add_var("y", lb=0, ub=2)
+        model.add_constr(x + 2 * y <= 3)
+        model.add_constr(x - y >= -1)
+        model.add_constr(x + y == 2)
+        model.set_objective(x - y, minimise=False)
+        arrays = model.to_arrays()
+        assert np.allclose(arrays["c"], [-1.0, 1.0])  # maximisation negated
+        assert arrays["a_ub"].shape == (2, 2)
+        assert arrays["a_eq"].shape == (1, 2)
+        # GE rows are negated into <= form.
+        assert np.allclose(arrays["a_ub"][1], [-1.0, 1.0])
+        assert arrays["b_ub"][1] == pytest.approx(1.0)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("backend", ["scipy", "simplex"])
+    def test_pure_lp(self, backend):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=10)
+        y = model.add_var("y", lb=0, ub=10)
+        model.add_constr(x + y >= 4)
+        model.set_objective(2 * x + y)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(4.0)
+        assert solution[y] == pytest.approx(4.0)
+
+    def test_maximisation_objective_value(self):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=3)
+        model.set_objective(x + 1, minimise=False)
+        solution = model.solve()
+        assert solution.objective == pytest.approx(4.0)
+        assert solution[x] == pytest.approx(3.0)
+
+    def test_infeasible_model(self):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=1)
+        model.add_constr(x >= 3)
+        model.set_objective(x)
+        assert model.solve().status is SolveStatus.INFEASIBLE
+
+    def test_solution_by_name(self):
+        model = Model()
+        x = model.add_var("cost", lb=1, ub=2)
+        model.set_objective(x)
+        solution = model.solve()
+        assert solution.value_by_name()["cost"] == pytest.approx(1.0)
+
+    def test_check_feasible(self):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=5)
+        b = model.add_var("b", vtype=VarType.BINARY)
+        model.add_constr(x - 5 * b <= 0)
+        assert model.check_feasible({x: 3.0, b: 1.0})
+        assert not model.check_feasible({x: 3.0, b: 0.0})
+        assert not model.check_feasible({x: 3.0, b: 0.5})

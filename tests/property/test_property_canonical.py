@@ -1,0 +1,73 @@
+"""Property-based tests for the canonical delay form."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.variation.canonical import CanonicalForm
+
+N_SOURCES = 3
+
+
+def forms(means=st.floats(-50, 50), sens=st.floats(-5, 5), indep=st.floats(0, 5)):
+    return st.builds(
+        lambda m, s, i: CanonicalForm(m, np.array(s), i),
+        means,
+        st.lists(sens, min_size=N_SOURCES, max_size=N_SOURCES),
+        indep,
+    )
+
+
+class TestCanonicalProperties:
+    @given(forms(), forms())
+    def test_addition_is_commutative(self, a, b):
+        left = a + b
+        right = b + a
+        assert math.isclose(left.mean, right.mean, abs_tol=1e-9)
+        assert np.allclose(left.sensitivities, right.sensitivities)
+        assert math.isclose(left.independent, right.independent, abs_tol=1e-9)
+
+    @given(forms(), forms())
+    def test_addition_adds_means_and_variances_of_independent_parts(self, a, b):
+        c = a + b
+        assert math.isclose(c.mean, a.mean + b.mean, abs_tol=1e-9)
+        assert c.independent**2 <= a.independent**2 + b.independent**2 + 1e-6
+
+    @given(forms(), st.floats(-3, 3))
+    def test_scaling_scales_moments(self, a, factor):
+        scaled = a * factor
+        assert math.isclose(scaled.mean, a.mean * factor, abs_tol=1e-9)
+        assert math.isclose(scaled.std, abs(factor) * a.std, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(forms(), forms())
+    def test_max_mean_dominates_operands(self, a, b):
+        maximum = a.max(b)
+        assert maximum.mean >= a.mean - 1e-6
+        assert maximum.mean >= b.mean - 1e-6
+
+    @given(forms(), forms())
+    def test_max_and_min_bracket_the_sum(self, a, b):
+        # max(a,b) + min(a,b) == a + b holds exactly for the true random
+        # variables; Clark's approximation preserves it for the means.
+        maximum = a.max(b)
+        minimum = a.min(b)
+        assert math.isclose(maximum.mean + minimum.mean, a.mean + b.mean, abs_tol=1e-6)
+
+    @given(forms())
+    def test_max_with_itself_is_noop_on_mean(self, a):
+        assert a.max(a).mean >= a.mean - 1e-9
+
+    @given(forms(), forms())
+    def test_correlation_in_unit_interval(self, a, b):
+        assert -1.0 - 1e-9 <= a.correlation(b) <= 1.0 + 1e-9
+
+    @given(forms())
+    def test_evaluate_mean_matches_analytic(self, a):
+        rng = np.random.default_rng(0)
+        z = rng.standard_normal((N_SOURCES, 4000))
+        independent = rng.standard_normal(4000)
+        values = a.evaluate(z, independent)
+        tolerance = 5 * a.std / math.sqrt(4000) + 1e-6
+        assert abs(values.mean() - a.mean) <= tolerance

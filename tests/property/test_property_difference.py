@@ -1,0 +1,64 @@
+"""Property-based tests for the difference-constraint engine."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.difference import (
+    DifferenceConstraint,
+    check_assignment,
+    solve_difference_system,
+)
+
+
+@st.composite
+def feasible_systems(draw):
+    """Generate systems that are feasible by construction.
+
+    A hidden assignment is drawn first; constraint weights are then chosen
+    at or above the hidden assignment's differences, so the hidden point is
+    feasible and the solver must find *some* feasible point.
+    """
+    n = draw(st.integers(2, 6))
+    names = [f"v{i}" for i in range(n)]
+    hidden = {name: draw(st.integers(-10, 10)) for name in names}
+    n_constraints = draw(st.integers(1, 12))
+    constraints = []
+    for _ in range(n_constraints):
+        u = draw(st.sampled_from(names))
+        v = draw(st.sampled_from([x for x in names if x != u]))
+        slack = draw(st.integers(0, 5))
+        constraints.append(DifferenceConstraint(u, v, hidden[u] - hidden[v] + slack))
+    margin = draw(st.integers(0, 3))
+    lower = {name: hidden[name] - margin - draw(st.integers(0, 5)) for name in names}
+    upper = {name: hidden[name] + margin + draw(st.integers(0, 5)) for name in names}
+    return names, constraints, lower, upper
+
+
+class TestDifferenceProperties:
+    @given(feasible_systems())
+    def test_feasible_systems_are_solved(self, system):
+        names, constraints, lower, upper = system
+        solution = solve_difference_system(names, constraints, lower, upper)
+        assert solution is not None
+        assert check_assignment(solution, constraints, lower, upper, tolerance=1e-6)
+
+    @given(feasible_systems())
+    def test_integer_inputs_give_integer_solutions(self, system):
+        names, constraints, lower, upper = system
+        solution = solve_difference_system(names, constraints, lower, upper)
+        assert solution is not None
+        for value in solution.values():
+            assert value == int(value)
+
+    @given(feasible_systems(), st.integers(0, 100))
+    def test_tightening_a_constraint_below_range_makes_it_infeasible(self, system, seed):
+        """Forcing x_u - x_v <= -(span_u + span_v + 1) can never be satisfied
+        inside the boxes, so the solver must report infeasibility."""
+        names, constraints, lower, upper = system
+        rng = np.random.default_rng(seed)
+        u, v = rng.choice(len(names), size=2, replace=False)
+        u, v = names[int(u)], names[int(v)]
+        impossible = (lower[u] - upper[v]) - 1
+        constraints = constraints + [DifferenceConstraint(u, v, impossible)]
+        assert solve_difference_system(names, constraints, lower, upper) is None

@@ -1,0 +1,97 @@
+"""Property-based tests for the per-sample solver.
+
+Random sequential topologies and random per-sample bounds are generated;
+whatever the solver returns must be *correct*: returned assignments satisfy
+every constraint, claimed-infeasible regions are genuinely hard (the exact
+MILP backend cannot do better on small instances), and buffer counts never
+undercut the exact optimum.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sample_solver import ConstraintTopology, PerSampleSolver, SampleProblem
+
+
+@st.composite
+def random_problems(draw):
+    n_ffs = draw(st.integers(3, 8))
+    n_edges = draw(st.integers(2, 12))
+    launch = []
+    capture = []
+    for _ in range(n_edges):
+        i = draw(st.integers(0, n_ffs - 1))
+        j = draw(st.integers(0, n_ffs - 1))
+        if i == j:
+            j = (j + 1) % n_ffs
+        launch.append(i)
+        capture.append(j)
+    topology = ConstraintTopology(
+        ff_names=[f"ff{i}" for i in range(n_ffs)],
+        edge_launch=np.array(launch),
+        edge_capture=np.array(capture),
+    )
+    setup = np.array(draw(st.lists(st.integers(-6, 8), min_size=n_edges, max_size=n_edges)), dtype=float)
+    hold = np.array(draw(st.lists(st.integers(-2, 10), min_size=n_edges, max_size=n_edges)), dtype=float)
+    bound = draw(st.integers(4, 20))
+    problem = SampleProblem(
+        setup_bound=setup,
+        hold_bound=hold,
+        lower=np.full(n_ffs, -float(bound)),
+        upper=np.full(n_ffs, float(bound)),
+    )
+    return topology, problem
+
+
+def _assignment_is_valid(topology, problem, solution):
+    x = np.zeros(topology.n_ffs)
+    for ff, value in solution.tunings.items():
+        if not (problem.lower[ff] - 1e-6 <= value <= problem.upper[ff] + 1e-6):
+            return False
+        x[ff] = value
+    for k in range(topology.n_edges):
+        i, j = int(topology.edge_launch[k]), int(topology.edge_capture[k])
+        if x[i] - x[j] > problem.setup_bound[k] + 1e-6:
+            return False
+        if x[j] - x[i] > problem.hold_bound[k] + 1e-6:
+            return False
+    return True
+
+
+class TestSolverProperties:
+    @given(random_problems())
+    @settings(max_examples=40)
+    def test_feasible_solutions_satisfy_all_constraints(self, case):
+        topology, problem = case
+        solution = PerSampleSolver(topology).solve(problem)
+        if solution.feasible:
+            assert _assignment_is_valid(topology, problem, solution)
+
+    @given(random_problems())
+    @settings(max_examples=40)
+    def test_no_violation_means_no_buffers(self, case):
+        topology, problem = case
+        solution = PerSampleSolver(topology).solve(problem)
+        if problem.violated_edges().size == 0:
+            assert solution.n_adjusted == 0 and solution.feasible
+
+    @given(random_problems())
+    @settings(max_examples=40)
+    def test_values_are_integral_in_discrete_mode(self, case):
+        topology, problem = case
+        solution = PerSampleSolver(topology, integral=True).solve(problem)
+        for value in solution.tunings.values():
+            assert value == int(value)
+
+    @given(random_problems())
+    @settings(max_examples=20)
+    def test_graph_never_beats_exact_milp_and_agrees_on_feasibility(self, case):
+        topology, problem = case
+        solver = PerSampleSolver(topology)
+        graph_solution = solver.solve(problem)
+        milp_solution = solver.solve_with_milp(problem)
+        assert graph_solution.feasible == milp_solution.feasible
+        if graph_solution.feasible:
+            assert milp_solution.n_adjusted <= graph_solution.n_adjusted
+            assert _assignment_is_valid(topology, problem, milp_solution)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_insert_defaults(self):
+        args = build_parser().parse_args(["insert"])
+        assert args.circuit == "s9234"
+        assert args.solver == "graph"
+        assert args.sigma == 0.0
+
+
+class TestListCircuits:
+    def test_lists_all_eight(self, capsys):
+        assert main(["list-circuits"]) == 0
+        out = capsys.readouterr().out
+        for name in ("s9234", "pci_bridge32", "usb_funct"):
+            assert name in out
+
+
+class TestCharacterize:
+    def test_prints_targets(self, capsys):
+        code = main(
+            ["characterize", "--circuit", "s9234", "--scale", "0.05", "--samples", "200", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mu_T" in out
+        assert "yield without buffers" in out
+
+
+class TestInsert:
+    def test_text_output(self, capsys):
+        code = main(
+            [
+                "insert",
+                "--circuit",
+                "s9234",
+                "--scale",
+                "0.05",
+                "--samples",
+                "80",
+                "--eval-samples",
+                "120",
+                "--seed",
+                "3",
+                "--sigma",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffers (Nb)" in out
+        assert "yield" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "insert",
+                "--circuit",
+                "s13207",
+                "--scale",
+                "0.03",
+                "--samples",
+                "60",
+                "--eval-samples",
+                "80",
+                "--seed",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["circuit"] == "s13207"
+        assert "summary" in payload and "buffers" in payload
+        assert payload["summary"]["improved_yield"] >= payload["summary"]["original_yield"] - 0.01
+
+    def test_max_buffers_cap(self, capsys):
+        code = main(
+            [
+                "insert",
+                "--circuit",
+                "s9234",
+                "--scale",
+                "0.05",
+                "--samples",
+                "80",
+                "--eval-samples",
+                "80",
+                "--seed",
+                "3",
+                "--max-buffers",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["groups"]) <= 1

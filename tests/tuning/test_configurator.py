@@ -1,0 +1,127 @@
+"""Tests for the post-silicon configurator."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import Buffer, BufferPlan
+from repro.core.sample_solver import ConstraintTopology
+from repro.timing.constraints import ConstraintSamples
+from repro.tuning.configurator import PostSiliconConfigurator
+
+
+def chain_topology(n_ffs=4):
+    return ConstraintTopology(
+        ff_names=[f"ff{i}" for i in range(n_ffs)],
+        edge_launch=np.arange(n_ffs - 1),
+        edge_capture=np.arange(1, n_ffs),
+    )
+
+
+def plan_with(buffers, groups=None):
+    return BufferPlan(buffers=buffers, target_period=10.0, groups=groups or [])
+
+
+class TestConfigureSample:
+    def test_passing_chip_needs_no_tuning(self):
+        topology = chain_topology()
+        configurator = PostSiliconConfigurator(topology, plan_with([]))
+        ok, assignment = configurator.configure_sample(np.array([1.0, 1, 1]), np.array([1.0, 1, 1]))
+        assert ok and assignment == {}
+
+    def test_violation_without_buffer_fails(self):
+        topology = chain_topology()
+        configurator = PostSiliconConfigurator(topology, plan_with([]))
+        ok, assignment = configurator.configure_sample(np.array([1.0, -1, 1]), np.array([1.0, 1, 1]))
+        assert not ok and assignment is None
+
+    def test_violation_with_buffer_on_capture_is_rescued(self):
+        topology = chain_topology()
+        plan = plan_with([Buffer("ff2", lower=-3.0, upper=3.0, step=0.0)])
+        configurator = PostSiliconConfigurator(topology, plan)
+        # Edge (ff1 -> ff2) setup violated by 2: delaying ff2's clock fixes it.
+        ok, assignment = configurator.configure_sample(
+            np.array([5.0, -2.0, 5.0]), np.array([10.0, 10.0, 10.0])
+        )
+        assert ok
+        assert assignment["ff2"] >= 2.0 - 1e-9
+
+    def test_violation_beyond_range_fails(self):
+        topology = chain_topology()
+        plan = plan_with([Buffer("ff2", lower=-1.0, upper=1.0, step=0.0)])
+        configurator = PostSiliconConfigurator(topology, plan)
+        ok, _ = configurator.configure_sample(np.array([5.0, -4.0, 5.0]), np.array([10.0, 10.0, 10.0]))
+        assert not ok
+
+    def test_discrete_step_respected(self):
+        topology = chain_topology()
+        plan = plan_with([Buffer("ff2", lower=-3.0, upper=3.0, step=0.5)])
+        configurator = PostSiliconConfigurator(topology, plan, step=0.5)
+        ok, assignment = configurator.configure_sample(
+            np.array([5.0, -1.3, 5.0]), np.array([10.0, 10.0, 10.0])
+        )
+        assert ok
+        value = assignment["ff2"]
+        assert abs(value / 0.5 - round(value / 0.5)) < 1e-9
+        assert value >= 1.3
+
+    def test_grouped_buffers_share_one_value(self):
+        topology = chain_topology(3)
+        plan = plan_with(
+            [
+                Buffer("ff0", lower=-3.0, upper=3.0, step=0.0),
+                Buffer("ff1", lower=-3.0, upper=3.0, step=0.0),
+            ],
+            groups=[["ff0", "ff1"]],
+        )
+        configurator = PostSiliconConfigurator(topology, plan)
+        assert configurator.n_variables == 1
+        # Edge (ff0 -> ff1) violated: a shared buffer cannot create a skew
+        # difference between its own two flip-flops.
+        ok, _ = configurator.configure_sample(np.array([-1.0, 5.0]), np.array([10.0, 10.0]))
+        assert not ok
+
+    def test_ungrouped_buffers_can_fix_the_same_case(self):
+        topology = chain_topology(3)
+        plan = plan_with(
+            [
+                Buffer("ff0", lower=-3.0, upper=3.0, step=0.0),
+                Buffer("ff1", lower=-3.0, upper=3.0, step=0.0),
+            ],
+            groups=[["ff0"], ["ff1"]],
+        )
+        configurator = PostSiliconConfigurator(topology, plan)
+        ok, assignment = configurator.configure_sample(np.array([-1.0, 5.0]), np.array([10.0, 10.0]))
+        assert ok
+        assert assignment["ff0"] - assignment["ff1"] <= -1.0 + 1e-9
+
+    def test_unknown_buffered_ff_rejected(self):
+        topology = chain_topology(3)
+        plan = plan_with([Buffer("not_there", lower=0, upper=1, step=0.0)])
+        with pytest.raises(KeyError):
+            PostSiliconConfigurator(topology, plan)
+
+
+class TestEvaluate:
+    def test_yield_counts(self):
+        topology = chain_topology(3)
+        plan = plan_with([Buffer("ff1", lower=-3.0, upper=3.0, step=0.0)])
+        configurator = PostSiliconConfigurator(topology, plan)
+        # Three chips: one clean, one rescuable, one hopeless.  The desired
+        # per-edge setup *bounds* are written below; since
+        # setup_bounds(T) = T + skew - setup_values, the sample values are
+        # constructed as T - bounds.
+        desired_bounds = np.array(
+            [
+                [5.0, -2.0, -20.0],
+                [5.0, 5.0, 5.0],
+            ]
+        )
+        hold = np.full((2, 3), 10.0)
+        skew = np.zeros(2)
+        samples = ConstraintSamples(10.0 - desired_bounds, hold, skew)
+        evaluation = configurator.evaluate(samples, period=10.0)
+        assert evaluation.passed.tolist() == [True, True, False]
+        assert evaluation.needed_tuning.tolist() == [False, True, True]
+        assert evaluation.yield_fraction == pytest.approx(2 / 3)
+        assert evaluation.untuned_yield_fraction == pytest.approx(1 / 3)
+        assert evaluation.rescued_fraction == pytest.approx(1 / 3)

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 10**6) for g in spawn_rngs(7, 3)]
+        b = [g.integers(0, 10**6) for g in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3) == derive_seed(3)
+
+    def test_salt_changes_value(self):
+        assert derive_seed(3, salt=1) != derive_seed(3, salt=2)

@@ -1,0 +1,35 @@
+"""Tests for repro.utils.timers."""
+
+import time
+
+from repro.utils.timers import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("step"):
+            time.sleep(0.01)
+        assert sw.durations["step"] >= 0.005
+
+    def test_multiple_measurements_same_name_accumulate(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("a", 2.0)
+        assert sw.durations["a"] == 3.0
+
+    def test_total(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("b", 0.5)
+        assert sw.total() == 1.5
+
+    def test_report_contains_names_and_total(self):
+        sw = Stopwatch()
+        sw.add("phase1", 1.0)
+        report = sw.report()
+        assert "phase1" in report
+        assert "total" in report
+
+    def test_empty_total_is_zero(self):
+        assert Stopwatch().total() == 0.0

@@ -1,0 +1,74 @@
+"""Tests for repro.variation.model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.variation.model import VariationModel
+from repro.variation.sources import VariationSource, combined_delay_sigma_fraction
+
+
+class TestVariationModel:
+    def test_shared_source_count(self):
+        model = VariationModel(grid_rows=2, grid_cols=3)
+        # 3 physical sources x (1 global + 6 regions)
+        assert model.n_shared_sources == 3 * 7
+        assert len(model.source_names) == model.n_shared_sources
+
+    def test_region_of_corners(self):
+        model = VariationModel(die_width=10, die_height=10, grid_rows=2, grid_cols=2)
+        assert model.region_of(0.0, 0.0) == 0
+        assert model.region_of(9.9, 0.0) == 1
+        assert model.region_of(0.0, 9.9) == 2
+        assert model.region_of(9.9, 9.9) == 3
+
+    def test_region_clamped_outside_die(self):
+        model = VariationModel(die_width=10, die_height=10, grid_rows=2, grid_cols=2)
+        assert model.region_of(-5.0, 20.0) == 2
+
+    def test_delay_form_total_sigma(self):
+        model = VariationModel()
+        nominal = 10.0
+        gate = model.delay_form(nominal, 5.0, 5.0)
+        expected = combined_delay_sigma_fraction(model.sources) * nominal
+        assert math.isclose(gate.sigma, expected, rel_tol=1e-9)
+        assert gate.form.mean == nominal
+
+    def test_delay_scales_linearly_with_nominal(self):
+        model = VariationModel()
+        small = model.delay_form(1.0, 1.0, 1.0)
+        large = model.delay_form(4.0, 1.0, 1.0)
+        assert math.isclose(large.sigma, 4 * small.sigma, rel_tol=1e-9)
+
+    def test_same_region_gates_are_correlated(self):
+        model = VariationModel(die_width=100, die_height=100, grid_rows=4, grid_cols=4)
+        a = model.delay_form(5.0, 10.0, 10.0).form
+        b = model.delay_form(5.0, 12.0, 12.0).form
+        c = model.delay_form(5.0, 90.0, 90.0).form
+        assert a.correlation(b) > a.correlation(c)
+
+    def test_negative_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel().delay_form(-1.0)
+
+    def test_constant_form(self):
+        model = VariationModel()
+        form = model.constant_form(3.0)
+        assert form.mean == 3.0
+        assert form.std == 0.0
+        assert form.n_sources == model.n_shared_sources
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(grid_rows=0)
+
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            VariationModel(sources=())
+
+    def test_sigma_scale(self):
+        model = VariationModel()
+        base = model.delay_form(5.0, 1.0, 1.0).sigma
+        scaled = model.delay_form(5.0, 1.0, 1.0, sigma_scale=2.0).sigma
+        assert math.isclose(scaled, 2 * base, rel_tol=1e-9)

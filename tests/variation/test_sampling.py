@@ -1,0 +1,84 @@
+"""Tests for repro.variation.sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.variation.canonical import CanonicalForm
+from repro.variation.model import VariationModel
+from repro.variation.sampling import MonteCarloSampler, SampleBatch
+
+
+@pytest.fixture()
+def model():
+    return VariationModel(grid_rows=2, grid_cols=2)
+
+
+class TestSampleBatch:
+    def test_shape_properties(self, model):
+        sampler = MonteCarloSampler(model, rng=0)
+        batch = sampler.sample(50)
+        assert batch.n_samples == 50
+        assert batch.n_sources == model.n_shared_sources
+
+    def test_subset(self, model):
+        batch = MonteCarloSampler(model, rng=0).sample(20)
+        sub = batch.subset([0, 5, 7])
+        assert sub.n_samples == 3
+        assert np.allclose(sub.shared[:, 1], batch.shared[:, 5])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SampleBatch(np.zeros(5))
+
+    def test_rejects_non_positive_count(self, model):
+        with pytest.raises(ValueError):
+            MonteCarloSampler(model, rng=0).sample(0)
+
+
+class TestEvaluate:
+    def test_deterministic_given_seed(self, model):
+        forms = [model.delay_form(5.0, 10, 10).form for _ in range(3)]
+        a = MonteCarloSampler(model, rng=3)
+        b = MonteCarloSampler(model, rng=3)
+        va = a.evaluate(forms, a.sample(100))
+        vb = b.evaluate(forms, b.sample(100))
+        assert np.allclose(va, vb)
+
+    def test_statistics_match_canonical_moments(self, model):
+        form = model.delay_form(10.0, 20, 20).form
+        sampler = MonteCarloSampler(model, rng=1)
+        batch = sampler.sample(40000)
+        values = sampler.evaluate([form], batch)[0]
+        assert math.isclose(values.mean(), form.mean, rel_tol=0.01)
+        assert math.isclose(values.std(), form.std, rel_tol=0.05)
+
+    def test_empty_forms(self, model):
+        sampler = MonteCarloSampler(model, rng=1)
+        values = sampler.evaluate([], sampler.sample(10))
+        assert values.shape == (0, 10)
+
+    def test_mismatched_batch_rejected(self, model):
+        other = VariationModel(grid_rows=3, grid_cols=3)
+        sampler = MonteCarloSampler(model, rng=1)
+        batch = MonteCarloSampler(other, rng=1).sample(5)
+        with pytest.raises(ValueError):
+            sampler.evaluate([model.constant_form(1.0)], batch)
+
+    def test_exclude_independent_term(self, model):
+        form = CanonicalForm(1.0, np.zeros(model.n_shared_sources), independent=10.0)
+        sampler = MonteCarloSampler(model, rng=1)
+        batch = sampler.sample(100)
+        values = sampler.evaluate([form], batch, include_independent=False)[0]
+        assert np.allclose(values, 1.0)
+
+    def test_correlated_forms_share_samples(self, model):
+        # Two forms with identical sensitivities must produce identical samples
+        # (up to their independent terms, which are zero here).
+        form = model.delay_form(10.0, 20, 20).form
+        clone = CanonicalForm(form.mean, form.sensitivities.copy(), 0.0)
+        sampler = MonteCarloSampler(model, rng=1)
+        batch = sampler.sample(200)
+        values = sampler.evaluate([clone, clone], batch)
+        assert np.allclose(values[0], values[1])

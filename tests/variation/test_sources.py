@@ -1,0 +1,59 @@
+"""Tests for repro.variation.sources."""
+
+import math
+
+import pytest
+
+from repro.variation.sources import (
+    DEFAULT_SOURCES,
+    VarianceSplit,
+    VariationSource,
+    combined_delay_sigma_fraction,
+)
+
+
+class TestVarianceSplit:
+    def test_default_sums_to_one(self):
+        split = VarianceSplit()
+        assert math.isclose(sum(split.as_tuple()), 1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            VarianceSplit(0.5, 0.5, 0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VarianceSplit(-0.1, 0.6, 0.5)
+
+
+class TestVariationSource:
+    def test_paper_sigma_values_present(self):
+        sigmas = {src.name: src.sigma_fraction for src in DEFAULT_SOURCES}
+        assert math.isclose(sigmas["length"], 0.157)
+        assert math.isclose(sigmas["oxide_thickness"], 0.053)
+        assert math.isclose(sigmas["threshold_voltage"], 0.044)
+
+    def test_delay_sigma_fraction(self):
+        src = VariationSource("x", sigma_fraction=0.1, delay_sensitivity=0.5)
+        assert math.isclose(src.delay_sigma_fraction, 0.05)
+
+    def test_rejects_sigma_above_one(self):
+        with pytest.raises(ValueError):
+            VariationSource("x", sigma_fraction=1.5)
+
+    def test_rejects_negative_sensitivity(self):
+        with pytest.raises(ValueError):
+            VariationSource("x", sigma_fraction=0.1, delay_sensitivity=-1.0)
+
+
+class TestCombinedSigma:
+    def test_combined_is_rss(self):
+        sources = [
+            VariationSource("a", 0.3, 1.0),
+            VariationSource("b", 0.4, 1.0),
+        ]
+        assert math.isclose(combined_delay_sigma_fraction(sources), 0.5)
+
+    def test_default_combined_in_plausible_range(self):
+        combined = combined_delay_sigma_fraction()
+        assert 0.05 < combined < 0.2

@@ -1,0 +1,58 @@
+"""Tests for the yield estimator."""
+
+import pytest
+
+from repro.baselines import every_ff_plan
+from repro.core.results import BufferPlan
+from repro.yieldsim import YieldEstimator
+
+
+@pytest.fixture(scope="module")
+def estimator(small_design, small_constraint_graph):
+    return YieldEstimator(small_design, constraint_graph=small_constraint_graph, n_samples=300, rng=2)
+
+
+@pytest.fixture(scope="module")
+def samples(estimator):
+    return estimator.draw_samples()
+
+
+class TestYieldEstimator:
+    def test_period_analysis_matches_targets(self, estimator, samples):
+        analysis = estimator.period_analysis(samples)
+        assert analysis.mean > 0
+        assert analysis.std > 0
+
+    def test_original_yield_monotone_in_period(self, estimator, samples):
+        analysis = estimator.period_analysis(samples)
+        y_tight = estimator.original_yield(analysis.target_period(0), samples)
+        y_loose = estimator.original_yield(analysis.target_period(2), samples)
+        assert y_loose >= y_tight
+
+    def test_empty_plan_changes_nothing(self, estimator, samples):
+        analysis = estimator.period_analysis(samples)
+        period = analysis.target_period(1)
+        report = estimator.evaluate_plan(BufferPlan(), period, constraint_samples=samples)
+        assert report.tuned_yield == pytest.approx(report.original_yield)
+        assert report.yield_improvement == pytest.approx(0.0)
+
+    def test_every_ff_plan_improves_yield(self, estimator, samples, small_design):
+        analysis = estimator.period_analysis(samples)
+        period = analysis.target_period(0)
+        plan = every_ff_plan(small_design, period)
+        report = estimator.evaluate_plan(plan, period, constraint_samples=samples)
+        assert report.tuned_yield > report.original_yield + 0.1
+        assert report.n_samples == samples.n_samples
+
+    def test_report_dict_keys(self, estimator, samples, small_design):
+        analysis = estimator.period_analysis(samples)
+        period = analysis.target_period(1)
+        plan = every_ff_plan(small_design, period)
+        report = estimator.evaluate_plan(plan, period, constraint_samples=samples)
+        data = report.as_dict()
+        for key in ("target_period", "original_yield", "tuned_yield", "yield_improvement"):
+            assert key in data
+
+    def test_fresh_samples_path(self, estimator):
+        samples = estimator.draw_samples(50)
+        assert samples.n_samples == 50
