@@ -15,6 +15,7 @@ here:
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -65,6 +66,59 @@ def test_runtime_grows_with_circuit_size(benchmark):
     runtimes = run_once(benchmark, run)
     for circuit, (gates, seconds) in runtimes.items():
         print(f"\n{circuit}: {gates} gates -> {seconds:.2f} s")
+
+
+def test_flow_runtime_by_executor(benchmark):
+    """End-to-end flow runtime per engine executor (identical results).
+
+    Runs the same flow on the serial, thread-pool and process-pool
+    executors and asserts the buffer plans are identical.  The speedup
+    assertion only fires where it is physically meaningful: multiple
+    cores available *and* a serial runtime large enough (>= 2 s) for the
+    parallel gain to dominate pool start-up on a ~second-scale workload.
+    """
+    circuit = SETTINGS.circuits[0]
+    design = get_design(circuit)
+    jobs = max(2, (os.cpu_count() or 1))
+
+    def run_flow(executor: str):
+        config = FlowConfig(
+            n_samples=SETTINGS.n_samples,
+            n_eval_samples=SETTINGS.n_eval_samples,
+            seed=3,
+            target_sigma=0.0,
+            executor=executor,
+            jobs=1 if executor == "serial" else jobs,
+        )
+        start = time.perf_counter()
+        result = BufferInsertionFlow(design, config).run()
+        return time.perf_counter() - start, result
+
+    def run_all():
+        # Warm-up so the serial leg does not pay one-time imports.
+        BufferInsertionFlow(
+            design, FlowConfig(n_samples=20, n_eval_samples=20, seed=3, target_sigma=0.0)
+        ).run()
+        return {executor: run_flow(executor) for executor in ("serial", "threads", "processes")}
+
+    results = run_once(benchmark, run_all)
+    plans = {}
+    for executor, (seconds, result) in results.items():
+        plans[executor] = sorted((b.flip_flop, b.lower, b.upper) for b in result.plan.buffers)
+        print(
+            f"\n{circuit}: executor {executor} (jobs {1 if executor == 'serial' else jobs}) "
+            f"-> {seconds:.2f} s, {result.plan.n_buffers} buffers, "
+            f"Yi {100 * result.yield_improvement:.2f} points"
+        )
+    assert plans["serial"] == plans["threads"] == plans["processes"], (
+        "flow results must be identical across executors"
+    )
+    serial_seconds = results["serial"][0]
+    process_seconds = results["processes"][0]
+    if (os.cpu_count() or 1) > 1 and serial_seconds >= 2.0:
+        assert process_seconds < serial_seconds, (
+            "process-pool flow should beat the serial flow on a multi-core machine"
+        )
 
 
 def test_graph_solver_faster_than_milp(benchmark):

@@ -1,0 +1,10 @@
+"""Legacy shim: all metadata lives in pyproject.toml.
+
+Kept so `python setup.py develop` works on offline machines whose
+setuptools predates self-contained PEP 660 editable installs (which
+need the `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -26,6 +26,13 @@ The public API is organised in subpackages:
     A from-scratch mixed-integer linear programming solver used as the
     Gurobi replacement for the per-sample optimisation problems.
 
+``repro.engine``
+    Parallel sample-solving execution engine: pluggable serial / thread /
+    process executors with chunked submission and warm worker state,
+    batched sample scheduling, a keyed result cache and progress /
+    timing instrumentation.  Shared by the flow, the yield estimator and
+    the baselines; results are bit-identical across executors.
+
 ``repro.core``
     The paper's contribution: the three-step sampling-based buffer
     insertion flow (floating bounds, fixed bounds, grouping).

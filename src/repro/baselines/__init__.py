@@ -13,15 +13,28 @@ strategies so the benchmark harness can report who wins and by how much:
   heuristic);
 * :mod:`repro.baselines.random_placement` — buffers at k random flip-flops
   (sanity baseline).
+
+The ``evaluate_*`` companions build a plan and run its Monte-Carlo
+yield sweep through the execution engine (:mod:`repro.engine`), so the
+baseline comparisons parallelise the same way the main flow does.
 """
 
-from repro.baselines.criticality import criticality_plan, flip_flop_criticality
-from repro.baselines.every_ff import every_ff_plan
-from repro.baselines.random_placement import random_plan
+from repro.baselines.criticality import (
+    criticality_plan,
+    evaluate_criticality,
+    flip_flop_criticality,
+)
+from repro.baselines.every_ff import evaluate_every_ff, every_ff_plan
+from repro.baselines.harness import evaluate_plan_on_engine
+from repro.baselines.random_placement import evaluate_random, random_plan
 
 __all__ = [
     "every_ff_plan",
     "criticality_plan",
     "flip_flop_criticality",
     "random_plan",
+    "evaluate_criticality",
+    "evaluate_every_ff",
+    "evaluate_plan_on_engine",
+    "evaluate_random",
 ]

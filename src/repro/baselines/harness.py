@@ -1,0 +1,45 @@
+"""Shared engine-backed evaluation for the baseline strategies.
+
+Every baseline is "build a plan, evaluate its yield on fresh samples";
+only the plan builder differs.  This helper owns the single
+plan-to-report path so executor lifecycle (and any future evaluation
+knob) lives in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuit.design import CircuitDesign
+from repro.core.results import BufferPlan
+from repro.timing.constraints import SequentialConstraintGraph
+
+
+def evaluate_plan_on_engine(
+    design: CircuitDesign,
+    plan: BufferPlan,
+    target_period: float,
+    constraint_graph: Optional[SequentialConstraintGraph] = None,
+    n_samples: int = 2000,
+    rng: int = 0,
+    executor=None,
+    jobs: Optional[int] = None,
+):
+    """Evaluate a finished plan's yield through the execution engine.
+
+    The Monte-Carlo sweep runs on ``executor`` (an executor name, an
+    existing :class:`repro.engine.Executor`, or ``None`` for serial); a
+    pool created here by name is closed before returning.  Returns a
+    :class:`repro.yieldsim.report.YieldReport`.
+    """
+    from repro.yieldsim.estimator import YieldEstimator
+
+    with YieldEstimator(
+        design,
+        constraint_graph=constraint_graph,
+        n_samples=n_samples,
+        rng=rng,
+        executor=executor,
+        jobs=jobs,
+    ) as estimator:
+        return estimator.evaluate_plan(plan, target_period)

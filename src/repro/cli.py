@@ -54,6 +54,23 @@ def build_parser() -> argparse.ArgumentParser:
     insert.add_argument("--period", type=float, default=None, help="absolute target period (overrides --sigma)")
     insert.add_argument("--solver", choices=("graph", "milp"), default="graph", help="per-sample solver backend")
     insert.add_argument("--max-buffers", type=int, default=None, help="cap on physical buffers after grouping")
+    from repro.engine import EXECUTOR_CHOICES
+
+    insert.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default="processes",
+        help="sample-solving engine backend (results are identical across executors)",
+    )
+    insert.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the parallel executors (default: CPU count)",
+    )
+    insert.add_argument(
+        "--progress", action="store_true", help="print per-phase sample progress to stderr"
+    )
     insert.add_argument("--json", action="store_true", help="print the result as JSON")
     return parser
 
@@ -98,6 +115,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 def _cmd_insert(args: argparse.Namespace) -> int:
     from repro.circuit.suite import build_suite_circuit
     from repro.core import BufferInsertionFlow, FlowConfig
+    from repro.engine import LogProgress
 
     design = build_suite_circuit(args.circuit, scale=args.scale, seed=args.seed)
     config = FlowConfig(
@@ -108,8 +126,11 @@ def _cmd_insert(args: argparse.Namespace) -> int:
         target_period=args.period,
         solver=args.solver,
         max_buffers=args.max_buffers,
+        executor=args.executor,
+        jobs=args.jobs,
     )
-    result = BufferInsertionFlow(design, config).run()
+    progress = LogProgress() if args.progress else None
+    result = BufferInsertionFlow(design, config, progress=progress).run()
 
     if args.json:
         payload = {

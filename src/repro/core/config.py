@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.engine import EXECUTOR_CHOICES
 from repro.utils.validation import (
     check_fraction,
     check_non_negative,
@@ -123,6 +124,15 @@ class FlowConfig:
     lp_backend:
         LP backend used for the concentration subproblems
         (``"auto"``/``"scipy"``/``"simplex"``).
+    executor:
+        Execution backend of the sample-solving engine:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"``
+        (see :mod:`repro.engine`).  The flow result is bit-identical
+        across executors for a fixed seed.
+    jobs:
+        Worker count for the parallel executors (``None``: CPU count).
+    chunk_size:
+        Samples per executor round trip (``None``: balanced heuristic).
     """
 
     n_samples: int = 1000
@@ -144,6 +154,9 @@ class FlowConfig:
     concentrate: bool = True
     exact_region_size: int = 10
     lp_backend: str = "auto"
+    executor: str = "serial"
+    jobs: Optional[int] = None
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive(self.n_samples, "n_samples")
@@ -164,6 +177,14 @@ class FlowConfig:
         check_probability(self.correlation_threshold, "correlation_threshold")
         check_non_negative(self.distance_factor, "distance_factor")
         check_positive(self.exact_region_size, "exact_region_size")
+        if self.executor not in EXECUTOR_CHOICES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_CHOICES}, got {self.executor!r}"
+            )
+        if self.jobs is not None:
+            check_positive(self.jobs, "jobs")
+        if self.chunk_size is not None:
+            check_positive(self.chunk_size, "chunk_size")
 
     @property
     def prune_critical_count(self) -> int:

@@ -24,6 +24,22 @@ optional designer cap drops the least-used groups.
 Finally the resulting plan is evaluated on a *fresh* batch of samples with
 the post-silicon configurator, yielding the ``Y`` / ``Yi`` numbers of
 Table I.
+
+**Execution engine hand-off.**  All three sample sweeps (step 1, step 2
+and the final evaluation) are embarrassingly parallel, so the flow does
+not loop over samples itself: it builds one
+:class:`~repro.engine.BatchProblem` per batch and hands it to a
+:class:`~repro.engine.SampleScheduler`, which skips clean samples,
+consults a content-keyed :class:`~repro.engine.ResultCache` and fans the
+remaining solves out over the executor configured by
+:attr:`FlowConfig.executor` / :attr:`FlowConfig.jobs` (``serial``,
+``threads`` or ``processes``).  The pruning re-solve of III-A2 is
+incremental: solutions that never touched a pruned buffer are *adopted*
+into the cache under the reduced candidate mask, so only the affected
+samples are solved again.  Results are reduced in sample-index order,
+which makes the flow output bit-identical across executors for a fixed
+seed; per-phase engine counters are returned in
+:attr:`~repro.core.results.FlowResult.engine_stats`.
 """
 
 from __future__ import annotations
@@ -42,8 +58,14 @@ from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
 from repro.core.sample_solver import (
     ConstraintTopology,
     PerSampleSolver,
-    SampleProblem,
     SampleSolution,
+)
+from repro.engine import (
+    BatchProblem,
+    EngineStats,
+    ResultCache,
+    SampleScheduler,
+    create_executor,
 )
 from repro.timing.constraints import ConstraintSamples, ensure_constraint_graph
 from repro.timing.period import sample_min_periods
@@ -62,17 +84,47 @@ class BufferInsertionFlow:
         The circuit design (netlist + placement + clocking + variation).
     config:
         Flow configuration; see :class:`~repro.core.config.FlowConfig`.
+    executor:
+        Optional externally-owned :class:`repro.engine.Executor`; when
+        given it overrides :attr:`FlowConfig.executor` /
+        :attr:`FlowConfig.jobs` and is *not* closed by the flow, so one
+        executor can serve many flow runs.  (Thread pools stay warm
+        across runs; a process pool restarts per run because each flow
+        ships its own solver to the workers.)
+    progress:
+        Optional :class:`repro.engine.ProgressReporter` receiving
+        per-phase sample progress.
     """
 
-    def __init__(self, design: CircuitDesign, config: Optional[FlowConfig] = None) -> None:
+    def __init__(
+        self,
+        design: CircuitDesign,
+        config: Optional[FlowConfig] = None,
+        executor=None,
+        progress=None,
+    ) -> None:
         self.design = design
         self.config = config or FlowConfig()
         self.constraint_graph = ensure_constraint_graph(design)
         self.topology = ConstraintTopology.from_constraint_graph(self.constraint_graph)
+        self._executor = executor
+        self._progress = progress
 
     # ------------------------------------------------------------------
     def run(self) -> FlowResult:
         """Execute the full flow and return the result."""
+        cfg = self.config
+        owns_executor = self._executor is None
+        executor = self._executor if self._executor is not None else create_executor(
+            cfg.executor, cfg.jobs
+        )
+        try:
+            return self._run(executor)
+        finally:
+            if owns_executor:
+                executor.close()
+
+    def _run(self, executor) -> FlowResult:
         cfg = self.config
         stopwatch = Stopwatch()
         train_rng, eval_rng, solver_rng = spawn_rngs(cfg.seed, 3)
@@ -120,6 +172,21 @@ class BufferInsertionFlow:
             integral=spec.discrete,
         )
 
+        # The engine substrate: one batch description of the training
+        # samples, a scheduler fanning solves out over the executor, and a
+        # keyed cache making the pruning re-solve incremental.
+        train_problem = BatchProblem(setup_bounds, hold_bounds)
+        engine_stats = EngineStats()
+        solve_cache = ResultCache()
+        scheduler = SampleScheduler(
+            solver,
+            executor=executor,
+            cache=solve_cache,
+            stats=engine_stats,
+            progress=self._progress,
+            chunk_size=cfg.chunk_size,
+        )
+
         # ------------------------------------------------------------------
         # Step 1: floating lower bounds
         # ------------------------------------------------------------------
@@ -128,8 +195,8 @@ class BufferInsertionFlow:
 
         with stopwatch.measure("step1_sampling"):
             candidates = np.ones(n_ffs, dtype=bool)
-            step1_solutions = self._solve_all_samples(
-                solver, setup_bounds, hold_bounds, float_lower, float_upper, candidates, None
+            step1_solutions = scheduler.solve_batch(
+                train_problem, float_lower, float_upper, candidates, None, phase="step1"
             )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
 
@@ -141,21 +208,32 @@ class BufferInsertionFlow:
                 critical_count=cfg.prune_critical_count,
             )
             candidates = pruning.kept
-            # Re-solve only the samples whose solution used a pruned buffer.
-            for index, solution in enumerate(step1_solutions):
-                if solution is None:
-                    continue
-                if any(not candidates[ff] for ff in solution.tunings):
-                    step1_solutions[index] = solver.solve(
-                        SampleProblem(
-                            setup_bounds[:, index],
-                            hold_bounds[:, index],
-                            float_lower,
-                            float_upper,
-                        ),
-                        candidates=candidates,
-                    )
+            # Re-solve only the samples whose solution used a pruned buffer:
+            # untouched solutions are adopted into the cache under the
+            # reduced candidate mask and come back as hits.  Re-solves use
+            # the configured backend — for solver="milp" this deliberately
+            # differs from the pre-engine code, which always re-solved with
+            # the graph heuristic regardless of the configured backend.
+            scheduler.adopt(
+                train_problem,
+                float_lower,
+                float_upper,
+                candidates,
+                None,
+                {
+                    index: solution
+                    for index, solution in enumerate(step1_solutions)
+                    if solution is not None
+                    and all(candidates[ff] for ff in solution.tunings)
+                },
+            )
+            step1_solutions = scheduler.solve_batch(
+                train_problem, float_lower, float_upper, candidates, None, phase="step1_resolve"
+            )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
+        # Step 2 changes the bounds (and later the targets), so no step-1
+        # cache entry can ever hit again — free them up front.
+        solve_cache.clear()
 
         step1 = self._collect_artifacts(step1_solutions, usage1)
 
@@ -193,21 +271,25 @@ class BufferInsertionFlow:
             if outside_fraction >= cfg.skip_step2_threshold:
                 # Re-run the count-minimisation with the fixed windows first
                 # (Sec. III-B1), then compute the averages from its values.
-                interim = self._solve_all_samples(
-                    solver, setup_bounds, hold_bounds, fixed_lower, fixed_upper, candidate_mask, None
+                interim = scheduler.solve_batch(
+                    train_problem,
+                    fixed_lower,
+                    fixed_upper,
+                    candidate_mask,
+                    None,
+                    phase="step2_interim",
                 )
                 averages = self._average_tunings(interim, n_ffs, fixed_lower, fixed_upper)
             else:
                 averages = self._average_tunings(step1_solutions, n_ffs, fixed_lower, fixed_upper)
 
-            step2_solutions = self._solve_all_samples(
-                solver,
-                setup_bounds,
-                hold_bounds,
+            step2_solutions = scheduler.solve_batch(
+                train_problem,
                 fixed_lower,
                 fixed_upper,
                 candidate_mask,
                 averages,
+                phase="step2",
             )
             usage2 = self._usage_counts(step2_solutions, n_ffs)
         step2 = self._collect_artifacts(step2_solutions, usage2)
@@ -273,7 +355,14 @@ class BufferInsertionFlow:
             original_ok = np.all(eval_setup >= 0.0, axis=0) & np.all(eval_hold >= 0.0, axis=0)
             original_yield = float(np.mean(original_ok))
             configurator = PostSiliconConfigurator(self.topology, plan, step=step)
-            evaluation = configurator.evaluate(eval_samples, target_period)
+            evaluation = configurator.evaluate(
+                eval_samples,
+                target_period,
+                executor=executor,
+                chunk_size=cfg.chunk_size,
+                stats=engine_stats,
+                progress=self._progress,
+            )
             improved_yield = float(evaluation.yield_fraction)
 
         lower_bounds = {
@@ -290,38 +379,12 @@ class BufferInsertionFlow:
             step2=step2,
             lower_bounds=lower_bounds,
             runtime_seconds=dict(stopwatch.durations),
+            engine_stats=engine_stats.as_dict(),
         )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _solve_all_samples(
-        self,
-        solver: PerSampleSolver,
-        setup_bounds: np.ndarray,
-        hold_bounds: np.ndarray,
-        lower: np.ndarray,
-        upper: np.ndarray,
-        candidates: np.ndarray,
-        targets: Optional[np.ndarray],
-    ) -> List[Optional[SampleSolution]]:
-        """Run the per-sample solver over every training sample.
-
-        Samples without any violated constraint return ``None`` (nothing to
-        do), which keeps the artefact collection cheap.
-        """
-        n_samples = setup_bounds.shape[1]
-        solutions: List[Optional[SampleSolution]] = [None] * n_samples
-        solve = solver.solve_with_milp if solver.backend == "milp" else solver.solve
-        for s in range(n_samples):
-            sb = setup_bounds[:, s]
-            hb = hold_bounds[:, s]
-            if np.all(sb >= 0.0) and np.all(hb >= 0.0):
-                continue
-            problem = SampleProblem(sb, hb, lower, upper)
-            solutions[s] = solve(problem, candidates=candidates, targets=targets)
-        return solutions
-
     @staticmethod
     def _usage_counts(
         solutions: List[Optional[SampleSolution]], n_ffs: int

@@ -148,6 +148,10 @@ class FlowResult:
         The assigned range-window lower bounds ``r_i`` (time units).
     runtime_seconds:
         Wall-clock runtimes per flow phase.
+    engine_stats:
+        Per-phase instrumentation of the sample-solving engine (task,
+        dispatch, cache-hit and chunk counts plus seconds; see
+        :class:`repro.engine.EngineStats`), keyed by engine phase.
     """
 
     plan: BufferPlan
@@ -160,6 +164,7 @@ class FlowResult:
     step2: StepArtifacts
     lower_bounds: Dict[str, float] = field(default_factory=dict)
     runtime_seconds: Dict[str, float] = field(default_factory=dict)
+    engine_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def yield_improvement(self) -> float:

@@ -1,0 +1,75 @@
+"""repro.engine — parallel sample-solving execution engine.
+
+The sampling-based flow of the paper is embarrassingly parallel: every
+Monte-Carlo training sample spawns an independent per-sample
+optimisation, and the final yield evaluation is a second independent
+sweep.  This subsystem turns that observation into a common substrate:
+
+* :mod:`repro.engine.executor` — pluggable backends
+  (:class:`SerialExecutor`, :class:`ThreadPoolExecutor`,
+  :class:`ProcessPoolExecutor`) with chunked task submission, warm
+  per-worker state and deterministic per-task seed discipline;
+* :mod:`repro.engine.batch` — batched sample-problem descriptions and
+  chunking;
+* :mod:`repro.engine.scheduler` — :class:`SampleScheduler`, which skips
+  clean samples, consults the result cache, dispatches chunks and merges
+  results in deterministic sample-index order, plus
+  :func:`run_yield_evaluation` for the evaluation sweep;
+* :mod:`repro.engine.cache` — the content-fingerprint keyed
+  :class:`ResultCache` that makes pruning re-solves incremental;
+* :mod:`repro.engine.progress` — progress reporting and per-phase
+  timing instrumentation (:class:`EngineStats`).
+
+For a fixed seed the flow output is bit-identical across all executors;
+the executors only change how fast the samples are solved, never what
+is solved.
+"""
+
+from repro.engine.batch import BatchProblem, ChunkPayload, default_chunk_size, make_chunks
+from repro.engine.cache import CacheKey, ResultCache, fingerprint_array, fingerprint_arrays
+from repro.engine.executor import (
+    EXECUTOR_CHOICES,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    create_executor,
+    resolve_jobs,
+    spawn_task_seeds,
+)
+from repro.engine.progress import (
+    EngineStats,
+    LogProgress,
+    NullProgress,
+    PhaseStats,
+    ProgressReporter,
+)
+from repro.engine.scheduler import SampleScheduler, configure_chunk, run_yield_evaluation, solve_chunk
+
+__all__ = [
+    "BatchProblem",
+    "CacheKey",
+    "ChunkPayload",
+    "EXECUTOR_CHOICES",
+    "EngineStats",
+    "Executor",
+    "LogProgress",
+    "NullProgress",
+    "PhaseStats",
+    "ProcessPoolExecutor",
+    "ProgressReporter",
+    "ResultCache",
+    "SampleScheduler",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "configure_chunk",
+    "create_executor",
+    "default_chunk_size",
+    "fingerprint_array",
+    "fingerprint_arrays",
+    "make_chunks",
+    "resolve_jobs",
+    "run_yield_evaluation",
+    "solve_chunk",
+    "spawn_task_seeds",
+]

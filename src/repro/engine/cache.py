@@ -1,0 +1,119 @@
+"""Keyed result cache for per-sample solutions.
+
+The flow solves the same Monte-Carlo batch several times with slightly
+different settings: the pruning step (paper Sec. III-A2) removes buffer
+candidates and only the samples whose solution touched a pruned buffer
+need a fresh solve.  :class:`ResultCache` makes that incremental: results
+are stored under a :class:`CacheKey` built from content fingerprints of
+every input that influences a solve (batch data, tuning windows,
+candidate mask, concentration targets) plus the sample index.  A
+re-solve with an unchanged key is a hit; any input change alters the
+fingerprint and misses, so stale results can never be returned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, NamedTuple, Optional
+
+import numpy as np
+
+
+def fingerprint_array(array: Optional[np.ndarray]) -> str:
+    """Stable content hash of one array (``"none"`` for ``None``)."""
+    if array is None:
+        return "none"
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_arrays(*arrays: Optional[np.ndarray]) -> str:
+    """Stable combined content hash of several arrays."""
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        digest.update(fingerprint_array(array).encode())
+    return digest.hexdigest()
+
+
+class CacheKey(NamedTuple):
+    """Identity of one per-sample solve.
+
+    Attributes
+    ----------
+    batch:
+        Fingerprint of the sample batch (setup/hold bound arrays).
+    bounds:
+        Fingerprint of the tuning windows (lower/upper vectors).
+    candidates:
+        Fingerprint of the candidate-buffer mask.
+    targets:
+        Fingerprint of the concentration targets (``"none"`` in step 1).
+    index:
+        Sample index within the batch.
+    """
+
+    batch: str
+    bounds: str
+    candidates: str
+    targets: str
+    index: int
+
+
+class ResultCache:
+    """Bounded LRU mapping of :class:`CacheKey` to solve results.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional capacity; the least recently used entries are evicted
+        beyond it.  ``None`` (default) keeps everything.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey, default: Any = None) -> Any:
+        """Look up a result, counting the hit/miss and refreshing LRU order."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Store a result, evicting the oldest entry beyond capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Current size and hit/miss counters."""
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache(entries={len(self._entries)}, hits={self.hits}, misses={self.misses})"

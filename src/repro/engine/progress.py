@@ -1,0 +1,126 @@
+"""Progress reporting and timing instrumentation for the engine.
+
+Two independent pieces:
+
+* :class:`ProgressReporter` — a tiny observer interface the scheduler
+  calls as chunks complete.  :class:`NullProgress` ignores everything
+  (the default); :class:`LogProgress` prints throttled status lines,
+  which the CLI enables with ``--progress``.
+* :class:`EngineStats` — per-phase counters (tasks, dispatched solves,
+  cache hits, chunks, wall-clock seconds) accumulated across a flow run
+  and exported as plain dictionaries into
+  :attr:`~repro.core.results.FlowResult.engine_stats`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TextIO
+
+
+class ProgressReporter:
+    """Observer interface; all methods are optional no-ops."""
+
+    def start(self, phase: str, total: int) -> None:
+        """A phase with ``total`` tasks is about to run."""
+
+    def advance(self, phase: str, done: int, total: int) -> None:
+        """``done`` of ``total`` tasks of the phase have completed."""
+
+    def finish(self, phase: str, total: int, seconds: float) -> None:
+        """The phase completed in ``seconds``."""
+
+
+class NullProgress(ProgressReporter):
+    """Discard all progress events (the default reporter)."""
+
+
+class LogProgress(ProgressReporter):
+    """Print throttled progress lines to a stream.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default ``sys.stderr``).
+    min_interval:
+        Minimum seconds between two ``advance`` lines of the same phase.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, min_interval: float = 0.5) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self._last_emit: Dict[str, float] = {}
+
+    def start(self, phase: str, total: int) -> None:
+        print(f"[engine] {phase}: 0/{total} samples", file=self.stream, flush=True)
+        self._last_emit[phase] = time.perf_counter()
+
+    def advance(self, phase: str, done: int, total: int) -> None:
+        now = time.perf_counter()
+        if done < total and now - self._last_emit.get(phase, 0.0) < self.min_interval:
+            return
+        self._last_emit[phase] = now
+        print(f"[engine] {phase}: {done}/{total} samples", file=self.stream, flush=True)
+
+    def finish(self, phase: str, total: int, seconds: float) -> None:
+        print(
+            f"[engine] {phase}: done ({total} samples in {seconds:.2f} s)",
+            file=self.stream,
+            flush=True,
+        )
+
+
+@dataclass
+class PhaseStats:
+    """Counters of one named engine phase."""
+
+    n_tasks: int = 0
+    n_dispatched: int = 0
+    n_cache_hits: int = 0
+    n_chunks: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (for :class:`~repro.core.results.FlowResult`)."""
+        return {
+            "n_tasks": float(self.n_tasks),
+            "n_dispatched": float(self.n_dispatched),
+            "n_cache_hits": float(self.n_cache_hits),
+            "n_chunks": float(self.n_chunks),
+            "seconds": float(self.seconds),
+        }
+
+
+@dataclass
+class EngineStats:
+    """Per-phase instrumentation accumulated over an engine session."""
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+
+    def record(
+        self,
+        phase: str,
+        n_tasks: int = 0,
+        n_dispatched: int = 0,
+        n_cache_hits: int = 0,
+        n_chunks: int = 0,
+        seconds: float = 0.0,
+    ) -> PhaseStats:
+        """Accumulate counters into ``phase`` (creating it on first use)."""
+        stats = self.phases.setdefault(phase, PhaseStats())
+        stats.n_tasks += int(n_tasks)
+        stats.n_dispatched += int(n_dispatched)
+        stats.n_cache_hits += int(n_cache_hits)
+        stats.n_chunks += int(n_chunks)
+        stats.seconds += float(seconds)
+        return stats
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Plain nested-dict view of every phase."""
+        return {name: stats.as_dict() for name, stats in self.phases.items()}
+
+    def total_seconds(self) -> float:
+        """Wall-clock seconds summed over all phases."""
+        return float(sum(stats.seconds for stats in self.phases.values()))

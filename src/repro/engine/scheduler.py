@@ -1,0 +1,327 @@
+"""Batched sample scheduling on top of the executors.
+
+:class:`SampleScheduler` is the piece the flow talks to: given one
+Monte-Carlo :class:`~repro.engine.batch.BatchProblem` and the current
+solve settings (tuning windows, candidate mask, concentration targets)
+it
+
+1. skips the samples with no violated constraint (vectorised),
+2. consults the keyed :class:`~repro.engine.cache.ResultCache`,
+3. chunks the remaining samples and dispatches them through the
+   configured :class:`~repro.engine.executor.Executor` — the per-sample
+   solver (with its constraint topology) is shipped to the workers once
+   and kept warm across chunks and batches,
+4. merges the results back **by sample index**, which makes the
+   reduction order — and therefore the flow output — identical across
+   all executors.
+
+:func:`run_yield_evaluation` applies the same machinery to the
+post-silicon evaluation sweep (one feasibility check per fresh sample).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.batch import BatchProblem, ChunkPayload, default_chunk_size, make_chunks
+from repro.engine.cache import CacheKey, ResultCache, fingerprint_array, fingerprint_arrays
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.progress import EngineStats, NullProgress, ProgressReporter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine is a leaf)
+    from repro.core.sample_solver import PerSampleSolver, SampleSolution
+
+_TOL = 1e-9
+
+#: Monotonic source of unique worker-state keys (one per warm shared object).
+_SHARED_KEY_COUNTER = itertools.count()
+
+
+def _next_shared_key(prefix: str) -> str:
+    return f"{prefix}-{next(_SHARED_KEY_COUNTER)}"
+
+
+# ----------------------------------------------------------------------
+# Worker-side chunk functions (module level: picklable by reference)
+# ----------------------------------------------------------------------
+def solve_chunk(solver: "PerSampleSolver", payload: ChunkPayload) -> List[Tuple[int, "SampleSolution"]]:
+    """Solve every sample of one chunk with the warm shared solver.
+
+    Used by all executors; in the process pool ``solver`` is the
+    worker-resident copy installed by the pool initializer, so only the
+    payload crosses the process boundary per chunk.
+    """
+    from repro.core.sample_solver import SampleProblem  # deferred: keeps the engine a leaf
+
+    solve = solver.solve_with_milp if solver.backend == "milp" else solver.solve
+    results: List[Tuple[int, SampleSolution]] = []
+    for position, index in enumerate(payload.indices):
+        problem = SampleProblem(
+            payload.setup_bounds[:, position],
+            payload.hold_bounds[:, position],
+            payload.lower,
+            payload.upper,
+        )
+        solution = solve(problem, candidates=payload.candidates, targets=payload.targets)
+        results.append((int(index), solution))
+    return results
+
+
+def configure_chunk(configurator: Any, payload: ChunkPayload) -> List[Tuple[int, bool]]:
+    """Feasibility-check every sample of one evaluation chunk.
+
+    ``configurator`` is any object with the
+    ``configure_sample(setup_bound, hold_bound) -> (ok, assignment)``
+    contract of :class:`repro.tuning.configurator.PostSiliconConfigurator`.
+    """
+    results: List[Tuple[int, bool]] = []
+    for position, index in enumerate(payload.indices):
+        ok, _ = configurator.configure_sample(
+            payload.setup_bounds[:, position], payload.hold_bounds[:, position]
+        )
+        results.append((int(index), bool(ok)))
+    return results
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class SampleScheduler:
+    """Dispatch per-sample solves over an executor with caching.
+
+    Parameters
+    ----------
+    solver:
+        The per-sample solver (carries the constraint topology; shipped
+        to process-pool workers once and reused across batches).
+    executor:
+        Execution backend (default :class:`SerialExecutor`).
+    cache:
+        Optional :class:`ResultCache`; when given, solved samples are
+        stored under content-fingerprint keys and re-solves with
+        unchanged inputs become hits.
+    stats / progress:
+        Optional instrumentation sinks.
+    chunk_size:
+        Samples per executor round trip (default: balanced heuristic).
+    """
+
+    def __init__(
+        self,
+        solver: PerSampleSolver,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        stats: Optional[EngineStats] = None,
+        progress: Optional[ProgressReporter] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.solver = solver
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.stats = stats if stats is not None else EngineStats()
+        self.progress = progress if progress is not None else NullProgress()
+        self.chunk_size = chunk_size
+        self._shared_key = _next_shared_key("solver")
+
+    # ------------------------------------------------------------------
+    def _keys_for(
+        self,
+        batch: BatchProblem,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        candidates: Optional[np.ndarray],
+        targets: Optional[np.ndarray],
+        indices: Sequence[int],
+    ) -> List[CacheKey]:
+        batch_fp = batch.fingerprint()
+        bounds_fp = fingerprint_arrays(lower, upper)
+        candidates_fp = fingerprint_array(candidates)
+        targets_fp = fingerprint_array(targets)
+        return [
+            CacheKey(batch_fp, bounds_fp, candidates_fp, targets_fp, int(i)) for i in indices
+        ]
+
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self,
+        batch: BatchProblem,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        candidates: Optional[np.ndarray] = None,
+        targets: Optional[np.ndarray] = None,
+        phase: str = "solve",
+    ) -> List[Optional[SampleSolution]]:
+        """Solve every violated sample of the batch.
+
+        Returns one entry per sample, ``None`` for samples that meet
+        timing without any adjustment (mirroring the original serial
+        loop).  Results are merged by sample index, so the output is
+        independent of the executor and chunk layout.
+        """
+        start = time.perf_counter()
+        n_samples = batch.n_samples
+        solutions: List[Optional[SampleSolution]] = [None] * n_samples
+        needed = [int(i) for i in batch.violated_indices()]
+        self.progress.start(phase, len(needed))
+
+        # Cache lookups first; only misses are dispatched.
+        to_solve: List[int] = needed
+        key_of: Dict[int, CacheKey] = {}
+        n_hits = 0
+        if self.cache is not None and needed:
+            keys = self._keys_for(batch, lower, upper, candidates, targets, needed)
+            key_of = dict(zip(needed, keys))
+            to_solve = []
+            for index, key in zip(needed, keys):
+                hit = self.cache.get(key)
+                if hit is not None:
+                    solutions[index] = hit
+                    n_hits += 1
+                else:
+                    to_solve.append(index)
+
+        chunk_size = self.chunk_size or default_chunk_size(len(to_solve), self.executor.jobs)
+        chunks = make_chunks(
+            to_solve,
+            batch.setup_bounds,
+            batch.hold_bounds,
+            lower,
+            upper,
+            candidates=candidates,
+            targets=targets,
+            chunk_size=chunk_size,
+        )
+        done = n_hits
+        for chunk_result in self.executor.map_chunks(
+            solve_chunk, chunks, shared=self.solver, shared_key=self._shared_key
+        ):
+            for index, solution in chunk_result:
+                solutions[index] = solution
+                done += 1
+            self.progress.advance(phase, done, len(needed))
+
+        if self.cache is not None and to_solve:
+            for index in to_solve:
+                self.cache.put(key_of[index], solutions[index])
+
+        seconds = time.perf_counter() - start
+        self.progress.finish(phase, len(needed), seconds)
+        self.stats.record(
+            phase,
+            n_tasks=len(needed),
+            n_dispatched=len(to_solve),
+            n_cache_hits=n_hits,
+            n_chunks=len(chunks),
+            seconds=seconds,
+        )
+        return solutions
+
+    # ------------------------------------------------------------------
+    def adopt(
+        self,
+        batch: BatchProblem,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        candidates: Optional[np.ndarray],
+        targets: Optional[np.ndarray],
+        solutions: Dict[int, SampleSolution],
+    ) -> int:
+        """Pre-seed the cache with solutions known to stay valid.
+
+        The pruning step shrinks the candidate mask; a sample whose
+        previous solution never touched a pruned buffer solves to the
+        same result under the new mask, so the flow *adopts* it under the
+        new cache key and the subsequent :meth:`solve_batch` only
+        dispatches the genuinely affected samples.  Returns the number of
+        adopted entries (0 when no cache is configured).
+        """
+        if self.cache is None or not solutions:
+            return 0
+        indices = sorted(solutions)
+        keys = self._keys_for(batch, lower, upper, candidates, targets, indices)
+        for index, key in zip(indices, keys):
+            self.cache.put(key, solutions[index])
+        return len(indices)
+
+
+# ----------------------------------------------------------------------
+# Evaluation sweep
+# ----------------------------------------------------------------------
+def run_yield_evaluation(
+    configurator: Any,
+    setup_bounds: np.ndarray,
+    hold_bounds: np.ndarray,
+    executor: Optional[Executor] = None,
+    chunk_size: Optional[int] = None,
+    stats: Optional[EngineStats] = None,
+    progress: Optional[ProgressReporter] = None,
+    phase: str = "evaluation",
+    tol: float = _TOL,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the post-silicon feasibility sweep over a fresh sample batch.
+
+    Parameters
+    ----------
+    configurator:
+        Object with the ``configure_sample`` contract (see
+        :func:`configure_chunk`).
+    setup_bounds / hold_bounds:
+        Arrays ``(n_edges, n_samples)`` at the target period, time units.
+
+    Returns
+    -------
+    (passed, needed_tuning)
+        Boolean per-sample arrays with the semantics of
+        :class:`repro.tuning.configurator.TuningEvaluation`.
+    """
+    start = time.perf_counter()
+    executor = executor if executor is not None else SerialExecutor()
+    progress = progress if progress is not None else NullProgress()
+    n_samples = int(setup_bounds.shape[1])
+    clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
+    passed = clean.copy()
+    needed = ~clean
+    indices = [int(i) for i in np.where(needed)[0]]
+    progress.start(phase, len(indices))
+
+    n_ffs_dummy = np.zeros(0)
+    size = chunk_size or default_chunk_size(len(indices), executor.jobs)
+    chunks = make_chunks(
+        indices,
+        setup_bounds,
+        hold_bounds,
+        n_ffs_dummy,
+        n_ffs_dummy,
+        chunk_size=size,
+    )
+    shared_key = getattr(configurator, "_engine_shared_key", None)
+    if shared_key is None:
+        shared_key = _next_shared_key("configurator")
+        try:
+            configurator._engine_shared_key = shared_key
+        except AttributeError:  # pragma: no cover - exotic configurator types
+            pass
+    done = 0
+    for chunk_result in executor.map_chunks(
+        configure_chunk, chunks, shared=configurator, shared_key=shared_key
+    ):
+        for index, ok in chunk_result:
+            passed[index] = ok
+            done += 1
+        progress.advance(phase, done, len(indices))
+
+    seconds = time.perf_counter() - start
+    progress.finish(phase, len(indices), seconds)
+    if stats is not None:
+        stats.record(
+            phase,
+            n_tasks=len(indices),
+            n_dispatched=len(indices),
+            n_chunks=len(chunks),
+            seconds=seconds,
+        )
+    return passed, needed

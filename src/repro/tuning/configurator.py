@@ -211,20 +211,35 @@ class PostSiliconConfigurator:
         return True, result
 
     # ------------------------------------------------------------------
-    def evaluate(self, constraint_samples: ConstraintSamples, period: float) -> TuningEvaluation:
-        """Evaluate the plan over a whole sample batch at a target period."""
+    def evaluate(
+        self,
+        constraint_samples: ConstraintSamples,
+        period: float,
+        executor=None,
+        chunk_size: Optional[int] = None,
+        stats=None,
+        progress=None,
+    ) -> TuningEvaluation:
+        """Evaluate the plan over a whole sample batch at a target period.
+
+        The sweep runs on the sample-solving engine
+        (:func:`repro.engine.run_yield_evaluation`): samples that pass at
+        the neutral setting are filtered out vectorised, the rest are
+        chunked over ``executor`` (serial by default).  Results are
+        identical across executors.
+        """
+        from repro.engine import run_yield_evaluation
+
         setup_bounds = constraint_samples.setup_bounds(period)
         hold_bounds = constraint_samples.hold_bounds()
-        n_samples = constraint_samples.n_samples
-        passed = np.zeros(n_samples, dtype=bool)
-        needed = np.zeros(n_samples, dtype=bool)
-        for s in range(n_samples):
-            sb = setup_bounds[:, s]
-            hb = hold_bounds[:, s]
-            if np.all(sb >= -_TOL) and np.all(hb >= -_TOL):
-                passed[s] = True
-                continue
-            needed[s] = True
-            ok, _ = self.configure_sample(sb, hb)
-            passed[s] = ok
+        passed, needed = run_yield_evaluation(
+            self,
+            setup_bounds,
+            hold_bounds,
+            executor=executor,
+            chunk_size=chunk_size,
+            stats=stats,
+            progress=progress,
+            tol=_TOL,
+        )
         return TuningEvaluation(passed=passed, needed_tuning=needed)

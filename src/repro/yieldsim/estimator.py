@@ -45,6 +45,16 @@ class YieldEstimator:
         Default sample count for estimates.
     rng:
         Seed or generator for the sample batches.
+    executor:
+        Execution backend for the evaluation sweeps: an executor name
+        (``"serial"``/``"threads"``/``"processes"``), an existing
+        :class:`repro.engine.Executor` (not closed by the estimator), or
+        ``None`` for serial.  Yields are identical across executors.
+        Executors created *by name* are owned by the estimator — call
+        :meth:`close` (or use the estimator as a context manager) to
+        release their worker pools.
+    jobs:
+        Worker count when ``executor`` is given by name.
     """
 
     def __init__(
@@ -53,13 +63,37 @@ class YieldEstimator:
         constraint_graph: Optional[SequentialConstraintGraph] = None,
         n_samples: int = 2000,
         rng: RngLike = 0,
+        executor=None,
+        jobs: Optional[int] = None,
     ) -> None:
+        from repro.engine import Executor, create_executor
+
         self.design = design
         self.constraint_graph = constraint_graph or ensure_constraint_graph(design)
         self.n_samples = int(n_samples)
         self._rng = ensure_rng(rng)
         self._sampler = MonteCarloSampler(design.variation_model, rng=self._rng)
         self._topology = ConstraintTopology.from_constraint_graph(self.constraint_graph)
+        self._owns_executor = executor is not None and not isinstance(executor, Executor)
+        self.executor = create_executor(executor, jobs) if executor is not None else None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release a worker pool created by the estimator (idempotent).
+
+        Only executors the estimator built itself (passed by name) are
+        closed; externally-owned executor instances are left running.
+        """
+        if self._owns_executor and self.executor is not None:
+            self.executor.close()
+            self.executor = None
+        self._owns_executor = False
+
+    def __enter__(self) -> "YieldEstimator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def draw_samples(self, n_samples: Optional[int] = None) -> ConstraintSamples:
@@ -111,7 +145,7 @@ class YieldEstimator:
         if step is None:
             step = plan.buffers[0].step if plan.buffers else 0.0
         configurator = PostSiliconConfigurator(self._topology, plan, step=step)
-        evaluation = configurator.evaluate(samples, period)
+        evaluation = configurator.evaluate(samples, period, executor=self.executor)
         return YieldReport(
             target_period=float(period),
             original_yield=float(original),

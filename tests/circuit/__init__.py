@@ -1,0 +1,1 @@
+"""Test package (keeps basenames like test_baselines.py collision-free)."""

@@ -1,0 +1,84 @@
+"""Unit tests for the keyed result cache and array fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.engine import CacheKey, ResultCache, fingerprint_array, fingerprint_arrays
+
+
+class TestFingerprints:
+    def test_equal_content_equal_fingerprint(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        b = np.arange(12, dtype=float).reshape(3, 4)
+        assert fingerprint_array(a) == fingerprint_array(b)
+
+    def test_content_change_changes_fingerprint(self):
+        a = np.arange(12, dtype=float)
+        b = a.copy()
+        b[5] += 1e-12
+        assert fingerprint_array(a) != fingerprint_array(b)
+
+    def test_shape_matters(self):
+        a = np.arange(12, dtype=float)
+        assert fingerprint_array(a) != fingerprint_array(a.reshape(3, 4))
+
+    def test_dtype_matters(self):
+        assert fingerprint_array(np.zeros(4, dtype=bool)) != fingerprint_array(
+            np.zeros(4, dtype=np.uint8)
+        )
+
+    def test_none_sentinel(self):
+        assert fingerprint_array(None) == "none"
+
+    def test_combined_order_matters(self):
+        a, b = np.zeros(3), np.ones(3)
+        assert fingerprint_arrays(a, b) != fingerprint_arrays(b, a)
+
+    def test_non_contiguous_view_matches_copy(self):
+        base = np.arange(20, dtype=float).reshape(4, 5)
+        view = base[:, ::2]
+        assert fingerprint_array(view) == fingerprint_array(view.copy())
+
+
+def _key(index: int, tag: str = "b") -> CacheKey:
+    return CacheKey(batch=tag, bounds="w", candidates="c", targets="t", index=index)
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache()
+        cache.put(_key(3), "solution")
+        assert cache.get(_key(3)) == "solution"
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = ResultCache()
+        assert cache.get(_key(1)) is None
+        assert cache.misses == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = ResultCache()
+        cache.put(_key(1, "batch-a"), "a")
+        assert cache.get(_key(1, "batch-b")) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(_key(1), 1)
+        cache.put(_key(2), 2)
+        cache.get(_key(1))  # refresh 1 -> 2 becomes the eviction victim
+        cache.put(_key(3), 3)
+        assert _key(2) not in cache
+        assert cache.get(_key(1)) == 1
+        assert cache.get(_key(3)) == 3
+
+    def test_clear_resets_counters(self):
+        cache = ResultCache()
+        cache.put(_key(1), 1)
+        cache.get(_key(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)

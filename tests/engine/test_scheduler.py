@@ -1,0 +1,211 @@
+"""Scheduler tests: batching, caching, adoption, evaluation sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BufferSpec
+from repro.core.sample_solver import ConstraintTopology, PerSampleSolver
+from repro.engine import (
+    BatchProblem,
+    EngineStats,
+    ProcessPoolExecutor,
+    ResultCache,
+    SampleScheduler,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    default_chunk_size,
+    make_chunks,
+)
+from repro.timing.period import sample_min_periods
+
+
+@pytest.fixture(scope="module")
+def solve_setup(small_design, small_constraint_graph, small_samples):
+    """Topology, solver and a real training batch in solver units."""
+    topology = ConstraintTopology.from_constraint_graph(small_constraint_graph)
+    analysis = sample_min_periods(
+        small_design,
+        constraint_graph=small_constraint_graph,
+        constraint_samples=small_samples,
+    )
+    period = analysis.target_period(0.0)
+    spec = BufferSpec()
+    step = spec.step_size(period)
+    setup = np.floor(small_samples.setup_bounds(period) / step + 1e-9)
+    hold = np.floor(small_samples.hold_bounds() / step + 1e-9)
+    lower = np.full(topology.n_ffs, -float(spec.n_steps))
+    upper = np.full(topology.n_ffs, float(spec.n_steps))
+    solver = PerSampleSolver(topology)
+    return solver, BatchProblem(setup, hold), lower, upper
+
+
+def _solution_key(solution):
+    if solution is None:
+        return None
+    return (solution.feasible, tuple(sorted(solution.tunings.items())), solution.n_adjusted)
+
+
+class TestSolveBatch:
+    def test_clean_samples_stay_none(self, solve_setup):
+        solver, batch, lower, upper = solve_setup
+        scheduler = SampleScheduler(solver)
+        solutions = scheduler.solve_batch(batch, lower, upper)
+        violated = set(batch.violated_indices().tolist())
+        assert len(solutions) == batch.n_samples
+        for index, solution in enumerate(solutions):
+            assert (solution is not None) == (index in violated)
+
+    @pytest.mark.parametrize(
+        "make_executor",
+        [
+            pytest.param(lambda: ThreadPoolExecutor(jobs=2), id="threads"),
+            pytest.param(lambda: ProcessPoolExecutor(jobs=2), id="processes"),
+        ],
+    )
+    def test_matches_serial_reference(self, solve_setup, make_executor):
+        solver, batch, lower, upper = solve_setup
+        reference = SampleScheduler(solver).solve_batch(batch, lower, upper)
+        with make_executor() as executor:
+            parallel = SampleScheduler(solver, executor=executor, chunk_size=5).solve_batch(
+                batch, lower, upper
+            )
+        assert [_solution_key(s) for s in parallel] == [_solution_key(s) for s in reference]
+
+    def test_chunk_size_does_not_change_results(self, solve_setup):
+        solver, batch, lower, upper = solve_setup
+        small = SampleScheduler(solver, chunk_size=1).solve_batch(batch, lower, upper)
+        large = SampleScheduler(solver, chunk_size=1000).solve_batch(batch, lower, upper)
+        assert [_solution_key(s) for s in small] == [_solution_key(s) for s in large]
+
+    def test_stats_recorded(self, solve_setup):
+        solver, batch, lower, upper = solve_setup
+        stats = EngineStats()
+        scheduler = SampleScheduler(solver, stats=stats)
+        scheduler.solve_batch(batch, lower, upper, phase="unit")
+        recorded = stats.phases["unit"]
+        assert recorded.n_tasks == len(batch.violated_indices())
+        assert recorded.n_dispatched == recorded.n_tasks
+        assert recorded.seconds > 0.0
+
+
+class TestCachePath:
+    def test_identical_resolve_is_all_hits(self, solve_setup):
+        solver, batch, lower, upper = solve_setup
+        cache = ResultCache()
+        scheduler = SampleScheduler(solver, cache=cache)
+        first = scheduler.solve_batch(batch, lower, upper)
+        before = cache.stats()
+        second = scheduler.solve_batch(batch, lower, upper)
+        after = cache.stats()
+        assert [_solution_key(s) for s in second] == [_solution_key(s) for s in first]
+        assert after["hits"] - before["hits"] == len(batch.violated_indices())
+
+    def test_changed_candidates_miss(self, solve_setup):
+        solver, batch, lower, upper = solve_setup
+        cache = ResultCache()
+        scheduler = SampleScheduler(solver, cache=cache)
+        scheduler.solve_batch(batch, lower, upper)
+        hits_before = cache.stats()["hits"]
+        narrowed = np.ones(solver.topology.n_ffs, dtype=bool)
+        narrowed[: solver.topology.n_ffs // 2] = False
+        scheduler.solve_batch(batch, lower, upper, candidates=narrowed)
+        assert cache.stats()["hits"] == hits_before
+
+    def test_adopt_pre_seeds_the_pruning_resolve(self, solve_setup):
+        """The pruning re-solve path: adopting untouched solutions under the
+        reduced candidate mask turns them into cache hits, so only affected
+        samples are dispatched."""
+        solver, batch, lower, upper = solve_setup
+        cache = ResultCache()
+        stats = EngineStats()
+        scheduler = SampleScheduler(solver, cache=cache, stats=stats)
+        all_candidates = np.ones(solver.topology.n_ffs, dtype=bool)
+        solutions = scheduler.solve_batch(batch, lower, upper, candidates=all_candidates)
+
+        # Prune the buffers used in fewest samples (mimics Sec. III-A2).
+        usage = np.zeros(solver.topology.n_ffs)
+        for solution in solutions:
+            if solution is not None:
+                for ff in solution.tunings:
+                    usage[ff] += 1
+        used = np.where(usage > 0)[0]
+        assert used.size > 0
+        pruned_ff = int(used[np.argmin(usage[used])])
+        kept = all_candidates.copy()
+        kept[pruned_ff] = False
+
+        reusable = {
+            index: solution
+            for index, solution in enumerate(solutions)
+            if solution is not None and all(kept[ff] for ff in solution.tunings)
+        }
+        adopted = scheduler.adopt(batch, lower, upper, kept, None, reusable)
+        assert adopted == len(reusable)
+
+        resolved = scheduler.solve_batch(
+            batch, lower, upper, candidates=kept, phase="resolve"
+        )
+        resolve_stats = stats.phases["resolve"]
+        assert resolve_stats.n_cache_hits == len(reusable)
+        assert resolve_stats.n_dispatched == len(batch.violated_indices()) - len(reusable)
+        # Adopted samples keep their exact previous solution object.
+        for index, solution in reusable.items():
+            assert resolved[index] is solution
+        # Re-solved samples no longer touch the pruned buffer.
+        for index, solution in enumerate(resolved):
+            if solution is not None and index not in reusable:
+                assert pruned_ff not in solution.tunings
+
+
+class TestChunking:
+    def test_default_chunk_size_bounds(self):
+        assert default_chunk_size(0, 4) == 1
+        assert 1 <= default_chunk_size(10, 4) <= 64
+        assert default_chunk_size(10**6, 1) == 64
+
+    def test_make_chunks_partitions_in_order(self):
+        setup = np.zeros((3, 10))
+        hold = np.zeros((3, 10))
+        chunks = make_chunks([7, 1, 5, 3], setup, hold, np.zeros(2), np.zeros(2), chunk_size=3)
+        flattened = [int(i) for chunk in chunks for i in chunk.indices]
+        assert flattened == [1, 3, 5, 7]
+        assert [chunk.n_tasks for chunk in chunks] == [3, 1]
+        assert chunks[0].setup_bounds.shape == (3, 3)
+
+    def test_make_chunks_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            make_chunks([0], np.zeros((1, 1)), np.zeros((1, 1)), np.zeros(1), np.zeros(1), chunk_size=0)
+
+
+class TestEvaluationSweep:
+    def test_engine_sweep_matches_direct_loop(
+        self, small_design, small_constraint_graph, small_samples
+    ):
+        from repro.core.results import Buffer, BufferPlan
+        from repro.engine import run_yield_evaluation
+        from repro.tuning.configurator import PostSiliconConfigurator
+
+        topology = ConstraintTopology.from_constraint_graph(small_constraint_graph)
+        period = small_constraint_graph.nominal_min_period() * 1.01
+        half = BufferSpec().max_range(period) / 2
+        plan = BufferPlan(
+            buffers=[
+                Buffer(flip_flop=ff, lower=-half, upper=half, step=0.0)
+                for ff in topology.ff_names[::3]
+            ],
+            target_period=period,
+        )
+        configurator = PostSiliconConfigurator(topology, plan, step=0.0)
+        setup = small_samples.setup_bounds(period)
+        hold = small_samples.hold_bounds()
+
+        direct = [
+            configurator.configure_sample(setup[:, s], hold[:, s])[0]
+            for s in range(small_samples.n_samples)
+        ]
+        with ProcessPoolExecutor(jobs=2) as executor:
+            passed, needed = run_yield_evaluation(
+                configurator, setup, hold, executor=executor, chunk_size=7
+            )
+        assert passed.tolist() == direct
+        assert needed.sum() > 0

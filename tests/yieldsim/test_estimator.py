@@ -56,3 +56,40 @@ class TestYieldEstimator:
     def test_fresh_samples_path(self, estimator):
         samples = estimator.draw_samples(50)
         assert samples.n_samples == 50
+
+
+class TestExecutorLifecycle:
+    def test_name_created_executor_is_owned_and_closed(self, small_design, small_constraint_graph):
+        estimator = YieldEstimator(
+            small_design, constraint_graph=small_constraint_graph, n_samples=50,
+            rng=2, executor="threads", jobs=2,
+        )
+        assert estimator.executor is not None
+        estimator.close()
+        assert estimator.executor is None
+        estimator.close()  # idempotent
+
+    def test_passed_instance_not_closed(self, small_design, small_constraint_graph):
+        from repro.engine import SerialExecutor
+
+        external = SerialExecutor()
+        with YieldEstimator(
+            small_design, constraint_graph=small_constraint_graph, n_samples=50,
+            rng=2, executor=external,
+        ) as estimator:
+            assert estimator.executor is external
+        assert estimator.executor is external  # context exit leaves it alone
+
+    def test_executor_does_not_change_yield(self, small_design, small_constraint_graph):
+        period = small_constraint_graph.nominal_min_period() * 1.01
+        plan = every_ff_plan(small_design, period)
+        serial = YieldEstimator(
+            small_design, constraint_graph=small_constraint_graph, n_samples=120, rng=4
+        ).evaluate_plan(plan, period)
+        with YieldEstimator(
+            small_design, constraint_graph=small_constraint_graph, n_samples=120,
+            rng=4, executor="processes", jobs=2,
+        ) as parallel_estimator:
+            parallel = parallel_estimator.evaluate_plan(plan, period)
+        assert serial.tuned_yield == parallel.tuned_yield
+        assert serial.original_yield == parallel.original_yield
