@@ -15,7 +15,6 @@ removes one of them and measures the effect:
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import SETTINGS, get_design, run_once
 from repro.core import BufferInsertionFlow, FlowConfig

@@ -35,7 +35,8 @@ def _compare(circuit: str):
 
     estimator = YieldEstimator(design, constraint_graph=graph, n_samples=SETTINGS.n_eval_samples, rng=23)
     samples = estimator.draw_samples()
-    evaluate = lambda plan: estimator.evaluate_plan(plan, period, constraint_samples=samples)
+    def evaluate(plan):
+        return estimator.evaluate_plan(plan, period, constraint_samples=samples)
 
     return {
         "circuit": circuit,

@@ -16,7 +16,6 @@ Two experiments regenerate this:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import SETTINGS, get_design, run_once
 from repro.core import BufferInsertionFlow, FlowConfig

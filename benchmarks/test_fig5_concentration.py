@@ -16,7 +16,6 @@ on one suite circuit and compares the spreads.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import SETTINGS, get_design, run_once
 from repro.analysis.histograms import histograms_from_artifacts
@@ -102,7 +101,6 @@ def test_fig5_concentration_narrows_spread(benchmark):
 
 def test_fig5_step2_range_not_wider_than_step1_window(benchmark):
     result = run_once(benchmark, _run, True)
-    spec_steps = result.plan.buffers[0].range_steps if result.plan.buffers else 0.0
     for buffer in result.plan.buffers:
         assert buffer.range_steps <= 20.0 + 1e-9
     # Average range after step 2 is at most the full window used in step 1.

@@ -11,6 +11,11 @@ here:
 * the specialised graph solver is substantially faster per sample than the
   faithful big-M MILP formulation while finding the same buffer counts in
   almost every sample.
+
+All flow-level timing goes through the :mod:`repro.bench` harness
+(:class:`~repro.bench.BenchRunner` with warmup/repeat discipline), so
+these benchmarks measure exactly what ``repro bench run`` measures and
+their records carry the same per-phase engine timings.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import SETTINGS, get_design, run_once
-from repro.core import BufferInsertionFlow, FlowConfig
+from repro.bench import BenchRunner, Scenario
 from repro.core.config import BufferSpec
 from repro.core.sample_solver import ConstraintTopology, PerSampleSolver, SampleProblem
 from repro.timing import ensure_constraint_graph
@@ -30,91 +35,98 @@ from repro.timing.period import sample_min_periods
 from repro.variation.sampling import MonteCarloSampler
 
 
+def _scenario(circuit: str, **overrides) -> Scenario:
+    defaults = dict(
+        circuit=circuit,
+        scale=SETTINGS.scale_for(circuit),
+        sigma=0.0,
+        n_samples=SETTINGS.n_samples,
+        n_eval_samples=SETTINGS.n_eval_samples,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
 def test_runtime_grows_with_tighter_target(benchmark):
     circuit = SETTINGS.circuits[0]
+    runner = BenchRunner(warmup=1, repeat=1)
 
     def run():
-        runtimes = {}
-        for sigma in (0.0, 2.0):
-            config = FlowConfig(
-                n_samples=SETTINGS.n_samples, n_eval_samples=200, seed=3, target_sigma=sigma
+        return {
+            sigma: runner.run_scenario(
+                _scenario(circuit, sigma=sigma, n_eval_samples=200)
             )
-            start = time.perf_counter()
-            BufferInsertionFlow(get_design(circuit), config).run()
-            runtimes[sigma] = time.perf_counter() - start
-        return runtimes
+            for sigma in (0.0, 2.0)
+        }
 
-    runtimes = run_once(benchmark, run)
-    print(f"\n{circuit}: flow runtime muT {runtimes[0.0]:.2f} s, muT+2s {runtimes[2.0]:.2f} s")
-    assert runtimes[0.0] > runtimes[2.0]
+    records = run_once(benchmark, run)
+    for sigma, record in records.items():
+        phases = record.phase_seconds
+        print(
+            f"\n{circuit}: sigma {sigma:g} -> {record.best_seconds:.2f} s "
+            f"(step1 {phases['step1_train']:.2f} s, step2 {phases['step2_train']:.2f} s, "
+            f"eval {phases['yield_eval']:.2f} s)"
+        )
+    assert records[0.0].best_seconds > records[2.0].best_seconds
 
 
 def test_runtime_grows_with_circuit_size(benchmark):
     if len(SETTINGS.circuits) < 2:
         pytest.skip("needs at least two circuits selected")
+    runner = BenchRunner(warmup=0, repeat=1)
 
     def run():
-        runtimes = {}
+        records = {}
         for circuit in (SETTINGS.circuits[0], SETTINGS.circuits[-1]):
-            design = get_design(circuit)
-            config = FlowConfig(n_samples=150, n_eval_samples=150, seed=3, target_sigma=0.0)
-            start = time.perf_counter()
-            BufferInsertionFlow(design, config).run()
-            runtimes[circuit] = (design.netlist.n_gates, time.perf_counter() - start)
-        return runtimes
+            record = runner.run_scenario(
+                _scenario(circuit, n_samples=150, n_eval_samples=150)
+            )
+            records[circuit] = (get_design(circuit).netlist.n_gates, record)
+        return records
 
-    runtimes = run_once(benchmark, run)
-    for circuit, (gates, seconds) in runtimes.items():
-        print(f"\n{circuit}: {gates} gates -> {seconds:.2f} s")
+    records = run_once(benchmark, run)
+    for circuit, (gates, record) in records.items():
+        print(f"\n{circuit}: {gates} gates -> {record.best_seconds:.2f} s")
 
 
 def test_flow_runtime_by_executor(benchmark):
     """End-to-end flow runtime per engine executor (identical results).
 
-    Runs the same flow on the serial, thread-pool and process-pool
-    executors and asserts the buffer plans are identical.  The speedup
-    assertion only fires where it is physically meaningful: multiple
-    cores available *and* a serial runtime large enough (>= 2 s) for the
-    parallel gain to dominate pool start-up on a ~second-scale workload.
+    Runs the same scenario on the serial, thread-pool and process-pool
+    executors through the bench harness and asserts the recorded plan
+    fingerprints are identical.  The speedup assertion only fires where
+    it is physically meaningful: multiple cores available *and* a serial
+    runtime large enough (>= 2 s) for the parallel gain to dominate pool
+    start-up on a ~second-scale workload.
     """
     circuit = SETTINGS.circuits[0]
-    design = get_design(circuit)
     jobs = max(2, (os.cpu_count() or 1))
-
-    def run_flow(executor: str):
-        config = FlowConfig(
-            n_samples=SETTINGS.n_samples,
-            n_eval_samples=SETTINGS.n_eval_samples,
-            seed=3,
-            target_sigma=0.0,
-            executor=executor,
-            jobs=1 if executor == "serial" else jobs,
-        )
-        start = time.perf_counter()
-        result = BufferInsertionFlow(design, config).run()
-        return time.perf_counter() - start, result
+    runner = BenchRunner(warmup=1, repeat=1)
 
     def run_all():
-        # Warm-up so the serial leg does not pay one-time imports.
-        BufferInsertionFlow(
-            design, FlowConfig(n_samples=20, n_eval_samples=20, seed=3, target_sigma=0.0)
-        ).run()
-        return {executor: run_flow(executor) for executor in ("serial", "threads", "processes")}
+        return {
+            executor: runner.run_scenario(
+                _scenario(
+                    circuit,
+                    executor=executor,
+                    jobs=1 if executor == "serial" else jobs,
+                )
+            )
+            for executor in ("serial", "threads", "processes")
+        }
 
-    results = run_once(benchmark, run_all)
-    plans = {}
-    for executor, (seconds, result) in results.items():
-        plans[executor] = sorted((b.flip_flop, b.lower, b.upper) for b in result.plan.buffers)
+    records = run_once(benchmark, run_all)
+    for executor, record in records.items():
         print(
-            f"\n{circuit}: executor {executor} (jobs {1 if executor == 'serial' else jobs}) "
-            f"-> {seconds:.2f} s, {result.plan.n_buffers} buffers, "
-            f"Yi {100 * result.yield_improvement:.2f} points"
+            f"\n{circuit}: executor {executor} (jobs {record.scenario.jobs}) "
+            f"-> {record.best_seconds:.2f} s, {record.metrics['n_buffers']:.0f} buffers, "
+            f"Yi {100 * record.metrics['yield_improvement']:.2f} points"
         )
-    assert plans["serial"] == plans["threads"] == plans["processes"], (
-        "flow results must be identical across executors"
-    )
-    serial_seconds = results["serial"][0]
-    process_seconds = results["processes"][0]
+    fingerprints = {record.plan_fingerprint for record in records.values()}
+    assert len(fingerprints) == 1, "flow results must be identical across executors"
+    serial_seconds = records["serial"].best_seconds
+    process_seconds = records["processes"].best_seconds
     if (os.cpu_count() or 1) > 1 and serial_seconds >= 2.0:
         assert process_seconds < serial_seconds, (
             "process-pool flow should beat the serial flow on a multi-core machine"

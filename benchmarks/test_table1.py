@@ -17,7 +17,7 @@ runtime); the assertions therefore check the *shape* of the result:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import pytest
 

@@ -91,7 +91,6 @@ def handbuilt_example() -> None:
     n_stages = 8
     for stage in range(n_stages):
         netlist.add_flip_flop(f"r{stage}")
-    previous = "din"
     for stage in range(n_stages):
         # A deliberately unbalanced pipeline: even stages are deep, odd
         # stages are shallow, so criticality concentrates on even stages.

@@ -12,7 +12,7 @@ benchmark harness prints and what ``EXPERIMENTS.md`` records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.results import FlowResult
 

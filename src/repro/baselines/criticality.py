@@ -14,7 +14,6 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.circuit.design import CircuitDesign
 from repro.core.config import BufferSpec

@@ -1,0 +1,81 @@
+"""repro.bench — deterministic performance benchmarking with CI gates.
+
+The flow's runtime story ("as fast as the hardware allows") is only
+credible if it is measured and gated.  This subsystem provides:
+
+* :mod:`repro.bench.scenarios` — the benchmark matrix (circuit x scale
+  x sigma x solver x executor) and the named, deterministically ordered
+  suites (``quick`` / ``default`` / ``full``);
+* :mod:`repro.bench.runner` — :class:`BenchRunner`, a timed runner with
+  warmup/repeat discipline that records per-phase engine timings
+  (:meth:`repro.core.results.FlowResult.phase_seconds`) plus result
+  metrics and a plan fingerprint per scenario;
+* :mod:`repro.bench.artifact` — the versioned ``BENCH_<label>.json``
+  artifact schema (:data:`SCHEMA_VERSION`) with structural validation;
+* :mod:`repro.bench.compare` — artifact diffing and the regression
+  :func:`gate` that fails CI on configurable slowdown thresholds.
+
+On the CLI this is ``repro bench run | compare | gate``.
+"""
+
+from repro.bench.artifact import (
+    ARTIFACT_PREFIX,
+    SCHEMA_VERSION,
+    ArtifactError,
+    BenchArtifact,
+    ScenarioRecord,
+    collect_environment,
+    default_artifact_path,
+    load_artifact,
+    validate_artifact_dict,
+)
+from repro.bench.compare import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    Comparison,
+    GateResult,
+    ScenarioDelta,
+    compare_artifacts,
+    format_comparison,
+    gate,
+)
+from repro.bench.runner import BenchRunner, plan_fingerprint, result_metrics
+from repro.bench.scenarios import (
+    PARAM_FIELDS,
+    SUITE_NAMES,
+    Scenario,
+    get_suite,
+    override_execution,
+    scenario_matrix,
+    sort_scenarios,
+)
+
+__all__ = [
+    "ARTIFACT_PREFIX",
+    "ArtifactError",
+    "BenchArtifact",
+    "BenchRunner",
+    "Comparison",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_THRESHOLD",
+    "GateResult",
+    "PARAM_FIELDS",
+    "SCHEMA_VERSION",
+    "SUITE_NAMES",
+    "Scenario",
+    "ScenarioDelta",
+    "ScenarioRecord",
+    "collect_environment",
+    "compare_artifacts",
+    "default_artifact_path",
+    "format_comparison",
+    "gate",
+    "get_suite",
+    "load_artifact",
+    "override_execution",
+    "plan_fingerprint",
+    "result_metrics",
+    "scenario_matrix",
+    "sort_scenarios",
+    "validate_artifact_dict",
+]

@@ -1,0 +1,270 @@
+"""Versioned JSON benchmark artifacts (``BENCH_<label>.json``).
+
+One :class:`BenchArtifact` is the machine-readable record of one
+benchmark run: which scenarios ran, the total wall-clock seconds of
+every repeat, the per-phase engine timings of the best repeat
+(canonical phases, see :data:`repro.engine.PHASE_ORDER`) and a small
+set of result metrics that let the gate notice when a "speedup" changed
+what is being computed.
+
+The schema is versioned (:data:`SCHEMA_VERSION`); :func:`load_artifact`
+validates structurally before constructing, so a gate run fails with a
+clear :class:`ArtifactError` instead of a stack trace when handed a
+foreign or truncated file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._version import __version__
+from repro.bench.scenarios import Scenario
+
+#: Version of the artifact schema; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+#: Prefix/suffix of artifact file names (``BENCH_<label>.json``).
+ARTIFACT_PREFIX = "BENCH_"
+ARTIFACT_SUFFIX = ".json"
+
+
+class ArtifactError(ValueError):
+    """A benchmark artifact is structurally invalid."""
+
+
+def default_artifact_path(label: str, directory: str = ".") -> str:
+    """Canonical artifact path ``<directory>/BENCH_<label>.json``."""
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in label)
+    return os.path.join(directory, f"{ARTIFACT_PREFIX}{safe}{ARTIFACT_SUFFIX}")
+
+
+def collect_environment() -> Dict[str, object]:
+    """Environment fingerprint stored inside every artifact."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "repro_version": __version__,
+    }
+
+
+@dataclass
+class ScenarioRecord:
+    """Measurements of one scenario.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that was run.
+    total_seconds:
+        Wall-clock seconds of every timed repeat (never empty).
+    phase_seconds:
+        Canonical per-phase engine seconds of the *best* repeat.
+    metrics:
+        Scalar result metrics (buffer counts, yields) guarding against
+        benchmarks that got faster by computing something else.
+    plan_fingerprint:
+        Hex digest over the resulting buffer plan; identical inputs must
+        produce identical fingerprints regardless of executor.
+    """
+
+    scenario: Scenario
+    total_seconds: List[float]
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    plan_fingerprint: str = ""
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest repeat (the comparison statistic; robust to noise)."""
+        return float(min(self.total_seconds))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.scenario.scenario_id,
+            "params": self.scenario.as_dict(),
+            "total_seconds": [float(s) for s in self.total_seconds],
+            "best_seconds": self.best_seconds,
+            "phase_seconds": {k: float(v) for k, v in self.phase_seconds.items()},
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "plan_fingerprint": self.plan_fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioRecord":
+        try:
+            scenario = Scenario.from_dict(dict(data["params"]))
+        except (TypeError, ValueError) as error:
+            raise ArtifactError(f"invalid scenario parameters: {error}") from error
+        record = cls(
+            scenario=scenario,
+            total_seconds=[float(s) for s in data["total_seconds"]],
+            phase_seconds={k: float(v) for k, v in dict(data.get("phase_seconds", {})).items()},
+            metrics={k: float(v) for k, v in dict(data.get("metrics", {})).items()},
+            plan_fingerprint=str(data.get("plan_fingerprint", "")),
+        )
+        declared = data.get("id")
+        if declared is not None and declared != record.scenario.scenario_id:
+            raise ArtifactError(
+                f"scenario id {declared!r} does not match its parameters "
+                f"({record.scenario.scenario_id!r})"
+            )
+        return record
+
+
+@dataclass
+class BenchArtifact:
+    """One complete benchmark run, serialisable to ``BENCH_<label>.json``."""
+
+    label: str
+    suite: str
+    records: List[ScenarioRecord] = field(default_factory=list)
+    warmup: int = 1
+    repeat: int = 1
+    created_unix: float = 0.0
+    environment: Dict[str, object] = field(default_factory=collect_environment)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.created_unix:
+            self.created_unix = time.time()
+
+    # ------------------------------------------------------------------
+    def record_for(self, scenario_id: str) -> Optional[ScenarioRecord]:
+        """The record of one scenario id, if present."""
+        for record in self.records:
+            if record.scenario.scenario_id == scenario_id:
+                return record
+        return None
+
+    def scenario_ids(self) -> List[str]:
+        return [record.scenario.scenario_id for record in self.records]
+
+    def total_seconds(self) -> float:
+        """Sum of the best repeats over all scenarios."""
+        return float(sum(record.best_seconds for record in self.records))
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "label": self.label,
+            "suite": self.suite,
+            "created_unix": float(self.created_unix),
+            "environment": dict(self.environment),
+            "warmup": int(self.warmup),
+            "repeat": int(self.repeat),
+            "scenarios": [record.as_dict() for record in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> str:
+        """Write the artifact to ``path`` and return the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchArtifact":
+        validate_artifact_dict(data)
+        return cls(
+            label=str(data["label"]),
+            suite=str(data["suite"]),
+            records=[ScenarioRecord.from_dict(entry) for entry in data["scenarios"]],
+            warmup=int(data.get("warmup", 0)),
+            repeat=int(data.get("repeat", 1)),
+            created_unix=float(data.get("created_unix", 0.0)) or 1.0,
+            environment=dict(data.get("environment", {})),
+            schema_version=int(data["schema_version"]),
+        )
+
+
+def validate_artifact_dict(data: object) -> None:
+    """Structural schema validation; raises :class:`ArtifactError`."""
+    if not isinstance(data, dict):
+        raise ArtifactError("artifact must be a JSON object")
+    version = data.get("schema_version")
+    if not isinstance(version, int):
+        raise ArtifactError("artifact is missing an integer 'schema_version'")
+    if version > SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact schema version {version} is newer than supported {SCHEMA_VERSION}"
+        )
+    for key in ("label", "suite"):
+        if not isinstance(data.get(key), str):
+            raise ArtifactError(f"artifact is missing the string field {key!r}")
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, list):
+        raise ArtifactError("artifact is missing the 'scenarios' list")
+    param_types = {
+        "circuit": str,
+        "scale": (int, float),
+        "sigma": (int, float),
+        "solver": str,
+        "executor": str,
+        "jobs": (int, type(None)),
+        "n_samples": int,
+        "n_eval_samples": int,
+        "seed": int,
+    }
+    seen = set()
+    for position, entry in enumerate(scenarios):
+        if not isinstance(entry, dict):
+            raise ArtifactError(f"scenario #{position} must be an object")
+        params = entry.get("params")
+        if not isinstance(params, dict):
+            raise ArtifactError(f"scenario #{position} is missing its 'params' object")
+        for name, expected in param_types.items():
+            if name not in params:
+                raise ArtifactError(f"scenario #{position} params lack {name!r}")
+            value = params[name]
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise ArtifactError(
+                    f"scenario #{position} param {name!r} has invalid value {value!r}"
+                )
+        totals = entry.get("total_seconds")
+        if (
+            not isinstance(totals, list)
+            or not totals
+            or not all(isinstance(s, (int, float)) and s >= 0.0 for s in totals)
+        ):
+            raise ArtifactError(
+                f"scenario #{position} needs a non-empty 'total_seconds' list of >= 0 numbers"
+            )
+        phases = entry.get("phase_seconds", {})
+        if not isinstance(phases, dict) or not all(
+            isinstance(v, (int, float)) and v >= 0.0 for v in phases.values()
+        ):
+            raise ArtifactError(f"scenario #{position} has an invalid 'phase_seconds' mapping")
+        # Entries without a declared id are identified by their params
+        # (ScenarioRecord.from_dict accepts a missing 'id').
+        identifier = entry.get("id")
+        if identifier is None:
+            identifier = tuple(sorted((k, repr(v)) for k, v in params.items()))
+        if identifier in seen:
+            raise ArtifactError(f"duplicate scenario id {entry.get('id')!r}")
+        seen.add(identifier)
+
+
+def load_artifact(path: str) -> BenchArtifact:
+    """Load and validate one artifact file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ArtifactError(f"cannot read artifact {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"artifact {path!r} is not valid JSON: {error}") from error
+    try:
+        return BenchArtifact.from_dict(data)
+    except ArtifactError as error:
+        raise ArtifactError(f"artifact {path!r}: {error}") from error

@@ -1,0 +1,135 @@
+"""Timed benchmark runner with warmup/repeat discipline.
+
+:class:`BenchRunner` executes scenarios end to end on the real flow
+(:class:`~repro.core.flow.BufferInsertionFlow`) and records
+
+* the total wall-clock seconds of every timed repeat (after the
+  configured number of discarded warmup runs, which pay one-time costs
+  such as imports, pool start-up and allocator warm-up),
+* the canonical per-phase engine timings of the best repeat
+  (:meth:`~repro.core.results.FlowResult.phase_seconds` — uniform
+  across executors),
+* result metrics and a plan fingerprint, so a comparison can tell a
+  genuine speedup from a run that silently computed something else.
+
+Designs are cached per ``(circuit, scale, seed)`` so that a suite
+re-using one circuit does not re-generate it per scenario; circuit
+construction is deliberately *outside* the timed region — the subsystem
+benchmarks the flow, not the netlist generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.artifact import BenchArtifact, ScenarioRecord
+from repro.bench.scenarios import Scenario, get_suite, sort_scenarios
+from repro.core.flow import BufferInsertionFlow
+from repro.core.results import FlowResult
+
+
+def plan_fingerprint(result: FlowResult) -> str:
+    """Hex digest over the buffer plan (executor-independent)."""
+    payload = ";".join(
+        f"{b.flip_flop}:{b.lower:.9g}:{b.upper:.9g}:{b.group}"
+        for b in sorted(result.plan.buffers, key=lambda b: b.flip_flop)
+    )
+    payload += f"|{result.improved_yield:.9g}|{result.original_yield:.9g}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def result_metrics(result: FlowResult) -> Dict[str, float]:
+    """Scalar result metrics stored next to the timings."""
+    return {
+        "n_buffers": float(result.plan.n_buffers),
+        "n_physical_buffers": float(result.plan.n_physical_buffers),
+        "original_yield": float(result.original_yield),
+        "improved_yield": float(result.improved_yield),
+        "yield_improvement": float(result.yield_improvement),
+    }
+
+
+class BenchRunner:
+    """Run benchmark scenarios with warmup/repeat discipline.
+
+    Parameters
+    ----------
+    warmup:
+        Flow runs per scenario whose timings are discarded.
+    repeat:
+        Timed flow runs per scenario (the artifact stores all of them;
+        comparisons use the fastest).
+    progress:
+        Optional :class:`repro.engine.ProgressReporter` forwarded to the
+        flow (stderr only; never contaminates machine-readable output).
+    """
+
+    def __init__(self, warmup: int = 1, repeat: int = 1, progress=None) -> None:
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {repeat}")
+        self.warmup = int(warmup)
+        self.repeat = int(repeat)
+        self.progress = progress
+        self._design_cache: Dict[Tuple[str, float, int], object] = {}
+
+    # ------------------------------------------------------------------
+    def _design_for(self, scenario: Scenario):
+        from repro.circuit.suite import build_suite_circuit
+
+        key = (scenario.circuit, scenario.scale, scenario.seed)
+        if key not in self._design_cache:
+            self._design_cache[key] = build_suite_circuit(
+                scenario.circuit, scale=scenario.scale, seed=scenario.seed
+            )
+        return self._design_cache[key]
+
+    def _run_flow(self, design, scenario: Scenario) -> Tuple[float, FlowResult]:
+        flow = BufferInsertionFlow(design, scenario.flow_config(), progress=self.progress)
+        start = time.perf_counter()
+        result = flow.run()
+        return time.perf_counter() - start, result
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: Scenario) -> ScenarioRecord:
+        """Warm up, time ``repeat`` runs and record the measurements."""
+        design = self._design_for(scenario)
+        for _ in range(self.warmup):
+            self._run_flow(design, scenario)
+
+        totals: List[float] = []
+        best: Optional[Tuple[float, FlowResult]] = None
+        for _ in range(self.repeat):
+            seconds, result = self._run_flow(design, scenario)
+            totals.append(seconds)
+            if best is None or seconds < best[0]:
+                best = (seconds, result)
+        assert best is not None
+        _, best_result = best
+        return ScenarioRecord(
+            scenario=scenario,
+            total_seconds=totals,
+            phase_seconds=best_result.phase_seconds(),
+            metrics=result_metrics(best_result),
+            plan_fingerprint=plan_fingerprint(best_result),
+        )
+
+    def run_scenarios(
+        self, scenarios: Iterable[Scenario], label: str, suite: str = "custom"
+    ) -> BenchArtifact:
+        """Run scenarios (re-sorted deterministically) into one artifact."""
+        records = [self.run_scenario(s) for s in sort_scenarios(scenarios)]
+        return BenchArtifact(
+            label=label,
+            suite=suite,
+            records=records,
+            warmup=self.warmup,
+            repeat=self.repeat,
+        )
+
+    def run_suite(self, suite: str, label: Optional[str] = None) -> BenchArtifact:
+        """Run one named suite (see :func:`repro.bench.scenarios.get_suite`)."""
+        return self.run_scenarios(get_suite(suite), label=label or suite, suite=suite)

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.circuit.library import CellLibrary, default_library
-from repro.circuit.netlist import InstanceKind, Netlist
+from repro.circuit.netlist import Netlist
 
 _LINE_RE = re.compile(r"^\s*(?P<out>[\w\.\[\]\$]+)\s*=\s*(?P<func>\w+)\s*\((?P<args>[^)]*)\)\s*$")
 _PORT_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w\.\[\]\$]+)\)\s*$", re.IGNORECASE)

@@ -21,7 +21,6 @@ The generator is deterministic given its seed and is the workhorse behind
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 

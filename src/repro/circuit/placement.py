@@ -17,9 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
-import networkx as nx
 
 from repro.circuit.netlist import Netlist
 from repro.utils.rng import RngLike, ensure_rng

@@ -16,7 +16,6 @@ scaled versions by default and the full sizes with ``scale=1.0``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 

@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.circuit.library import CellLibrary, default_library
-from repro.circuit.netlist import InstanceKind, Netlist
+from repro.circuit.netlist import Netlist
 
 _OUTPUT_PINS = ("Y", "Q", "Z", "OUT")
 _CLOCK_PINS = ("CLK", "CK", "CLOCK")

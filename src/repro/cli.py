@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as the ``repro`` console script, with three subcommands:
+Installed as the ``repro`` console script, with four subcommands:
 
 ``repro list-circuits``
     Show the Table-I benchmark suite with flip-flop and gate counts.
@@ -12,12 +12,23 @@ Installed as the ``repro`` console script, with three subcommands:
 ``repro insert --circuit s9234 --scale 0.2 --sigma 0``
     Run the full sampling-based buffer insertion and print (or dump as
     JSON) the buffer plan and the yield improvement.
+
+``repro bench run|compare|gate``
+    The performance benchmarking subsystem (:mod:`repro.bench`): run a
+    scenario suite into a versioned ``BENCH_<label>.json`` artifact,
+    diff two artifacts, or gate a candidate against a baseline with a
+    configurable slowdown threshold (non-zero exit on regression).
+
+Output discipline: machine-readable output (``--json``) goes to stdout
+only; progress reporting (``--progress``) goes to stderr only, so the
+two can be combined freely.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -72,7 +83,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
     )
     insert.add_argument("--json", action="store_true", help="print the result as JSON")
+
+    _add_bench_parsers(subparsers)
     return parser
+
+
+def _add_bench_parsers(subparsers) -> None:
+    from repro.bench import DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD, SUITE_NAMES
+    from repro.engine import EXECUTOR_CHOICES
+
+    bench = subparsers.add_parser(
+        "bench", help="performance benchmarking: run suites, compare artifacts, gate CI"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    run = bench_sub.add_parser(
+        "run", help="run a benchmark suite into a BENCH_<label>.json artifact"
+    )
+    run.add_argument("--suite", choices=SUITE_NAMES, default="quick", help="scenario suite")
+    run.add_argument("--label", default=None, help="artifact label (default: the suite name)")
+    run.add_argument("--out-dir", default=".", help="directory the artifact is written to")
+    run.add_argument("--warmup", type=int, default=1, help="discarded warmup runs per scenario")
+    run.add_argument("--repeat", type=int, default=1, help="timed runs per scenario")
+    run.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default=None,
+        help="override the executor of every scenario (changes scenario ids)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=None, help="override the worker count of every scenario"
+    )
+    run.add_argument(
+        "--progress", action="store_true", help="print per-phase sample progress to stderr"
+    )
+    run.add_argument("--json", action="store_true", help="print the artifact JSON to stdout")
+
+    compare = bench_sub.add_parser("compare", help="diff two benchmark artifacts")
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("candidate", help="candidate BENCH_*.json")
+    compare.add_argument("--json", action="store_true", help="print the comparison as JSON")
+
+    gate = bench_sub.add_parser(
+        "gate", help="fail (exit 1) when the candidate regressed beyond the threshold"
+    )
+    gate.add_argument("baseline", help="baseline BENCH_*.json")
+    gate.add_argument("candidate", help="candidate BENCH_*.json")
+    gate.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated candidate/baseline runtime ratio (inclusive)",
+    )
+    gate.add_argument(
+        "--phase-threshold",
+        type=float,
+        default=None,
+        help="optional per-phase ratio ceiling (step1_train, prune_resolve, ...)",
+    )
+    gate.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="noise floor: scenarios where both sides run faster than this always pass "
+        "(raise for cross-machine gating of sub-second scenarios)",
+    )
+    gate.add_argument("--json", action="store_true", help="print the verdict as JSON")
 
 
 def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
@@ -172,6 +248,92 @@ def _cmd_insert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import BenchRunner, default_artifact_path, get_suite, override_execution
+    from repro.engine import LogProgress
+
+    scenarios = override_execution(
+        get_suite(args.suite), executor=args.executor, jobs=args.jobs
+    )
+    progress = LogProgress() if args.progress else None
+    runner = BenchRunner(warmup=args.warmup, repeat=args.repeat, progress=progress)
+    label = args.label or args.suite
+    # Fail fast on an unwritable destination — a full suite run can take
+    # minutes and its measurements must not be discarded at save time.
+    os.makedirs(args.out_dir, exist_ok=True)
+    if not os.access(args.out_dir, os.W_OK):
+        raise OSError(f"output directory {args.out_dir!r} is not writable")
+    print(f"[bench] running suite {args.suite!r} ({len(scenarios)} scenarios, "
+          f"warmup {args.warmup}, repeat {args.repeat})", file=sys.stderr, flush=True)
+    artifact = runner.run_scenarios(scenarios, label=label, suite=args.suite)
+    path = artifact.save(default_artifact_path(label, args.out_dir))
+    print(f"[bench] wrote {path}", file=sys.stderr, flush=True)
+
+    if args.json:
+        print(artifact.to_json(), end="")
+        return 0
+    print(f"artifact  : {path}")
+    print(f"suite     : {args.suite} ({len(artifact.records)} scenarios)")
+    print(f"total     : {artifact.total_seconds():.3f} s (best repeats)")
+    for record in artifact.records:
+        phases = ", ".join(
+            f"{phase} {seconds:.3f}s"
+            for phase, seconds in record.phase_seconds.items()
+            if seconds > 0.0
+        )
+        print(f"  {record.scenario.scenario_id:<60} {record.best_seconds:>8.3f} s  [{phases}]")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare_artifacts, format_comparison, load_artifact
+
+    comparison = compare_artifacts(
+        load_artifact(args.baseline), load_artifact(args.candidate)
+    )
+    if args.json:
+        print(json.dumps(comparison.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_comparison(comparison))
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.bench import gate, load_artifact
+
+    verdict = gate(
+        load_artifact(args.baseline),
+        load_artifact(args.candidate),
+        threshold=args.threshold,
+        phase_threshold=args.phase_threshold,
+        min_seconds=args.min_seconds,
+    )
+    if args.json:
+        print(json.dumps(verdict.as_dict(), indent=2, sort_keys=True))
+    else:
+        status = "PASS" if verdict.passed else "FAIL"
+        print(f"bench gate {status} (threshold {verdict.threshold:g}x)")
+        for failure in verdict.failures:
+            print(f"  regression: {failure}")
+    return 0 if verdict.passed else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import ArtifactError
+
+    try:
+        if args.bench_command == "run":
+            return _cmd_bench_run(args)
+        if args.bench_command == "compare":
+            return _cmd_bench_compare(args)
+        if args.bench_command == "gate":
+            return _cmd_bench_gate(args)
+    except (ArtifactError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (returns the process exit code)."""
     parser = build_parser()
@@ -182,6 +344,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_characterize(args)
     if args.command == "insert":
         return _cmd_insert(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

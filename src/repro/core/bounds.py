@@ -13,7 +13,7 @@ window search is restricted to positions whose range still covers zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

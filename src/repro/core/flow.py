@@ -44,14 +44,13 @@ seed; per-phase engine counters are returned in
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.circuit.design import CircuitDesign
 from repro.core.bounds import WindowAssignment, assign_lower_bounds, outside_window_fraction
-from repro.core.config import BufferSpec, FlowConfig
+from repro.core.config import FlowConfig
 from repro.core.grouping import group_buffers
 from repro.core.pruning import prune_buffers
 from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
@@ -61,16 +60,20 @@ from repro.core.sample_solver import (
     SampleSolution,
 )
 from repro.engine import (
+    PHASE_PRUNE_RESOLVE,
+    PHASE_STEP1_TRAIN,
+    PHASE_STEP2_INTERIM,
+    PHASE_STEP2_TRAIN,
     BatchProblem,
     EngineStats,
     ResultCache,
     SampleScheduler,
     create_executor,
 )
-from repro.timing.constraints import ConstraintSamples, ensure_constraint_graph
+from repro.timing.constraints import ensure_constraint_graph
 from repro.timing.period import sample_min_periods
 from repro.tuning.configurator import PostSiliconConfigurator
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import spawn_rngs
 from repro.utils.timers import Stopwatch
 from repro.variation.sampling import MonteCarloSampler
 
@@ -196,7 +199,7 @@ class BufferInsertionFlow:
         with stopwatch.measure("step1_sampling"):
             candidates = np.ones(n_ffs, dtype=bool)
             step1_solutions = scheduler.solve_batch(
-                train_problem, float_lower, float_upper, candidates, None, phase="step1"
+                train_problem, float_lower, float_upper, candidates, None, phase=PHASE_STEP1_TRAIN
             )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
 
@@ -228,7 +231,7 @@ class BufferInsertionFlow:
                 },
             )
             step1_solutions = scheduler.solve_batch(
-                train_problem, float_lower, float_upper, candidates, None, phase="step1_resolve"
+                train_problem, float_lower, float_upper, candidates, None, phase=PHASE_PRUNE_RESOLVE
             )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
         # Step 2 changes the bounds (and later the targets), so no step-1
@@ -277,7 +280,7 @@ class BufferInsertionFlow:
                     fixed_upper,
                     candidate_mask,
                     None,
-                    phase="step2_interim",
+                    phase=PHASE_STEP2_INTERIM,
                 )
                 averages = self._average_tunings(interim, n_ffs, fixed_lower, fixed_upper)
             else:
@@ -289,7 +292,7 @@ class BufferInsertionFlow:
                 fixed_upper,
                 candidate_mask,
                 averages,
-                phase="step2",
+                phase=PHASE_STEP2_TRAIN,
             )
             usage2 = self._usage_counts(step2_solutions, n_ffs)
         step2 = self._collect_artifacts(step2_solutions, usage2)

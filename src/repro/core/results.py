@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -151,7 +151,8 @@ class FlowResult:
     engine_stats:
         Per-phase instrumentation of the sample-solving engine (task,
         dispatch, cache-hit and chunk counts plus seconds; see
-        :class:`repro.engine.EngineStats`), keyed by engine phase.
+        :class:`repro.engine.EngineStats`), keyed by the canonical
+        engine phase names of :data:`repro.engine.PHASE_ORDER`.
     """
 
     plan: BufferPlan
@@ -175,6 +176,24 @@ class FlowResult:
     def total_runtime(self) -> float:
         """Total runtime of the flow in seconds (paper column ``T (s)``)."""
         return float(sum(self.runtime_seconds.values()))
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Engine wall-clock seconds per canonical phase.
+
+        One entry per phase of :data:`repro.engine.PHASE_ORDER`
+        (``step1_train``, ``prune_resolve``, ``step2_interim``,
+        ``step2_train``, ``yield_eval``), zero-filled for phases that
+        did not run.  The timings come from the engine scheduler, so
+        they are reported uniformly across all executors; the
+        benchmarking subsystem (:mod:`repro.bench`) records exactly this
+        mapping in its artifacts.
+        """
+        from repro.engine import PHASE_ORDER
+
+        seconds = {phase: 0.0 for phase in PHASE_ORDER}
+        for name, stats in self.engine_stats.items():
+            seconds[name] = seconds.get(name, 0.0) + float(stats.get("seconds", 0.0))
+        return seconds
 
     def summary(self) -> Dict[str, float]:
         """Flat summary with the Table-I quantities."""

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -635,7 +635,6 @@ class PerSampleSolver:
                     if bs < -_TOL or bh < -_TOL:
                         feasible_model = False
                     continue
-                lhs_setup = (xi if xi is not None else 0.0) - (xj if xj is not None else 0.0)
                 if xi is not None and xj is not None:
                     model.add_constr(x_vars[i] - x_vars[j] <= bs)
                     model.add_constr(x_vars[j] - x_vars[i] <= bh)

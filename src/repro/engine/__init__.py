@@ -38,6 +38,12 @@ from repro.engine.executor import (
     spawn_task_seeds,
 )
 from repro.engine.progress import (
+    PHASE_ORDER,
+    PHASE_PRUNE_RESOLVE,
+    PHASE_STEP1_TRAIN,
+    PHASE_STEP2_INTERIM,
+    PHASE_STEP2_TRAIN,
+    PHASE_YIELD_EVAL,
     EngineStats,
     LogProgress,
     NullProgress,
@@ -55,6 +61,12 @@ __all__ = [
     "Executor",
     "LogProgress",
     "NullProgress",
+    "PHASE_ORDER",
+    "PHASE_PRUNE_RESOLVE",
+    "PHASE_STEP1_TRAIN",
+    "PHASE_STEP2_INTERIM",
+    "PHASE_STEP2_TRAIN",
+    "PHASE_YIELD_EVAL",
     "PhaseStats",
     "ProcessPoolExecutor",
     "ProgressReporter",

@@ -10,6 +10,15 @@ Two independent pieces:
   cache hits, chunks, wall-clock seconds) accumulated across a flow run
   and exported as plain dictionaries into
   :attr:`~repro.core.results.FlowResult.engine_stats`.
+
+The sample sweeps of the flow report under **canonical phase names**
+(the ``PHASE_*`` constants, ordered by :data:`PHASE_ORDER`) so that
+timings are comparable across executors, flow runs and benchmark
+artifacts: ``step1_train``, ``prune_resolve``, ``step2_interim``,
+``step2_train`` and ``yield_eval``.  :meth:`EngineStats.phase_seconds`
+returns the wall-clock seconds of every canonical phase (zero-filled
+when a phase did not run, e.g. the skipped step-2 interim pass) plus
+any ad-hoc phases that were recorded.
 """
 
 from __future__ import annotations
@@ -18,6 +27,22 @@ import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, TextIO
+
+#: Canonical engine phase names (uniform across executors and runs).
+PHASE_STEP1_TRAIN = "step1_train"
+PHASE_PRUNE_RESOLVE = "prune_resolve"
+PHASE_STEP2_INTERIM = "step2_interim"
+PHASE_STEP2_TRAIN = "step2_train"
+PHASE_YIELD_EVAL = "yield_eval"
+
+#: Flow order of the canonical phases.
+PHASE_ORDER = (
+    PHASE_STEP1_TRAIN,
+    PHASE_PRUNE_RESOLVE,
+    PHASE_STEP2_INTERIM,
+    PHASE_STEP2_TRAIN,
+    PHASE_YIELD_EVAL,
+)
 
 
 class ProgressReporter:
@@ -43,15 +68,24 @@ class LogProgress(ProgressReporter):
     Parameters
     ----------
     stream:
-        Output stream (default ``sys.stderr``).
+        Output stream.  ``None`` (the default) resolves ``sys.stderr``
+        at *emit* time, so progress never lands on stdout — machine
+        consumers of ``--json`` output stay uncontaminated even when the
+        surrounding harness swaps the standard streams after the
+        reporter was constructed.
     min_interval:
         Minimum seconds between two ``advance`` lines of the same phase.
     """
 
     def __init__(self, stream: Optional[TextIO] = None, min_interval: float = 0.5) -> None:
-        self.stream = stream if stream is not None else sys.stderr
+        self._stream = stream
         self.min_interval = float(min_interval)
         self._last_emit: Dict[str, float] = {}
+
+    @property
+    def stream(self) -> TextIO:
+        """The stream progress lines go to (current ``sys.stderr`` by default)."""
+        return self._stream if self._stream is not None else sys.stderr
 
     def start(self, phase: str, total: int) -> None:
         print(f"[engine] {phase}: 0/{total} samples", file=self.stream, flush=True)
@@ -124,3 +158,15 @@ class EngineStats:
     def total_seconds(self) -> float:
         """Wall-clock seconds summed over all phases."""
         return float(sum(stats.seconds for stats in self.phases.values()))
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-clock seconds per canonical phase, in :data:`PHASE_ORDER`.
+
+        Canonical phases that never ran report 0.0 (e.g. the step-2
+        interim pass when it was skipped); ad-hoc phase names recorded
+        outside the canon are appended after the canonical ones.
+        """
+        seconds = {phase: 0.0 for phase in PHASE_ORDER}
+        for name, stats in self.phases.items():
+            seconds[name] = seconds.get(name, 0.0) + float(stats.seconds)
+        return seconds

@@ -30,7 +30,7 @@ import numpy as np
 from repro.engine.batch import BatchProblem, ChunkPayload, default_chunk_size, make_chunks
 from repro.engine.cache import CacheKey, ResultCache, fingerprint_array, fingerprint_arrays
 from repro.engine.executor import Executor, SerialExecutor
-from repro.engine.progress import EngineStats, NullProgress, ProgressReporter
+from repro.engine.progress import PHASE_YIELD_EVAL, EngineStats, NullProgress, ProgressReporter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine is a leaf)
     from repro.core.sample_solver import PerSampleSolver, SampleSolution
@@ -259,7 +259,7 @@ def run_yield_evaluation(
     chunk_size: Optional[int] = None,
     stats: Optional[EngineStats] = None,
     progress: Optional[ProgressReporter] = None,
-    phase: str = "evaluation",
+    phase: str = PHASE_YIELD_EVAL,
     tol: float = _TOL,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run the post-silicon feasibility sweep over a fresh sample batch.
@@ -281,7 +281,6 @@ def run_yield_evaluation(
     start = time.perf_counter()
     executor = executor if executor is not None else SerialExecutor()
     progress = progress if progress is not None else NullProgress()
-    n_samples = int(setup_bounds.shape[1])
     clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
     passed = clean.copy()
     needed = ~clean

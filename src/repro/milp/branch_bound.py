@@ -18,7 +18,6 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.milp.backends import solve_lp
-from repro.milp.simplex import LpResult
 from repro.milp.status import SolveStatus
 
 _INT_TOL = 1e-6

@@ -19,13 +19,12 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.milp.expr import Constraint, LinExpr, Sense
 from repro.milp.solution import Solution
-from repro.milp.status import SolveStatus
 
 Number = Union[int, float]
 

@@ -116,8 +116,6 @@ def _two_phase_simplex(
     # Flip rows with negative rhs so that b >= 0 (<= rows become >= rows,
     # handled by a surplus column with negative sign plus an artificial).
     slack_cols = []
-    artificial_cols = []
-    tableau_cols = [a.copy()]
     sign = np.ones(m)
     for i in range(m):
         if b[i] < 0:

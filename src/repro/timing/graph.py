@@ -17,11 +17,10 @@ graph).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 import networkx as nx
 
-from repro.circuit.cells import CellKind
 from repro.circuit.design import CircuitDesign
 from repro.circuit.netlist import InstanceKind
 from repro.variation.canonical import CanonicalForm

@@ -49,7 +49,6 @@ def nominal_critical_paths(
         Optional cap on how many capture flip-flops are recorded per launch
         flip-flop (keeps the scan cheap on very dense designs).
     """
-    graph = timing_graph.graph
     design = timing_graph.design
     results: List[CriticalPath] = []
 

@@ -24,7 +24,7 @@ from repro.timing.constraints import (
     extract_constraint_graph,
 )
 from repro.utils.rng import RngLike
-from repro.variation.sampling import MonteCarloSampler, SampleBatch
+from repro.variation.sampling import MonteCarloSampler
 
 
 @dataclass

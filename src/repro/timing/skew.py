@@ -23,7 +23,6 @@ design meets hold.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 

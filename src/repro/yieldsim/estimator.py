@@ -12,10 +12,8 @@ the paper's experimental protocol (Sec. IV):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.circuit.design import CircuitDesign
 from repro.core.results import BufferPlan

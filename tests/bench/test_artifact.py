@@ -1,0 +1,169 @@
+"""Artifact schema: round trips, validation, file I/O."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    BenchArtifact,
+    Scenario,
+    ScenarioRecord,
+    default_artifact_path,
+    load_artifact,
+    validate_artifact_dict,
+)
+
+
+def make_record(sigma: float = 0.0, seconds: float = 1.0) -> ScenarioRecord:
+    return ScenarioRecord(
+        scenario=Scenario(circuit="s9234", scale=0.05, sigma=sigma),
+        total_seconds=[seconds, seconds * 1.1],
+        phase_seconds={
+            "step1_train": seconds * 0.6,
+            "prune_resolve": 0.0,
+            "step2_interim": 0.0,
+            "step2_train": seconds * 0.3,
+            "yield_eval": seconds * 0.1,
+        },
+        metrics={"n_buffers": 4.0, "yield_improvement": 0.5},
+        plan_fingerprint="deadbeefdeadbeef",
+    )
+
+
+def make_artifact(label: str = "unit", **record_kwargs) -> BenchArtifact:
+    return BenchArtifact(
+        label=label,
+        suite="quick",
+        records=[make_record(**record_kwargs)],
+        warmup=1,
+        repeat=2,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        artifact = make_artifact()
+        clone = BenchArtifact.from_dict(artifact.as_dict())
+        assert clone.label == artifact.label
+        assert clone.suite == artifact.suite
+        assert clone.schema_version == SCHEMA_VERSION
+        assert clone.warmup == artifact.warmup and clone.repeat == artifact.repeat
+        assert clone.scenario_ids() == artifact.scenario_ids()
+        original = artifact.records[0]
+        restored = clone.records[0]
+        assert restored.scenario == original.scenario
+        assert restored.total_seconds == original.total_seconds
+        assert restored.phase_seconds == original.phase_seconds
+        assert restored.metrics == original.metrics
+        assert restored.plan_fingerprint == original.plan_fingerprint
+        assert restored.best_seconds == original.best_seconds
+
+    def test_file_round_trip(self, tmp_path):
+        artifact = make_artifact()
+        path = artifact.save(default_artifact_path("unit", str(tmp_path)))
+        assert path.endswith("BENCH_unit.json")
+        loaded = load_artifact(path)
+        assert loaded.as_dict() == artifact.as_dict()
+
+    def test_json_is_valid_and_sorted(self):
+        data = json.loads(make_artifact().to_json())
+        assert data["schema_version"] == SCHEMA_VERSION
+        validate_artifact_dict(data)
+
+    def test_label_is_sanitised_in_path(self):
+        assert default_artifact_path("a b/c") == "./BENCH_a-b-c.json"
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ArtifactError, match="JSON object"):
+            validate_artifact_dict([1, 2, 3])
+
+    def test_rejects_missing_schema_version(self):
+        data = make_artifact().as_dict()
+        del data["schema_version"]
+        with pytest.raises(ArtifactError, match="schema_version"):
+            validate_artifact_dict(data)
+
+    def test_rejects_newer_schema(self):
+        data = make_artifact().as_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ArtifactError, match="newer than supported"):
+            validate_artifact_dict(data)
+
+    def test_rejects_missing_scenarios(self):
+        data = make_artifact().as_dict()
+        del data["scenarios"]
+        with pytest.raises(ArtifactError, match="scenarios"):
+            validate_artifact_dict(data)
+
+    def test_rejects_empty_total_seconds(self):
+        data = make_artifact().as_dict()
+        data["scenarios"][0]["total_seconds"] = []
+        with pytest.raises(ArtifactError, match="total_seconds"):
+            validate_artifact_dict(data)
+
+    def test_rejects_negative_timings(self):
+        data = make_artifact().as_dict()
+        data["scenarios"][0]["total_seconds"] = [-1.0]
+        with pytest.raises(ArtifactError, match="total_seconds"):
+            validate_artifact_dict(data)
+
+    def test_rejects_duplicate_scenario_ids(self):
+        artifact = make_artifact()
+        artifact.records.append(make_record())
+        with pytest.raises(ArtifactError, match="duplicate scenario id"):
+            validate_artifact_dict(artifact.as_dict())
+
+    def test_rejects_mismatched_declared_id(self):
+        data = make_artifact().as_dict()
+        data["scenarios"][0]["id"] = "something-else"
+        with pytest.raises(ArtifactError, match="does not match"):
+            BenchArtifact.from_dict(data)
+
+    def test_rejects_incomplete_params(self):
+        data = make_artifact().as_dict()
+        data["scenarios"][0]["params"] = {}
+        with pytest.raises(ArtifactError, match="params lack"):
+            validate_artifact_dict(data)
+
+    def test_rejects_wrongly_typed_params(self):
+        data = make_artifact().as_dict()
+        data["scenarios"][0]["params"]["scale"] = "bad"
+        with pytest.raises(ArtifactError, match="invalid value"):
+            validate_artifact_dict(data)
+
+    def test_record_from_dict_wraps_bad_params_in_artifact_error(self):
+        with pytest.raises(ArtifactError, match="invalid scenario parameters"):
+            ScenarioRecord.from_dict({"params": {}, "total_seconds": [0.1]})
+
+    def test_two_id_less_entries_with_different_params_are_accepted(self):
+        artifact = make_artifact()
+        artifact.records.append(make_record(sigma=2.0))
+        data = artifact.as_dict()
+        for entry in data["scenarios"]:
+            del entry["id"]
+        validate_artifact_dict(data)
+        loaded = BenchArtifact.from_dict(data)
+        assert len(loaded.records) == 2
+
+    def test_load_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text('{"schema_version": 1, "label": "x"')
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(str(path))
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(str(tmp_path / "BENCH_absent.json"))
+
+
+class TestAccessors:
+    def test_record_for_and_totals(self):
+        artifact = make_artifact()
+        sid = artifact.records[0].scenario.scenario_id
+        assert artifact.record_for(sid) is artifact.records[0]
+        assert artifact.record_for("missing") is None
+        assert artifact.total_seconds() == pytest.approx(1.0)

@@ -1,0 +1,58 @@
+"""BenchRunner: warmup/repeat discipline on a real (tiny) flow."""
+
+import pytest
+
+from repro.bench import BenchRunner, Scenario
+from repro.engine import PHASE_ORDER
+
+
+TINY = Scenario(
+    circuit="s9234", scale=0.03, sigma=1.0, n_samples=20, n_eval_samples=30, seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    return BenchRunner(warmup=0, repeat=2).run_scenario(TINY)
+
+
+class TestRunScenario:
+    def test_repeat_discipline(self, record):
+        assert len(record.total_seconds) == 2
+        assert all(seconds > 0.0 for seconds in record.total_seconds)
+        assert record.best_seconds == min(record.total_seconds)
+
+    def test_canonical_phase_timings(self, record):
+        assert set(PHASE_ORDER) <= set(record.phase_seconds)
+        assert record.phase_seconds["step1_train"] > 0.0
+        assert all(seconds >= 0.0 for seconds in record.phase_seconds.values())
+
+    def test_metrics_and_fingerprint(self, record):
+        assert record.metrics["improved_yield"] >= record.metrics["original_yield"] - 1e-9
+        assert record.plan_fingerprint
+        # Same scenario, fresh runner: the fingerprint must reproduce.
+        again = BenchRunner(warmup=0, repeat=1).run_scenario(TINY)
+        assert again.plan_fingerprint == record.plan_fingerprint
+        assert again.metrics == record.metrics
+
+
+class TestRunSuiteMachinery:
+    def test_run_scenarios_sorts_and_labels(self):
+        runner = BenchRunner(warmup=0, repeat=1)
+        scenarios = [
+            TINY,
+            Scenario(
+                circuit="s9234", scale=0.03, sigma=0.0,
+                n_samples=20, n_eval_samples=30, seed=3,
+            ),
+        ]
+        artifact = runner.run_scenarios(reversed(scenarios), label="unit", suite="custom")
+        assert artifact.label == "unit" and artifact.suite == "custom"
+        assert artifact.scenario_ids() == sorted(artifact.scenario_ids())
+        assert artifact.warmup == 0 and artifact.repeat == 1
+
+    def test_invalid_discipline_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            BenchRunner(warmup=-1)
+        with pytest.raises(ValueError, match="repeat"):
+            BenchRunner(repeat=0)

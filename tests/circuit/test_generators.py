@@ -1,7 +1,6 @@
 """Tests for the synthetic circuit generator."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.circuit.generators import GeneratorConfig, generate_sequential_circuit

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuit.cells import Cell, CellKind
-from repro.circuit.library import CellLibrary, default_library, library_from_cells
+from repro.circuit.library import CellLibrary, library_from_cells
 
 
 class TestDefaultLibrary:

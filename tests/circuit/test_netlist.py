@@ -3,7 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.circuit.netlist import InstanceKind, Netlist
+from repro.circuit.netlist import Netlist
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Tests for the Table-I benchmark suite builder."""
 
-import numpy as np
 import pytest
 
 from repro.circuit.suite import (

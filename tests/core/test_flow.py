@@ -1,6 +1,5 @@
 """Tests for the end-to-end buffer-insertion flow on a small design."""
 
-import numpy as np
 import pytest
 
 from repro.core import BufferInsertionFlow, FlowConfig, insert_buffers

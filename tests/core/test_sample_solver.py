@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.sample_solver import (
-    ConstraintTopology,
-    PerSampleSolver,
-    SampleProblem,
-    SampleSolution,
-)
+from repro.core.sample_solver import ConstraintTopology, PerSampleSolver, SampleProblem
 
 
 def chain_topology(n_ffs=4):

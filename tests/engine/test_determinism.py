@@ -56,14 +56,22 @@ class TestExecutorDeterminism:
 
     def test_engine_stats_present_and_consistent(self, serial_result):
         stats = serial_result.engine_stats
-        assert "step1" in stats and "step2" in stats and "evaluation" in stats
-        step1 = stats["step1"]
+        assert "step1_train" in stats and "step2_train" in stats and "yield_eval" in stats
+        step1 = stats["step1_train"]
         assert step1["n_tasks"] == step1["n_dispatched"] + step1["n_cache_hits"]
 
     def test_pruning_resolve_uses_cache(self, serial_result):
-        resolve = serial_result.engine_stats["step1_resolve"]
+        resolve = serial_result.engine_stats["prune_resolve"]
         assert resolve["n_cache_hits"] > 0
         assert resolve["n_dispatched"] < resolve["n_tasks"]
+
+    def test_phase_seconds_canonical_and_zero_filled(self, serial_result):
+        from repro.engine import PHASE_ORDER
+
+        seconds = serial_result.phase_seconds()
+        assert list(seconds)[: len(PHASE_ORDER)] == list(PHASE_ORDER)
+        assert all(value >= 0.0 for value in seconds.values())
+        assert seconds["step1_train"] > 0.0
 
 
 class TestExternalExecutor:

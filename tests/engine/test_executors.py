@@ -1,6 +1,5 @@
 """Unit tests for the execution backends."""
 
-import numpy as np
 import pytest
 
 from repro.engine import (

@@ -11,7 +11,6 @@ from repro.engine import (
     ProcessPoolExecutor,
     ResultCache,
     SampleScheduler,
-    SerialExecutor,
     ThreadPoolExecutor,
     default_chunk_size,
     make_chunks,

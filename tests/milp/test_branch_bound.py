@@ -1,6 +1,5 @@
 """Tests for branch & bound on integer and binary variables."""
 
-import numpy as np
 import pytest
 
 from repro.milp.expr import LinExpr

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.milp.expr import LinExpr
 from repro.milp.model import Model, VarType
 from repro.milp.status import SolveStatus
 

@@ -91,6 +91,37 @@ class TestInsert:
         assert "summary" in payload and "buffers" in payload
         assert payload["summary"]["improved_yield"] >= payload["summary"]["original_yield"] - 0.01
 
+    def test_json_with_progress_keeps_stdout_pure(self, capsys):
+        """--json output must stay machine-readable with --progress on:
+        progress lines go to stderr only."""
+        code = main(
+            [
+                "insert",
+                "--circuit",
+                "s9234",
+                "--scale",
+                "0.03",
+                "--samples",
+                "30",
+                "--eval-samples",
+                "40",
+                "--seed",
+                "3",
+                "--sigma",
+                "1",
+                "--executor",
+                "serial",
+                "--json",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["circuit"] == "s9234"
+        assert "[engine]" in captured.err
+        assert "[engine]" not in captured.out
+
     def test_max_buffers_cap(self, capsys):
         code = main(
             [
@@ -113,3 +144,142 @@ class TestInsert:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert len(payload["groups"]) <= 1
+
+
+class TestBench:
+    def _run_quick(self, tmp_path, label, extra=()):
+        argv = [
+            "bench",
+            "run",
+            "--suite",
+            "quick",
+            "--label",
+            label,
+            "--out-dir",
+            str(tmp_path),
+            "--warmup",
+            "0",
+            "--executor",
+            "serial",
+            "--jobs",
+            "1",
+            *extra,
+        ]
+        return main(argv)
+
+    def test_run_writes_schema_valid_artifact(self, tmp_path, capsys):
+        from repro.bench import load_artifact
+        from repro.engine import PHASE_ORDER
+
+        assert self._run_quick(tmp_path, "base") == 0
+        capsys.readouterr()
+        artifact = load_artifact(str(tmp_path / "BENCH_base.json"))
+        assert artifact.suite == "quick"
+        assert artifact.records
+        for record in artifact.records:
+            assert set(PHASE_ORDER) <= set(record.phase_seconds)
+            assert record.best_seconds > 0.0
+
+    def test_run_json_with_progress_keeps_stdout_pure(self, tmp_path, capsys):
+        code = self._run_quick(tmp_path, "pure", extra=["--json", "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["label"] == "pure"
+        assert "[bench]" in captured.err
+        for marker in ("[engine]", "[bench]"):
+            assert marker not in captured.out
+        assert "[engine]" in captured.err
+
+    def test_gate_passes_against_itself_and_fails_on_2x(self, tmp_path, capsys):
+        assert self._run_quick(tmp_path, "base") == 0
+        base_path = str(tmp_path / "BENCH_base.json")
+
+        data = json.loads((tmp_path / "BENCH_base.json").read_text())
+        data["label"] = "slow"
+        for entry in data["scenarios"]:
+            entry["total_seconds"] = [s * 2.0 for s in entry["total_seconds"]]
+            entry["best_seconds"] = min(entry["total_seconds"])
+            entry["phase_seconds"] = {
+                k: v * 2.0 for k, v in entry["phase_seconds"].items()
+            }
+        slow_path = str(tmp_path / "BENCH_slow.json")
+        (tmp_path / "BENCH_slow.json").write_text(json.dumps(data))
+
+        assert main(["bench", "gate", base_path, base_path]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+        assert main(["bench", "gate", base_path, slow_path, "--threshold", "1.5"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "2.00x" in out
+
+    def test_gate_json_verdict(self, tmp_path, capsys):
+        assert self._run_quick(tmp_path, "base") == 0
+        capsys.readouterr()
+        base_path = str(tmp_path / "BENCH_base.json")
+        assert main(["bench", "gate", base_path, base_path, "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["passed"] is True
+        assert verdict["comparison"]["scenarios"]
+
+    def test_compare_text_output(self, tmp_path, capsys):
+        assert self._run_quick(tmp_path, "base") == 0
+        capsys.readouterr()
+        base_path = str(tmp_path / "BENCH_base.json")
+        assert main(["bench", "compare", base_path, base_path]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "1.00x" in out
+
+    def test_gate_reports_artifact_errors_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        code = main(["bench", "gate", str(bad), str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_gate_rejects_incomplete_params_cleanly(self, tmp_path, capsys):
+        crafted = tmp_path / "BENCH_crafted.json"
+        crafted.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "label": "x",
+                    "suite": "x",
+                    "scenarios": [{"params": {}, "total_seconds": [0.1]}],
+                }
+            )
+        )
+        code = main(["bench", "gate", str(crafted), str(crafted)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_gate_min_seconds_exempts_noise(self, tmp_path, capsys):
+        assert self._run_quick(tmp_path, "base") == 0
+        base_path = str(tmp_path / "BENCH_base.json")
+        data = json.loads((tmp_path / "BENCH_base.json").read_text())
+        data["label"] = "slow"
+        for entry in data["scenarios"]:
+            entry["total_seconds"] = [s * 3.0 for s in entry["total_seconds"]]
+            entry["best_seconds"] = min(entry["total_seconds"])
+        slow_path = str(tmp_path / "BENCH_slow.json")
+        (tmp_path / "BENCH_slow.json").write_text(json.dumps(data))
+        capsys.readouterr()
+        # Every quick-suite scenario runs in well under 100 s, so a
+        # 100 s noise floor must let a 3x "slowdown" through.
+        code = main(
+            ["bench", "gate", base_path, slow_path, "--threshold", "1.5",
+             "--min-seconds", "100"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_run_fails_fast_on_unwritable_out_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not dir")
+        code = main(
+            ["bench", "run", "--suite", "quick", "--out-dir", str(blocker),
+             "--warmup", "0", "--executor", "serial", "--jobs", "1"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

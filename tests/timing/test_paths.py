@@ -4,7 +4,6 @@ import pytest
 
 from repro.timing.graph import TimingGraph
 from repro.timing.paths import nominal_critical_paths, path_delay_spread
-from repro.timing.propagate import nominal_arrival_times
 
 
 @pytest.fixture(scope="module")

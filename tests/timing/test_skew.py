@@ -55,9 +55,6 @@ class TestApplySkews:
             # Restore the session-scoped fixture's original skews.
             from repro.circuit.clockskew import ClockSkewMap
 
-            restore = ClockSkewMap(
-                {ff: 0.0 for ff in small_constraint_graph.ff_names}
-            )
             for k, edge in enumerate(small_constraint_graph.edges):
                 edge.skew_launch, edge.skew_capture = original[k]
             restored_map = {

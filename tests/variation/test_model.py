@@ -2,11 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.variation.model import VariationModel
-from repro.variation.sources import VariationSource, combined_delay_sigma_fraction
+from repro.variation.sources import combined_delay_sigma_fraction
 
 
 class TestVariationModel:
