@@ -183,6 +183,19 @@ def _default_suite() -> List[Scenario]:
             n_samples=150,
             n_eval_samples=300,
         )
+        # One larger-scale workload exercising the array-native kernel:
+        # hundreds of sequential edges evaluated as single matmuls, with
+        # level-batched Clark sweeps paying off in the (cached) compile.
+        + [
+            Scenario(
+                circuit="s9234",
+                scale=0.4,
+                sigma=1.0,
+                executor="serial",
+                n_samples=150,
+                n_eval_samples=300,
+            )
+        ]
     )
 
 

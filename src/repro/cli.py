@@ -35,6 +35,17 @@ from typing import List, Optional
 from repro._version import __version__
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: integer >= 1 with a clear error instead of a traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -50,12 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="Monte-Carlo clock-period characterisation of one circuit"
     )
     _add_circuit_arguments(characterize)
-    characterize.add_argument("--samples", type=int, default=1000, help="Monte-Carlo samples")
+    characterize.add_argument("--samples", type=_positive_int, default=1000, help="Monte-Carlo samples")
 
     insert = subparsers.add_parser("insert", help="run the buffer-insertion flow")
     _add_circuit_arguments(insert)
-    insert.add_argument("--samples", type=int, default=500, help="training samples")
-    insert.add_argument("--eval-samples", type=int, default=1000, help="evaluation samples")
+    insert.add_argument("--samples", type=_positive_int, default=500, help="training samples")
+    insert.add_argument("--eval-samples", type=_positive_int, default=1000, help="evaluation samples")
     insert.add_argument(
         "--sigma",
         type=float,
@@ -75,9 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     insert.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker count for the parallel executors (default: CPU count)",
+    )
+    insert.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=None,
+        help="LRU bound on the engine's per-sample result cache (default: unbounded)",
     )
     insert.add_argument(
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
@@ -104,7 +121,7 @@ def _add_bench_parsers(subparsers) -> None:
     run.add_argument("--label", default=None, help="artifact label (default: the suite name)")
     run.add_argument("--out-dir", default=".", help="directory the artifact is written to")
     run.add_argument("--warmup", type=int, default=1, help="discarded warmup runs per scenario")
-    run.add_argument("--repeat", type=int, default=1, help="timed runs per scenario")
+    run.add_argument("--repeat", type=_positive_int, default=1, help="timed runs per scenario")
     run.add_argument(
         "--executor",
         choices=EXECUTOR_CHOICES,
@@ -112,7 +129,7 @@ def _add_bench_parsers(subparsers) -> None:
         help="override the executor of every scenario (changes scenario ids)",
     )
     run.add_argument(
-        "--jobs", type=int, default=None, help="override the worker count of every scenario"
+        "--jobs", type=_positive_int, default=None, help="override the worker count of every scenario"
     )
     run.add_argument(
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
@@ -204,6 +221,7 @@ def _cmd_insert(args: argparse.Namespace) -> int:
         max_buffers=args.max_buffers,
         executor=args.executor,
         jobs=args.jobs,
+        cache_size=args.cache_size,
     )
     progress = LogProgress() if args.progress else None
     result = BufferInsertionFlow(design, config, progress=progress).run()

@@ -3,6 +3,10 @@
 The flow (paper Fig. 3) is implemented by
 :class:`~repro.core.flow.BufferInsertionFlow` on top of:
 
+* :mod:`repro.core.compiled` — the array-native
+  :class:`CompiledConstraintSystem` built once per design (topology
+  indices + stacked setup/hold coefficient matrices), the single source
+  every consumer samples and solves against;
 * :mod:`repro.core.difference` — difference-constraint feasibility engine
   (Bellman–Ford), the common substrate of the per-sample solver and the
   post-silicon configurator;
@@ -17,6 +21,7 @@ The flow (paper Fig. 3) is implemented by
   artefacts).
 """
 
+from repro.core.compiled import CompiledConstraintSystem, ensure_compiled_system
 from repro.core.config import BufferSpec, FlowConfig
 from repro.core.flow import BufferInsertionFlow, insert_buffers
 from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
@@ -28,6 +33,8 @@ __all__ = [
     "insert_buffers",
     "Buffer",
     "BufferPlan",
+    "CompiledConstraintSystem",
+    "ensure_compiled_system",
     "FlowResult",
     "StepArtifacts",
 ]

@@ -133,6 +133,12 @@ class FlowConfig:
         Worker count for the parallel executors (``None``: CPU count).
     chunk_size:
         Samples per executor round trip (``None``: balanced heuristic).
+    cache_size:
+        Optional LRU bound on the engine's per-sample
+        :class:`~repro.engine.ResultCache` (``None``: unbounded).  The
+        cache only ever holds one training batch's solutions, but large
+        sample counts on large designs can make even that significant;
+        the bound caps the memory at the cost of extra re-solves.
     """
 
     n_samples: int = 1000
@@ -157,6 +163,7 @@ class FlowConfig:
     executor: str = "serial"
     jobs: Optional[int] = None
     chunk_size: Optional[int] = None
+    cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive(self.n_samples, "n_samples")
@@ -185,6 +192,8 @@ class FlowConfig:
             check_positive(self.jobs, "jobs")
         if self.chunk_size is not None:
             check_positive(self.chunk_size, "chunk_size")
+        if self.cache_size is not None:
+            check_positive(self.cache_size, "cache_size")
 
     @property
     def prune_critical_count(self) -> int:

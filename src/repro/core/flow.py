@@ -25,15 +25,28 @@ Finally the resulting plan is evaluated on a *fresh* batch of samples with
 the post-silicon configurator, yielding the ``Y`` / ``Yi`` numbers of
 Table I.
 
+**Compiled constraint system.**  The statistical layer is consumed
+through the design's :class:`~repro.core.compiled.CompiledConstraintSystem`
+(built once, cached on the design): training and evaluation batches are
+evaluated as single matrix multiplications over the stacked setup/hold
+coefficient matrices, and the per-sample solver runs on the compiled
+topology view.
+
 **Execution engine hand-off.**  All three sample sweeps (step 1, step 2
 and the final evaluation) are embarrassingly parallel, so the flow does
 not loop over samples itself: it builds one
 :class:`~repro.engine.BatchProblem` per batch and hands it to a
 :class:`~repro.engine.SampleScheduler`, which skips clean samples,
-consults a content-keyed :class:`~repro.engine.ResultCache` and fans the
+consults a content-keyed :class:`~repro.engine.ResultCache` (optionally
+LRU-bounded via :attr:`FlowConfig.cache_size`) and fans the
 remaining solves out over the executor configured by
 :attr:`FlowConfig.executor` / :attr:`FlowConfig.jobs` (``serial``,
-``threads`` or ``processes``).  The pruning re-solve of III-A2 is
+``threads`` or ``processes``).  Warm worker state is keyed by the
+compiled system's content fingerprint, so one process pool serves the
+solve phases, the final yield sweep
+(:meth:`~repro.engine.SampleScheduler.evaluate_plan` ships only the
+buffer plan and per-chunk sample-matrix slices) and any further flow
+runs on the same design.  The pruning re-solve of III-A2 is
 incremental: solutions that never touched a pruned buffer are *adopted*
 into the cache under the reduced candidate mask, so only the affected
 samples are solved again.  Results are reduced in sample-index order,
@@ -50,12 +63,12 @@ import numpy as np
 
 from repro.circuit.design import CircuitDesign
 from repro.core.bounds import WindowAssignment, assign_lower_bounds, outside_window_fraction
+from repro.core.compiled import ensure_compiled_system
 from repro.core.config import FlowConfig
 from repro.core.grouping import group_buffers
 from repro.core.pruning import prune_buffers
 from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
 from repro.core.sample_solver import (
-    ConstraintTopology,
     PerSampleSolver,
     SampleSolution,
 )
@@ -70,9 +83,7 @@ from repro.engine import (
     SampleScheduler,
     create_executor,
 )
-from repro.timing.constraints import ensure_constraint_graph
 from repro.timing.period import sample_min_periods
-from repro.tuning.configurator import PostSiliconConfigurator
 from repro.utils.rng import spawn_rngs
 from repro.utils.timers import Stopwatch
 from repro.variation.sampling import MonteCarloSampler
@@ -108,8 +119,8 @@ class BufferInsertionFlow:
     ) -> None:
         self.design = design
         self.config = config or FlowConfig()
-        self.constraint_graph = ensure_constraint_graph(design)
-        self.topology = ConstraintTopology.from_constraint_graph(self.constraint_graph)
+        self.compiled = ensure_compiled_system(design)
+        self.topology = self.compiled.topology
         self._executor = executor
         self._progress = progress
 
@@ -138,10 +149,10 @@ class BufferInsertionFlow:
         with stopwatch.measure("sampling"):
             train_sampler = MonteCarloSampler(self.design.variation_model, rng=train_rng)
             train_batch = train_sampler.sample(cfg.n_samples)
-            train_samples = self.constraint_graph.sample(train_batch, sampler=train_sampler)
+            train_samples = self.compiled.sample(train_batch, sampler=train_sampler)
             period_analysis = sample_min_periods(
                 self.design,
-                constraint_graph=self.constraint_graph,
+                compiled=self.compiled,
                 constraint_samples=train_samples,
             )
         mu_period = period_analysis.mean
@@ -177,10 +188,12 @@ class BufferInsertionFlow:
 
         # The engine substrate: one batch description of the training
         # samples, a scheduler fanning solves out over the executor, and a
-        # keyed cache making the pruning re-solve incremental.
+        # keyed cache making the pruning re-solve incremental.  The
+        # scheduler's warm worker state is keyed by the compiled system's
+        # content, so repeated runs on one design share worker pools.
         train_problem = BatchProblem(setup_bounds, hold_bounds)
         engine_stats = EngineStats()
-        solve_cache = ResultCache()
+        solve_cache = ResultCache(max_entries=cfg.cache_size)
         scheduler = SampleScheduler(
             solver,
             executor=executor,
@@ -352,21 +365,15 @@ class BufferInsertionFlow:
         with stopwatch.measure("evaluation"):
             eval_sampler = MonteCarloSampler(self.design.variation_model, rng=eval_rng)
             eval_batch = eval_sampler.sample(cfg.n_eval_samples)
-            eval_samples = self.constraint_graph.sample(eval_batch, sampler=eval_sampler)
+            eval_samples = self.compiled.sample(eval_batch, sampler=eval_sampler)
             eval_setup = eval_samples.setup_bounds(target_period)
             eval_hold = eval_samples.hold_bounds()
             original_ok = np.all(eval_setup >= 0.0, axis=0) & np.all(eval_hold >= 0.0, axis=0)
             original_yield = float(np.mean(original_ok))
-            configurator = PostSiliconConfigurator(self.topology, plan, step=step)
-            evaluation = configurator.evaluate(
-                eval_samples,
-                target_period,
-                executor=executor,
-                chunk_size=cfg.chunk_size,
-                stats=engine_stats,
-                progress=self._progress,
-            )
-            improved_yield = float(evaluation.yield_fraction)
+            # The sweep runs on the scheduler's warm worker state: only
+            # the plan and the per-chunk bound slices are shipped.
+            passed, _ = scheduler.evaluate_plan(eval_setup, eval_hold, plan, step)
+            improved_yield = float(np.mean(passed)) if passed.size else 1.0
 
         lower_bounds = {
             self.topology.ff_names[i]: float(fixed_lower[i] * scale) for i in kept_ffs

@@ -30,6 +30,7 @@ the test suite.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
@@ -106,6 +107,21 @@ class ConstraintTopology:
             edge_launch=graph.edge_launch_idx.copy(),
             edge_capture=graph.edge_capture_idx.copy(),
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the topology (names and edge indices).
+
+        Two topologies with the same fingerprint are interchangeable for
+        solving; the engine uses this to key warm worker state so
+        repeated flows on one design reuse worker pools.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for name in self.ff_names:
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+        digest.update(self.edge_launch.tobytes())
+        digest.update(self.edge_capture.tobytes())
+        return digest.hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +222,24 @@ class PerSampleSolver:
         self.concentrate = bool(concentrate)
         self.lp_backend = lp_backend
         self.integral = bool(integral)
+
+    def state_fingerprint(self) -> str:
+        """Content hash identifying this solver as warm worker state.
+
+        Combines the topology fingerprint with every solver setting;
+        solvers with equal fingerprints produce identical results for
+        identical inputs, so a worker pool warmed with one can serve the
+        other without being restarted.
+        """
+        settings = (
+            f"{self.backend}|{self.pool_hops}|{self.max_pool_expansions}"
+            f"|{self.exact_region_size}|{int(self.concentrate)}"
+            f"|{self.lp_backend}|{int(self.integral)}"
+        )
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self.topology.fingerprint().encode())
+        digest.update(settings.encode())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -523,12 +557,18 @@ class PerSampleSolver:
         if not self.concentrate:
             return witness
 
-        from repro.milp.model import Model, VarType  # local import (cheap)
-
         scope = self._scope_edges(support, region_edges)
         constraints = self._build_constraints(problem, support, scope)
         if constraints is None:  # pragma: no cover - witness exists, so cannot happen
             return witness
+
+        if len(support) == 1:
+            single = self._concentrate_single(problem, next(iter(support)), constraints, targets)
+            if single is not None:
+                return single
+            return witness
+
+        from repro.milp.model import Model, VarType  # local import (cheap)
 
         model = Model("concentrate")
         x_vars: Dict[int, object] = {}
@@ -553,7 +593,7 @@ class PerSampleSolver:
         from repro.milp.expr import LinExpr
 
         model.set_objective(LinExpr.sum_of(objective_terms))
-        solution = model.solve(backend=self.lp_backend)
+        solution = model.solve(backend=self._concentrate_backend(len(support)))
         if not solution.is_feasible:  # pragma: no cover - witness exists
             return witness
 
@@ -565,6 +605,54 @@ class PerSampleSolver:
         if check_assignment(values, constraints, lower, upper, tolerance=1e-6):
             return values
         return witness
+
+    def _concentrate_backend(self, n_support: int) -> str:
+        """LP backend for one concentration problem.
+
+        With ``lp_backend="auto"`` the tiny per-region problems (a few
+        variables, a handful of rows) run on the built-in dense simplex —
+        its per-call overhead is a fraction of scipy's ``linprog`` setup
+        cost, which dominates at this size.  Larger regions and explicit
+        backend choices are honoured unchanged.
+        """
+        if self.lp_backend == "auto" and n_support <= 12:
+            return "simplex"
+        return self.lp_backend
+
+    def _concentrate_single(
+        self,
+        problem: SampleProblem,
+        ff: int,
+        constraints: List[DifferenceConstraint],
+        targets: np.ndarray,
+    ) -> Optional[Dict[int, float]]:
+        """Closed-form concentration for a single-buffer support.
+
+        Every constraint of the scope pins the lone free variable to an
+        interval; ``min |x - target|`` over an interval is the clamped
+        target (the unique LP optimum), so no LP is needed.  Returns
+        ``None`` when the interval collapses (caller falls back to the
+        Bellman–Ford witness).
+        """
+        lo = float(problem.lower[ff])
+        hi = float(problem.upper[ff])
+        for constraint in constraints:
+            if constraint.u == constraint.v:
+                if constraint.weight < -_TOL:  # pragma: no cover - witness exists
+                    return None
+                continue
+            if constraint.u == REFERENCE:
+                lo = max(lo, -float(constraint.weight))
+            elif constraint.v == REFERENCE:
+                hi = min(hi, float(constraint.weight))
+        if lo > hi + _TOL:  # pragma: no cover - witness exists, so cannot happen
+            return None
+        value = min(max(float(targets[ff]), lo), hi)
+        if self.integral:
+            # In discrete mode the interval endpoints are integral, so the
+            # rounded value cannot leave [lo, hi].
+            value = min(max(float(round(value)), lo), hi)
+        return {ff: value}
 
     # ------------------------------------------------------------------
     # Faithful MILP formulation (validation backend)

@@ -50,7 +50,13 @@ from repro.engine.progress import (
     PhaseStats,
     ProgressReporter,
 )
-from repro.engine.scheduler import SampleScheduler, configure_chunk, run_yield_evaluation, solve_chunk
+from repro.engine.scheduler import (
+    SampleScheduler,
+    configure_chunk,
+    evaluate_plan_chunk,
+    run_yield_evaluation,
+    solve_chunk,
+)
 
 __all__ = [
     "BatchProblem",
@@ -76,6 +82,7 @@ __all__ = [
     "ThreadPoolExecutor",
     "configure_chunk",
     "create_executor",
+    "evaluate_plan_chunk",
     "default_chunk_size",
     "fingerprint_array",
     "fingerprint_arrays",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -78,7 +78,10 @@ class ChunkPayload:
 
     Carries the bound columns of its sample indices plus the (small)
     per-batch vectors every solve needs, so a worker only ever needs the
-    warm shared solver and one payload.
+    warm shared solver and one payload.  ``extra`` is an optional small
+    task-specific object (e.g. the buffer plan of a yield-evaluation
+    sweep); ``extra_key`` is its stable content key, which workers use to
+    memoise anything derived from it across chunks.
     """
 
     indices: np.ndarray
@@ -88,6 +91,8 @@ class ChunkPayload:
     upper: np.ndarray
     candidates: Optional[np.ndarray] = None
     targets: Optional[np.ndarray] = None
+    extra: Any = None
+    extra_key: Optional[str] = None
 
     @property
     def n_tasks(self) -> int:
@@ -116,6 +121,8 @@ def make_chunks(
     candidates: Optional[np.ndarray] = None,
     targets: Optional[np.ndarray] = None,
     chunk_size: int = 16,
+    extra: Any = None,
+    extra_key: Optional[str] = None,
 ) -> List[ChunkPayload]:
     """Slice ``indices`` into :class:`ChunkPayload` units of ``chunk_size``.
 
@@ -141,6 +148,8 @@ def make_chunks(
                 upper=upper,
                 candidates=candidates,
                 targets=targets,
+                extra=extra,
+                extra_key=extra_key,
             )
         )
     return chunks

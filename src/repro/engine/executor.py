@@ -118,6 +118,12 @@ class Executor(ABC):
     ) -> Iterator[Any]:
         """Run ``fn(shared, payload)`` for every payload, yielding in order."""
 
+    @property
+    def warm_key(self) -> Optional[str]:
+        """The ``shared_key`` whose state is currently resident in the
+        workers (``None`` for stateless executors or a cold pool)."""
+        return None
+
     def close(self) -> None:
         """Release pools and worker processes (idempotent)."""
 
@@ -207,7 +213,15 @@ class ProcessPoolExecutor(Executor):
 
     The first call (or a call with a new ``shared_key``) starts the pool
     with an initializer that installs ``shared`` in every worker; later
-    calls with the same key submit only the small per-chunk payloads.
+    calls with the same key submit only the small per-chunk payloads —
+    the shared object (e.g. the per-sample solver with its compiled
+    constraint topology) crosses the process boundary exactly once.
+    Content-derived keys (see
+    :meth:`repro.core.sample_solver.PerSampleSolver.state_fingerprint`)
+    extend the reuse across *consumers*: any caller whose shared object
+    fingerprints identically to the resident one inherits the warm pool,
+    so a flow's solve phases, its yield evaluation and even subsequent
+    flow runs on the same design all share one pool start-up.
     Chunked submission amortises the pickling and IPC cost over many
     samples per round trip.
     """
@@ -219,6 +233,10 @@ class ProcessPoolExecutor(Executor):
         self._mp_context = mp_context
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._shared_key: Optional[str] = None
+
+    @property
+    def warm_key(self) -> Optional[str]:
+        return self._shared_key if self._pool is not None else None
 
     def _ensure_pool(self, shared: Any, shared_key: Optional[str]) -> concurrent.futures.ProcessPoolExecutor:
         # Without an explicit key the pool restarts every call: keying on

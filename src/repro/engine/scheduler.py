@@ -15,8 +15,16 @@ it
    reduction order — and therefore the flow output — identical across
    all executors.
 
-:func:`run_yield_evaluation` applies the same machinery to the
-post-silicon evaluation sweep (one feasibility check per fresh sample).
+:meth:`SampleScheduler.evaluate_plan` applies the same machinery to the
+post-silicon evaluation sweep (one feasibility check per fresh sample)
+**on the warm solver state**: the worker pool that solved the training
+samples also evaluates the finished plan, with only the small
+``(plan, step)`` pair and the per-chunk sample-matrix slices crossing
+the process boundary.  Scheduler shared keys are *content-derived*
+(solver fingerprint), so consecutive flow runs over the same compiled
+constraint system reuse each other's warm pools.
+:func:`run_yield_evaluation` is the standalone variant used outside a
+scheduler (yield estimator, tests).
 """
 
 from __future__ import annotations
@@ -87,6 +95,32 @@ def configure_chunk(configurator: Any, payload: ChunkPayload) -> List[Tuple[int,
     return results
 
 
+def evaluate_plan_chunk(solver: "PerSampleSolver", payload: ChunkPayload) -> List[Tuple[int, bool]]:
+    """Yield-evaluation chunk against the *warm solver state*.
+
+    Instead of shipping a configurator object (which carries the whole
+    compiled topology) to the workers, the chunk carries only the small
+    ``(plan, step)`` pair in :attr:`ChunkPayload.extra`; the worker
+    builds the configurator from the solver's resident topology and
+    memoises it under :attr:`ChunkPayload.extra_key`, so one warm worker
+    pool serves every phase of the flow — solves and evaluation alike.
+    """
+    from repro.tuning.configurator import PostSiliconConfigurator  # deferred: engine is a leaf
+
+    plan, step = payload.extra
+    memo = getattr(solver, "_configurator_memo", None)
+    if memo is None:
+        memo = {}
+        solver._configurator_memo = memo
+    configurator = memo.get(payload.extra_key)
+    if configurator is None:
+        configurator = PostSiliconConfigurator(solver.topology, plan, step=step)
+        if payload.extra_key is not None:
+            memo.clear()  # one plan is live at a time; drop stale entries
+            memo[payload.extra_key] = configurator
+    return configure_chunk(configurator, payload)
+
+
 # ----------------------------------------------------------------------
 # The scheduler
 # ----------------------------------------------------------------------
@@ -108,6 +142,16 @@ class SampleScheduler:
         Optional instrumentation sinks.
     chunk_size:
         Samples per executor round trip (default: balanced heuristic).
+    cache_size:
+        When ``cache`` is not given, build an LRU-bounded
+        :class:`ResultCache` with this many entries (``None``: no cache
+        unless one is passed in).
+    shared_key:
+        Override for the warm worker-state key.  By default the key is
+        *content-derived* from the solver
+        (:meth:`~repro.core.sample_solver.PerSampleSolver.state_fingerprint`),
+        so consecutive schedulers over the same compiled system reuse an
+        executor's warm worker pool instead of re-shipping state.
     """
 
     def __init__(
@@ -118,14 +162,23 @@ class SampleScheduler:
         stats: Optional[EngineStats] = None,
         progress: Optional[ProgressReporter] = None,
         chunk_size: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        shared_key: Optional[str] = None,
     ) -> None:
         self.solver = solver
         self.executor = executor if executor is not None else SerialExecutor()
+        if cache is None and cache_size is not None:
+            cache = ResultCache(max_entries=cache_size)
         self.cache = cache
         self.stats = stats if stats is not None else EngineStats()
         self.progress = progress if progress is not None else NullProgress()
         self.chunk_size = chunk_size
-        self._shared_key = _next_shared_key("solver")
+        if shared_key is None:
+            fingerprint = getattr(solver, "state_fingerprint", None)
+            shared_key = (
+                f"solver-{fingerprint()}" if callable(fingerprint) else _next_shared_key("solver")
+            )
+        self._shared_key = shared_key
 
     # ------------------------------------------------------------------
     def _keys_for(
@@ -219,6 +272,70 @@ class SampleScheduler:
             seconds=seconds,
         )
         return solutions
+
+    # ------------------------------------------------------------------
+    def evaluate_plan(
+        self,
+        setup_bounds: np.ndarray,
+        hold_bounds: np.ndarray,
+        plan: Any,
+        step: float,
+        phase: str = PHASE_YIELD_EVAL,
+        tol: float = _TOL,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the post-silicon yield sweep on the warm solver state.
+
+        Samples passing at the neutral buffer setting are filtered out
+        vectorised; the rest are chunked with per-chunk sample-matrix
+        slices plus the (small) ``(plan, step)`` pair, and dispatched
+        under the scheduler's existing shared key — the worker pool
+        warmed for the solve phases serves the evaluation too, no state
+        is re-shipped.
+
+        Returns ``(passed, needed_tuning)`` boolean per-sample arrays.
+        """
+        start = time.perf_counter()
+        clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
+        passed = clean.copy()
+        needed = ~clean
+        indices = [int(i) for i in np.where(needed)[0]]
+        self.progress.start(phase, len(indices))
+
+        empty = np.zeros(0)
+        chunk_size = self.chunk_size or default_chunk_size(len(indices), self.executor.jobs)
+        plan_key = fingerprint_arrays(
+            np.frombuffer(repr(plan).encode("utf-8"), dtype=np.uint8),
+            np.asarray([float(step)]),
+        )
+        chunks = make_chunks(
+            indices,
+            setup_bounds,
+            hold_bounds,
+            empty,
+            empty,
+            chunk_size=chunk_size,
+            extra=(plan, float(step)),
+            extra_key=plan_key,
+        )
+        done = 0
+        for chunk_result in self.executor.map_chunks(
+            evaluate_plan_chunk, chunks, shared=self.solver, shared_key=self._shared_key
+        ):
+            for index, ok in chunk_result:
+                passed[index] = ok
+                done += 1
+            self.progress.advance(phase, done, len(indices))
+
+        seconds = time.perf_counter() - start
+        self.progress.finish(phase, len(indices), seconds)
+        self.stats.record(
+            phase,
+            n_tasks=len(indices),
+            n_dispatched=len(indices),
+            n_chunks=len(chunks),
+            seconds=seconds,
+        )
+        return passed, needed
 
     # ------------------------------------------------------------------
     def adopt(

@@ -90,17 +90,23 @@ def sample_min_periods(
     rng: RngLike = 0,
     constraint_graph: Optional[SequentialConstraintGraph] = None,
     constraint_samples: Optional[ConstraintSamples] = None,
+    compiled=None,
 ) -> PeriodAnalysis:
     """Monte-Carlo distribution of the un-tuned minimum clock period.
 
     Either draws ``n_samples`` fresh samples or reuses pre-evaluated
-    ``constraint_samples``.
+    ``constraint_samples``.  When a
+    :class:`~repro.core.compiled.CompiledConstraintSystem` is passed as
+    ``compiled`` the batch is evaluated through its stacked coefficient
+    matrices (one matmul per quantity) instead of the constraint graph.
     """
-    graph = constraint_graph or extract_constraint_graph(design)
     if constraint_samples is None:
+        source = compiled if compiled is not None else (
+            constraint_graph or extract_constraint_graph(design)
+        )
         sampler = MonteCarloSampler(design.variation_model, rng=rng)
         batch = sampler.sample(n_samples)
-        constraint_samples = graph.sample(batch, sampler=sampler)
+        constraint_samples = source.sample(batch, sampler=sampler)
     periods = constraint_samples.min_setup_period_per_sample()
     hold_ok = constraint_samples.hold_feasible_per_sample()
     return PeriodAnalysis(

@@ -1,17 +1,28 @@
 """Arrival-time propagation.
 
-Two engines are provided:
+Three engines are provided:
 
 * :func:`nominal_arrival_times` — classic deterministic STA over the whole
   graph (used for critical-path reporting and sanity checks);
-* :func:`ff_pair_delay_forms` / :func:`all_ff_pair_delay_forms` — per
-  launch flip-flop propagation of *canonical statistical forms* restricted
-  to the flip-flop's fan-out cone, producing for every reachable capture
-  flip-flop the canonical form of the maximum and minimum combinational
-  delay (including the launching flip-flop's clock-to-Q).  These forms are
-  the statistical ``d_ij`` / ``d-bar_ij`` of the paper's constraints
-  (1)–(2) and are later evaluated per Monte-Carlo sample by
-  :mod:`repro.timing.constraints`.
+* :func:`all_ff_pair_delay_forms` — **array-native** statistical
+  propagation: one level-ordered sweep of the whole timing graph in which
+  every node carries the stacked arrival forms of *all* launching
+  flip-flops whose fan-out cone contains it
+  (:class:`~repro.variation.arrayforms.ArrayForms`), so the per-node
+  Clark max/min runs vectorised across launch flip-flops instead of once
+  per flip-flop per cone;
+* :func:`ff_pair_delay_forms` — the scalar per-launch reference path
+  (object-at-a-time :class:`~repro.variation.canonical.CanonicalForm`
+  propagation restricted to one fan-out cone), kept as the equivalence
+  oracle for the array sweep.
+
+Both statistical paths produce for every connected flip-flop pair the
+canonical form of the maximum and minimum combinational delay (including
+the launching flip-flop's clock-to-Q).  These forms are the statistical
+``d_ij`` / ``d-bar_ij`` of the paper's constraints (1)–(2) and are later
+evaluated per Monte-Carlo sample by :mod:`repro.timing.constraints`.
+The array sweep applies the same Clark formulas elementwise and agrees
+with the scalar path to well below ``1e-12``.
 """
 
 from __future__ import annotations
@@ -19,8 +30,10 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.timing.graph import TimingGraph
+from repro.variation.arrayforms import clark_max_coeffs
 from repro.variation.canonical import CanonicalForm
 
 
@@ -65,7 +78,7 @@ def ff_pair_delay_forms(
     launch_ff: str,
 ) -> Dict[str, Tuple[CanonicalForm, CanonicalForm]]:
     """Canonical max/min combinational delay from ``launch_ff`` to every
-    capture flip-flop it reaches.
+    capture flip-flop it reaches (scalar reference path).
 
     The launching flip-flop's clock-to-Q delay is included in the returned
     forms, matching the paper's convention of folding it into ``d_ij``.
@@ -110,9 +123,13 @@ def ff_pair_delay_forms(
     return results
 
 
+# ----------------------------------------------------------------------
+# Array-native whole-graph sweep
+# ----------------------------------------------------------------------
 def all_ff_pair_delay_forms(
     timing_graph: TimingGraph,
     launch_ffs: Optional[List[str]] = None,
+    method: str = "array",
 ) -> Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]]:
     """Canonical max/min delay forms for every connected flip-flop pair.
 
@@ -121,6 +138,10 @@ def all_ff_pair_delay_forms(
     launch_ffs:
         Restrict the analysis to these launching flip-flops (defaults to
         all flip-flops of the design).
+    method:
+        ``"array"`` (default) runs the level-ordered whole-graph sweep
+        with vectorised Clark max across launch flip-flops; ``"scalar"``
+        runs the per-launch reference propagation.
 
     Returns
     -------
@@ -129,8 +150,193 @@ def all_ff_pair_delay_forms(
     """
     design = timing_graph.design
     launch_ffs = launch_ffs if launch_ffs is not None else list(design.netlist.flip_flops)
-    pairs: Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]] = {}
+    if method == "scalar":
+        pairs: Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]] = {}
+        for launch in launch_ffs:
+            for capture, forms in ff_pair_delay_forms(timing_graph, launch).items():
+                pairs[(launch, capture)] = forms
+        return pairs
+    if method != "array":
+        raise ValueError(f"unknown propagation method {method!r}")
+    return _all_pairs_array(timing_graph, launch_ffs)
+
+
+def _form_row(form: CanonicalForm, width: int, negate: bool = False) -> np.ndarray:
+    """One canonical form as a flat coefficient row (optionally negated)."""
+    row = np.empty(width)
+    sign = -1.0 if negate else 1.0
+    row[0] = sign * form.mean
+    row[1:-1] = sign * form.sensitivities
+    row[-1] = form.independent
+    return row
+
+
+#: Mean assigned to launch rows that have not reached a node yet.  The
+#: value is an *absorbing element* of Clark's max in float64: against any
+#: real arrival the tightness saturates exactly (``t = 1.0``,
+#: ``phi = 0.0``), so ``max(real, absent) == real`` bit for bit and the
+#: whole merge needs no masking.  Real arrival means are orders of
+#: magnitude smaller, so no confusion is possible.
+_ABSENT_MEAN = -1e30
+
+
+def _extend_block(
+    ids: Tuple[int, ...], block: np.ndarray, union: Tuple[int, ...], width: int
+) -> np.ndarray:
+    """Expand a compact block onto a larger id union with sentinel rows."""
+    if ids == union:
+        return block
+    position = {launch: row for row, launch in enumerate(union)}
+    out = np.zeros((2, len(union), width))
+    out[:, :, 0] = _ABSENT_MEAN
+    out[:, [position[i] for i in ids]] = block
+    return out
+
+
+def _all_pairs_array(
+    timing_graph: TimingGraph,
+    launch_ffs: List[str],
+) -> Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]]:
+    """Level-ordered array sweep carrying all launch flip-flops at once.
+
+    Every reached node holds one compact ``(2, k, width)`` coefficient
+    block — plane 0 the max-arrival rows, plane 1 the **negated**
+    min-arrival rows — for the ``k`` launch flip-flops whose cone
+    contains the node.  Storing the minimum negated turns both
+    statistical reductions into Clark-max only (``min(a, b) =
+    -max(-a, -b)``, exactly the identity the scalar path uses), and
+    launches absent on one side of a merge carry an absorbing sentinel
+    row that Clark's saturated formulas pass through bit for bit.
+
+    Nodes are processed **level by level** (longest pred distance from a
+    launch), which makes every node of a level independent: the r-th
+    predecessor fold of all of them is batched into a *single* Clark
+    kernel invocation over the concatenated rows, so the per-call numpy
+    overhead is paid per level-round instead of per node.  Blocks are
+    freed once every successor has consumed them, bounding live memory
+    by the level frontier.
+    """
+    graph = timing_graph.graph
     for launch in launch_ffs:
-        for capture, forms in ff_pair_delay_forms(timing_graph, launch).items():
-            pairs[(launch, capture)] = forms
+        if launch not in graph:
+            raise KeyError(f"unknown launch flip-flop {launch!r}")
+    launch_index = {ff: i for i, ff in enumerate(launch_ffs)}
+    width = timing_graph.design.variation_model.n_shared_sources + 2
+
+    # node -> (sorted launch-id tuple, (2, k, width) coefficient block)
+    arrivals: Dict[Hashable, Tuple[Tuple[int, ...], np.ndarray]] = {}
+    for ff in launch_ffs:
+        ann = timing_graph.annotation(ff)
+        block = np.empty((2, 1, width))
+        block[0, 0] = _form_row(ann.form_max, width)
+        block[1, 0] = _form_row(ann.form_min, width, negate=True)
+        arrivals[ff] = ((launch_index[ff],), block)
+
+    # Level schedule over the reachable subgraph: a node's level is one
+    # past its deepest reached predecessor, so all nodes of a level have
+    # every input ready and none feeds another.
+    levels: Dict[Hashable, int] = {ff: 0 for ff in launch_ffs}
+    pred_lists: Dict[Hashable, List[Hashable]] = {}
+    schedule: List[List[Hashable]] = []
+    topo_position: Dict[str, int] = {}
+    for node in timing_graph.topological_order:
+        if node in levels:
+            continue  # launch flip-flop: fixed start, nothing propagates in
+        preds = [p for p in graph.predecessors(node) if p in levels]
+        if not preds:
+            continue
+        depth = 1 + max(levels[p] for p in preds)
+        levels[node] = depth
+        pred_lists[node] = preds
+        while len(schedule) < depth:
+            schedule.append([])
+        schedule[depth - 1].append(node)
+        if isinstance(node, tuple) and node[0] == "sink":
+            topo_position[node[1]] = len(topo_position)
+
+    remaining: Dict[Hashable, int] = {}
+
+    def consume(pred: Hashable) -> Tuple[Tuple[int, ...], np.ndarray]:
+        """Fetch a predecessor's block, freeing it after its last use."""
+        reached = arrivals[pred]
+        left = remaining.get(pred)
+        if left is None:
+            left = sum(1 for s in graph.successors(pred) if s in pred_lists)
+        if left <= 1:
+            del arrivals[pred]
+            remaining.pop(pred, None)
+        else:
+            remaining[pred] = left - 1
+        return reached
+
+    captured: Dict[str, Tuple[Tuple[int, ...], np.ndarray]] = {}
+    for level_nodes in schedule:
+        # Fold round 0: adopt the first predecessor (by reference).
+        state: Dict[Hashable, Tuple[Tuple[int, ...], np.ndarray]] = {
+            node: consume(pred_lists[node][0]) for node in level_nodes
+        }
+        # Fold rounds r >= 1: one batched kernel call per round merges
+        # the r-th predecessor into every node of the level that has one.
+        round_index = 1
+        while True:
+            active = [node for node in level_nodes if len(pred_lists[node]) > round_index]
+            if not active:
+                break
+            segments: List[Tuple[Hashable, Tuple[int, ...], int]] = []
+            rows_a: List[np.ndarray] = []
+            rows_b: List[np.ndarray] = []
+            offset = 0
+            for node in active:
+                ids_a, block_a = state[node]
+                ids_b, block_b = consume(pred_lists[node][round_index])
+                if ids_a == ids_b:
+                    union = ids_a
+                else:
+                    union = tuple(sorted(set(ids_a) | set(ids_b)))
+                rows_a.append(_extend_block(ids_a, block_a, union, width).reshape(-1, width))
+                rows_b.append(_extend_block(ids_b, block_b, union, width).reshape(-1, width))
+                segments.append((node, union, offset))
+                offset += 2 * len(union)
+            merged = clark_max_coeffs(np.concatenate(rows_a), np.concatenate(rows_b))
+            for node, union, start in segments:
+                k = len(union)
+                state[node] = (union, merged[start : start + 2 * k].reshape(2, k, width))
+            round_index += 1
+
+        # Folds done: record captures, add node delays, publish arrivals.
+        for node in level_nodes:
+            ids, block = state[node]
+            if isinstance(node, tuple) and node[0] == "sink":
+                captured[node[1]] = (ids, block)
+                continue
+            ann = timing_graph.annotation(node)
+            delay = np.empty((2, 1, width))
+            delay[0, 0] = _form_row(ann.form_max, width)
+            delay[1, 0] = _form_row(ann.form_min, width, negate=True)
+            out = np.empty_like(block)
+            out[..., :-1] = block[..., :-1] + delay[..., :-1]
+            out[..., -1] = np.hypot(block[..., -1], delay[..., -1])
+            arrivals[node] = (ids, out)
+
+    # Emit pairs launch-major, captures in topological discovery order
+    # (matches the scalar path's ordering exactly).
+    ordered_captures = sorted(captured, key=topo_position.__getitem__)
+    pairs: Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]] = {}
+    rows_of: Dict[str, Dict[int, int]] = {
+        capture: {launch: row for row, launch in enumerate(captured[capture][0])}
+        for capture in ordered_captures
+    }
+    for launch in launch_ffs:
+        idx = launch_index[launch]
+        for capture in ordered_captures:
+            row = rows_of[capture].get(idx)
+            if row is None:
+                continue
+            block = captured[capture][1]
+            max_row = block[0, row]
+            min_row = block[1, row]
+            pairs[(launch, capture)] = (
+                CanonicalForm(float(max_row[0]), max_row[1:-1].copy(), float(max_row[-1])),
+                CanonicalForm(float(-min_row[0]), -min_row[1:-1], float(min_row[-1])),
+            )
     return pairs

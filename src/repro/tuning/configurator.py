@@ -75,15 +75,26 @@ class PostSiliconConfigurator:
     Parameters
     ----------
     topology:
-        Constraint-graph topology of the design.
+        Constraint-graph topology of the design, or a
+        :class:`~repro.core.compiled.CompiledConstraintSystem` (its
+        topology view is used).
     plan:
         The buffer plan produced by the insertion flow.
     step:
         Discrete tuning step in time units (0 disables the grid).
     """
 
-    def __init__(self, topology: ConstraintTopology, plan: BufferPlan, step: float = 0.0) -> None:
-        self.topology = topology
+    def __init__(self, topology, plan: BufferPlan, step: float = 0.0) -> None:
+        if not isinstance(topology, ConstraintTopology):
+            # A compiled constraint system: use its topology view.
+            unwrapped = getattr(topology, "topology", None)
+            if not isinstance(unwrapped, ConstraintTopology):
+                raise TypeError(
+                    "topology must be a ConstraintTopology or a compiled "
+                    f"constraint system, got {type(topology).__name__}"
+                )
+            topology = unwrapped
+        self.topology: ConstraintTopology = topology
         self.plan = plan
         self.step = float(step)
 

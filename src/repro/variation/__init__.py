@@ -10,12 +10,16 @@ oxide thickness and threshold voltage.  This subpackage provides:
 * :mod:`repro.variation.canonical` — the first-order canonical delay form
   of Visweswariah et al. (paper reference [3]) including Clark's
   max-approximation, which the statistical timing engine propagates;
+* :mod:`repro.variation.arrayforms` — stacks of canonical forms as one
+  coefficient matrix with vectorised arithmetic, row-wise Clark max/min
+  and single-matmul batch evaluation (the compiled hot path);
 * :mod:`repro.variation.model` — assembly of a per-circuit variation model
   that assigns every gate a sensitivity vector over the shared sources;
 * :mod:`repro.variation.sampling` — vectorised Monte-Carlo sampling of the
   shared sources and evaluation of canonical forms per sample.
 """
 
+from repro.variation.arrayforms import ArrayForms, clark_max_many
 from repro.variation.canonical import CanonicalForm
 from repro.variation.model import GateDelayModel, VariationModel
 from repro.variation.sampling import MonteCarloSampler, SampleBatch
@@ -26,7 +30,9 @@ from repro.variation.sources import (
 )
 
 __all__ = [
+    "ArrayForms",
     "CanonicalForm",
+    "clark_max_many",
     "GateDelayModel",
     "VariationModel",
     "MonteCarloSampler",

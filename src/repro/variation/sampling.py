@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
+from repro.variation.arrayforms import ArrayForms
 from repro.variation.canonical import CanonicalForm
 from repro.variation.model import VariationModel
 
@@ -106,24 +107,49 @@ class MonteCarloSampler:
         numpy.ndarray
             Array of shape ``(n_forms, n_samples)``.
         """
+        forms = list(forms)
+        if not forms:
+            if batch.n_sources != self.model.n_shared_sources:
+                raise ValueError(
+                    "sample batch does not match the variation model "
+                    f"({batch.n_sources} vs {self.model.n_shared_sources} sources)"
+                )
+            return np.zeros((0, batch.n_samples))
+        stacked = ArrayForms.from_forms(forms, n_sources=self.model.n_shared_sources)
+        return self.evaluate_array(stacked, batch, include_independent, rng)
+
+    def evaluate_array(
+        self,
+        forms: ArrayForms,
+        batch: SampleBatch,
+        include_independent: bool = True,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Evaluate a pre-stacked :class:`ArrayForms` matrix for a batch.
+
+        The compiled fast path: no per-call stacking, one matrix
+        multiplication for all forms and samples.  Consumes the sampler's
+        random stream exactly like :meth:`evaluate` (one standard-normal
+        matrix per call when any form has a non-zero independent term),
+        so the two entry points are interchangeable bit for bit.
+        """
         if batch.n_sources != self.model.n_shared_sources:
             raise ValueError(
                 "sample batch does not match the variation model "
                 f"({batch.n_sources} vs {self.model.n_shared_sources} sources)"
             )
-        forms = list(forms)
-        n_forms = len(forms)
+        if forms.n_sources != self.model.n_shared_sources:
+            raise ValueError(
+                "forms do not match the variation model "
+                f"({forms.n_sources} vs {self.model.n_shared_sources} sources)"
+            )
+        n_forms = forms.n_forms
         n_samples = batch.n_samples
         if n_forms == 0:
             return np.zeros((0, n_samples))
-
-        means = np.array([f.mean for f in forms])
-        sens = np.vstack([f.sensitivities for f in forms])
-        values = means[:, None] + sens @ batch.shared
-        if include_independent:
-            independent_sigmas = np.array([f.independent for f in forms])
-            if np.any(independent_sigmas != 0.0):
-                generator = ensure_rng(rng) if rng is not None else self._rng
-                noise = generator.standard_normal((n_forms, n_samples))
-                values = values + independent_sigmas[:, None] * noise
+        values = forms.means[:, None] + forms.sensitivities @ batch.shared
+        if include_independent and np.any(forms.independent != 0.0):
+            generator = ensure_rng(rng) if rng is not None else self._rng
+            noise = generator.standard_normal((n_forms, n_samples))
+            values = values + forms.independent[:, None] * noise
         return values

@@ -16,8 +16,8 @@ from typing import Optional
 
 
 from repro.circuit.design import CircuitDesign
+from repro.core.compiled import ensure_compiled_system
 from repro.core.results import BufferPlan
-from repro.core.sample_solver import ConstraintTopology
 from repro.timing.constraints import (
     ConstraintSamples,
     SequentialConstraintGraph,
@@ -67,11 +67,18 @@ class YieldEstimator:
         from repro.engine import Executor, create_executor
 
         self.design = design
-        self.constraint_graph = constraint_graph or ensure_constraint_graph(design)
+        if constraint_graph is not None:
+            from repro.core.compiled import CompiledConstraintSystem
+
+            self.constraint_graph = constraint_graph
+            self.compiled = CompiledConstraintSystem.from_constraint_graph(constraint_graph)
+        else:
+            self.constraint_graph = ensure_constraint_graph(design)
+            self.compiled = ensure_compiled_system(design)
         self.n_samples = int(n_samples)
         self._rng = ensure_rng(rng)
         self._sampler = MonteCarloSampler(design.variation_model, rng=self._rng)
-        self._topology = ConstraintTopology.from_constraint_graph(self.constraint_graph)
+        self._topology = self.compiled.topology
         self._owns_executor = executor is not None and not isinstance(executor, Executor)
         self.executor = create_executor(executor, jobs) if executor is not None else None
 
@@ -95,10 +102,11 @@ class YieldEstimator:
 
     # ------------------------------------------------------------------
     def draw_samples(self, n_samples: Optional[int] = None) -> ConstraintSamples:
-        """Draw a fresh batch of chips and evaluate all edge quantities."""
+        """Draw a fresh batch of chips and evaluate all edge quantities
+        (through the compiled system: one matmul per quantity)."""
         n = int(n_samples or self.n_samples)
         batch = self._sampler.sample(n)
-        return self.constraint_graph.sample(batch, sampler=self._sampler)
+        return self.compiled.sample(batch, sampler=self._sampler)
 
     def period_analysis(
         self, constraint_samples: Optional[ConstraintSamples] = None
@@ -142,7 +150,7 @@ class YieldEstimator:
         original = analysis.yield_at(period)
         if step is None:
             step = plan.buffers[0].step if plan.buffers else 0.0
-        configurator = PostSiliconConfigurator(self._topology, plan, step=step)
+        configurator = PostSiliconConfigurator(self.compiled, plan, step=step)
         evaluation = configurator.evaluate(samples, period, executor=self.executor)
         return YieldReport(
             target_period=float(period),

@@ -1,0 +1,130 @@
+"""Tests for the compiled, array-native constraint system."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import CompiledConstraintSystem, ensure_compiled_system
+from repro.variation.sampling import MonteCarloSampler
+
+
+@pytest.fixture(scope="module")
+def compiled(small_constraint_graph):
+    return CompiledConstraintSystem.from_constraint_graph(small_constraint_graph)
+
+
+class TestCompilation:
+    def test_shapes_match_graph(self, small_constraint_graph, compiled):
+        graph = small_constraint_graph
+        assert compiled.n_edges == graph.n_edges
+        assert compiled.n_ffs == graph.n_flip_flops
+        assert compiled.ff_names == graph.ff_names
+        assert np.array_equal(compiled.edge_launch, graph.edge_launch_idx)
+        assert np.array_equal(compiled.edge_capture, graph.edge_capture_idx)
+        assert compiled.setup_forms.n_forms == graph.n_edges
+        assert compiled.hold_forms.n_forms == graph.n_edges
+
+    def test_stacked_forms_match_edge_quantities(self, small_constraint_graph, compiled):
+        for k, edge in enumerate(small_constraint_graph.edges[:25]):
+            setup = edge.setup_quantity
+            hold = edge.hold_quantity
+            assert abs(compiled.setup_forms.means[k] - setup.mean) < 1e-12
+            assert np.max(np.abs(compiled.setup_forms.sensitivities[k] - setup.sensitivities)) < 1e-12
+            assert abs(compiled.setup_forms.independent[k] - setup.independent) < 1e-9
+            assert abs(compiled.hold_forms.means[k] - hold.mean) < 1e-12
+            assert np.max(np.abs(compiled.hold_forms.sensitivities[k] - hold.sensitivities)) < 1e-12
+            assert abs(compiled.hold_forms.independent[k] - hold.independent) < 1e-9
+
+    def test_topology_view(self, small_constraint_graph, compiled):
+        topology = compiled.topology
+        assert topology.ff_names == small_constraint_graph.ff_names
+        assert np.array_equal(topology.edge_launch, small_constraint_graph.edge_launch_idx)
+        # Cached: the same object comes back.
+        assert compiled.topology is topology
+
+    def test_mismatched_lengths_rejected(self, compiled):
+        with pytest.raises(ValueError):
+            CompiledConstraintSystem(
+                design=compiled.design,
+                ff_names=compiled.ff_names,
+                edge_launch=compiled.edge_launch[:-1],
+                edge_capture=compiled.edge_capture,
+                skew_difference=compiled.skew_difference,
+                setup_forms=compiled.setup_forms,
+                hold_forms=compiled.hold_forms,
+            )
+
+
+class TestEnsureCache:
+    def test_cached_on_design(self, small_design):
+        small_design.cached_compiled_system = None
+        first = ensure_compiled_system(small_design)
+        second = ensure_compiled_system(small_design)
+        assert first is second
+        assert isinstance(first, CompiledConstraintSystem)
+
+
+class TestSampling:
+    def test_sample_bit_identical_to_graph_path(self, small_design, small_constraint_graph, compiled):
+        sampler_a = MonteCarloSampler(small_design.variation_model, rng=42)
+        sampler_b = MonteCarloSampler(small_design.variation_model, rng=42)
+        batch_a = sampler_a.sample(60)
+        batch_b = sampler_b.sample(60)
+        via_graph = small_constraint_graph.sample(batch_a, sampler=sampler_a)
+        via_compiled = compiled.sample(batch_b, sampler=sampler_b)
+        assert np.array_equal(via_graph.setup_values, via_compiled.setup_values)
+        assert np.array_equal(via_graph.hold_values, via_compiled.hold_values)
+        assert np.array_equal(via_graph.skew_difference, via_compiled.skew_difference)
+
+    def test_sample_shapes(self, small_design, compiled):
+        sampler = MonteCarloSampler(small_design.variation_model, rng=5)
+        samples = compiled.sample(sampler.sample(17), sampler=sampler)
+        assert samples.n_edges == compiled.n_edges
+        assert samples.n_samples == 17
+
+
+class TestConfiguratorIntegration:
+    def test_configurator_accepts_compiled_system(self, compiled):
+        from repro.core.results import Buffer, BufferPlan
+        from repro.tuning.configurator import PostSiliconConfigurator
+
+        plan = BufferPlan(
+            buffers=[Buffer(flip_flop=compiled.ff_names[0], lower=-1.0, upper=1.0, step=0.0)],
+            target_period=10.0,
+        )
+        via_compiled = PostSiliconConfigurator(compiled, plan)
+        via_topology = PostSiliconConfigurator(compiled.topology, plan)
+        assert via_compiled.topology is compiled.topology
+        assert via_compiled.n_variables == via_topology.n_variables
+        assert via_compiled._scope == via_topology._scope
+
+
+class TestPeriodQuantities:
+    def test_nominal_min_period_matches_graph(self, small_constraint_graph, compiled):
+        assert compiled.nominal_min_period() == pytest.approx(
+            small_constraint_graph.nominal_min_period(), abs=1e-12
+        )
+
+    def test_statistical_period_form_matches_graph(self, small_constraint_graph, compiled):
+        via_graph = small_constraint_graph.statistical_period_form()
+        via_compiled = compiled.statistical_period_form()
+        assert via_compiled.mean == pytest.approx(via_graph.mean, abs=1e-9)
+        assert via_compiled.std == pytest.approx(via_graph.std, abs=1e-9)
+
+
+class TestFingerprint:
+    def test_stable_and_cached(self, small_constraint_graph, compiled):
+        again = CompiledConstraintSystem.from_constraint_graph(small_constraint_graph)
+        assert compiled.fingerprint() == again.fingerprint()
+        assert compiled.fingerprint() is compiled.fingerprint()  # cached string
+
+    def test_changes_with_content(self, compiled):
+        perturbed = CompiledConstraintSystem(
+            design=compiled.design,
+            ff_names=compiled.ff_names,
+            edge_launch=compiled.edge_launch,
+            edge_capture=compiled.edge_capture,
+            skew_difference=compiled.skew_difference + 1.0,
+            setup_forms=compiled.setup_forms,
+            hold_forms=compiled.hold_forms,
+        )
+        assert perturbed.fingerprint() != compiled.fingerprint()

@@ -61,3 +61,8 @@ class TestFlowConfig:
     def test_target_period_override_validated(self):
         with pytest.raises(ValueError):
             FlowConfig(target_period=-1.0)
+
+    def test_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            FlowConfig(cache_size=0)
+        assert FlowConfig(cache_size=16).cache_size == 16

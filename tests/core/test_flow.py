@@ -99,3 +99,15 @@ class TestFlowVariants:
         )
         result = BufferInsertionFlow(small_design, config).run()
         assert result.plan.n_physical_buffers <= 2
+
+    def test_bounded_cache_does_not_change_result(self, small_design):
+        """An LRU-bounded engine cache may cost re-solves, never results."""
+        base = FlowConfig(n_samples=80, n_eval_samples=150, seed=9, target_sigma=1.0)
+        bounded = FlowConfig(
+            n_samples=80, n_eval_samples=150, seed=9, target_sigma=1.0, cache_size=4
+        )
+        a = BufferInsertionFlow(small_design, base).run()
+        b = BufferInsertionFlow(small_design, bounded).run()
+        assert [buf.flip_flop for buf in a.plan.buffers] == [buf.flip_flop for buf in b.plan.buffers]
+        assert a.improved_yield == b.improved_yield
+        assert a.original_yield == b.original_yield

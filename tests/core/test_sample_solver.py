@@ -55,6 +55,96 @@ class TestTopology:
         assert topology.edges_of_ff[1] == [0, 1]
 
 
+class TestFingerprints:
+    def test_topology_fingerprint_stable_and_content_keyed(self):
+        a = chain_topology(4)
+        b = chain_topology(4)
+        c = chain_topology(5)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_solver_state_fingerprint_covers_settings(self):
+        topology = chain_topology(4)
+        base = PerSampleSolver(topology)
+        same = PerSampleSolver(topology)
+        assert base.state_fingerprint() == same.state_fingerprint()
+        assert PerSampleSolver(topology, pool_hops=2).state_fingerprint() != base.state_fingerprint()
+        assert (
+            PerSampleSolver(topology, backend="milp").state_fingerprint()
+            != base.state_fingerprint()
+        )
+        assert (
+            PerSampleSolver(chain_topology(5)).state_fingerprint() != base.state_fingerprint()
+        )
+
+
+class TestConcentrationFastPath:
+    """The closed-form single-buffer path and the tiny-LP simplex routing
+    must agree with the scipy LP on the concentration objective."""
+
+    def _solve_both(self, topology, problem, targets=None):
+        fast = PerSampleSolver(topology, lp_backend="auto", integral=False)
+        reference = PerSampleSolver(topology, lp_backend="scipy", integral=False)
+        a = fast.solve(problem, targets=targets)
+        b = reference.solve(problem, targets=targets)
+        return a, b
+
+    @staticmethod
+    def _objective(solution, targets, n_ffs):
+        targets = np.zeros(n_ffs) if targets is None else targets
+        # Concentration objective over the adjusted buffers only: the
+        # non-adjusted ones sit at zero by construction.
+        return sum(abs(v - targets[ff]) for ff, v in solution.tunings.items()) + sum(
+            abs(targets[ff])
+            for ff in range(n_ffs)
+            if ff not in solution.tunings
+        )
+
+    def test_single_support_matches_scipy(self):
+        topology = chain_topology(2)
+        problem = make_problem(topology, setup=[-3.0], hold=[10.0])
+        fast, reference = self._solve_both(topology, problem)
+        verify_solution(topology, problem, fast)
+        assert fast.n_adjusted == reference.n_adjusted
+        assert self._objective(fast, None, 2) == pytest.approx(
+            self._objective(reference, None, 2), abs=1e-6
+        )
+
+    def test_single_support_with_target(self):
+        topology = chain_topology(2)
+        problem = make_problem(topology, setup=[-3.0], hold=[10.0])
+        targets = np.array([0.0, 5.0])
+        fast, reference = self._solve_both(topology, problem, targets)
+        verify_solution(topology, problem, fast)
+        assert self._objective(fast, targets, 2) == pytest.approx(
+            self._objective(reference, targets, 2), abs=1e-6
+        )
+
+    def test_multi_support_simplex_matches_scipy(self):
+        topology = chain_topology(5)
+        problem = make_problem(
+            topology,
+            setup=[-4.0, -6.0, -2.0, 8.0],
+            hold=[10.0, 10.0, 10.0, 10.0],
+            bound=6.0,
+        )
+        fast, reference = self._solve_both(topology, problem)
+        verify_solution(topology, problem, fast)
+        assert fast.feasible and reference.feasible
+        assert self._objective(fast, None, 5) == pytest.approx(
+            self._objective(reference, None, 5), abs=1e-6
+        )
+
+    def test_integral_single_support_respects_grid(self):
+        topology = chain_topology(2)
+        problem = make_problem(topology, setup=[-3.0], hold=[10.0])
+        solver = PerSampleSolver(topology, integral=True)
+        solution = solver.solve(problem)
+        verify_solution(topology, problem, solution)
+        for value in solution.tunings.values():
+            assert value == round(value)
+
+
 class TestGraphBackend:
     def test_no_violation_no_tuning(self):
         topology = chain_topology(4)

@@ -208,3 +208,122 @@ class TestEvaluationSweep:
             )
         assert passed.tolist() == direct
         assert needed.sum() > 0
+
+    @pytest.mark.parametrize(
+        "make_executor",
+        [
+            pytest.param(lambda: None, id="serial"),
+            pytest.param(lambda: ProcessPoolExecutor(jobs=2), id="processes"),
+        ],
+    )
+    def test_scheduler_evaluate_plan_matches_configurator(
+        self, solve_setup, small_constraint_graph, small_samples, make_executor
+    ):
+        """The warm-state sweep must reproduce the standalone evaluation."""
+        from repro.core.results import Buffer, BufferPlan
+        from repro.tuning.configurator import PostSiliconConfigurator
+
+        solver, _, _, _ = solve_setup
+        topology = solver.topology
+        period = small_constraint_graph.nominal_min_period() * 1.01
+        half = BufferSpec().max_range(period) / 2
+        plan = BufferPlan(
+            buffers=[
+                Buffer(flip_flop=ff, lower=-half, upper=half, step=0.0)
+                for ff in topology.ff_names[::3]
+            ],
+            target_period=period,
+        )
+        setup = small_samples.setup_bounds(period)
+        hold = small_samples.hold_bounds()
+        configurator = PostSiliconConfigurator(topology, plan, step=0.0)
+        from repro.engine import run_yield_evaluation
+
+        expected_passed, expected_needed = run_yield_evaluation(configurator, setup, hold)
+
+        executor = make_executor()
+        try:
+            scheduler = SampleScheduler(solver, executor=executor, chunk_size=7)
+            passed, needed = scheduler.evaluate_plan(setup, hold, plan, 0.0)
+        finally:
+            if executor is not None:
+                executor.close()
+        assert passed.tolist() == expected_passed.tolist()
+        assert needed.tolist() == expected_needed.tolist()
+
+    def test_evaluate_plan_uses_warm_solver_pool(self, solve_setup, small_constraint_graph, small_samples):
+        """Solve phases and the evaluation sweep share one worker pool."""
+        from repro.core.results import Buffer, BufferPlan
+
+        solver, batch, lower, upper = solve_setup
+        period = small_constraint_graph.nominal_min_period() * 1.01
+        plan = BufferPlan(
+            buffers=[Buffer(flip_flop=solver.topology.ff_names[0], lower=-1.0, upper=1.0, step=0.0)],
+            target_period=period,
+        )
+        with ProcessPoolExecutor(jobs=2) as executor:
+            scheduler = SampleScheduler(solver, executor=executor, chunk_size=11)
+            scheduler.solve_batch(batch, lower, upper)
+            key_after_solve = executor.warm_key
+            scheduler.evaluate_plan(
+                small_samples.setup_bounds(period), small_samples.hold_bounds(), plan, 0.0
+            )
+            assert executor.warm_key == key_after_solve is not None
+
+
+class TestWarmSharedKeys:
+    def test_shared_key_is_content_derived(self, solve_setup):
+        solver, _, _, _ = solve_setup
+        a = SampleScheduler(solver)
+        b = SampleScheduler(solver)
+        assert a._shared_key == b._shared_key
+        assert a._shared_key == f"solver-{solver.state_fingerprint()}"
+
+    def test_equivalent_solver_reuses_pool(self, solve_setup):
+        """Two schedulers over equal solver state share the warm pool."""
+        from repro.core.sample_solver import PerSampleSolver
+
+        solver, batch, lower, upper = solve_setup
+        twin = PerSampleSolver(solver.topology)
+        assert twin.state_fingerprint() == solver.state_fingerprint()
+        with ProcessPoolExecutor(jobs=2) as executor:
+            SampleScheduler(solver, executor=executor).solve_batch(batch, lower, upper)
+            first_key = executor.warm_key
+            SampleScheduler(twin, executor=executor).solve_batch(batch, lower, upper)
+            assert executor.warm_key == first_key is not None
+
+    def test_different_settings_change_key(self, solve_setup):
+        from repro.core.sample_solver import PerSampleSolver
+
+        solver, _, _, _ = solve_setup
+        other = PerSampleSolver(solver.topology, pool_hops=2)
+        assert other.state_fingerprint() != solver.state_fingerprint()
+
+    def test_explicit_shared_key_honoured(self, solve_setup):
+        solver, _, _, _ = solve_setup
+        scheduler = SampleScheduler(solver, shared_key="pinned")
+        assert scheduler._shared_key == "pinned"
+
+
+class TestCacheSize:
+    def test_cache_size_builds_bounded_cache(self, solve_setup):
+        solver, batch, lower, upper = solve_setup
+        scheduler = SampleScheduler(solver, cache_size=3)
+        assert scheduler.cache is not None
+        assert scheduler.cache.max_entries == 3
+        scheduler.solve_batch(batch, lower, upper)
+        assert len(scheduler.cache) <= 3
+
+    def test_explicit_cache_wins_over_cache_size(self, solve_setup):
+        solver, _, _, _ = solve_setup
+        cache = ResultCache()
+        scheduler = SampleScheduler(solver, cache=cache, cache_size=3)
+        assert scheduler.cache is cache
+        assert scheduler.cache.max_entries is None
+
+    def test_bounded_cache_still_correct(self, solve_setup):
+        """Eviction may cost re-solves but can never change results."""
+        solver, batch, lower, upper = solve_setup
+        unbounded = SampleScheduler(solver, cache=ResultCache()).solve_batch(batch, lower, upper)
+        bounded = SampleScheduler(solver, cache_size=2).solve_batch(batch, lower, upper)
+        assert [_solution_key(s) for s in bounded] == [_solution_key(s) for s in unbounded]

@@ -23,6 +23,41 @@ class TestParser:
         assert args.circuit == "s9234"
         assert args.solver == "graph"
         assert args.sigma == 0.0
+        assert args.cache_size is None
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["insert", "--samples", "0"],
+            ["insert", "--samples", "-5"],
+            ["insert", "--eval-samples", "0"],
+            ["insert", "--jobs", "0"],
+            ["insert", "--jobs", "-2"],
+            ["insert", "--cache-size", "0"],
+            ["characterize", "--samples", "-1"],
+            ["bench", "run", "--jobs", "0"],
+            ["bench", "run", "--repeat", "0"],
+        ],
+    )
+    def test_non_positive_counts_rejected(self, argv, capsys):
+        """Values < 1 exit with a clear argparse message, not a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+
+    def test_non_integer_count_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["insert", "--samples", "lots"])
+        assert excinfo.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_cache_size_accepted(self):
+        args = build_parser().parse_args(["insert", "--cache-size", "128"])
+        assert args.cache_size == 128
 
 
 class TestListCircuits:

@@ -125,3 +125,41 @@ class TestExtraction:
         adjacency = small_constraint_graph.adjacency()
         total = sum(len(v) for v in adjacency.values())
         assert total == 2 * small_constraint_graph.n_edges
+
+
+class TestStackedForms:
+    def test_stacked_setup_matches_per_edge_quantities(self, small_constraint_graph):
+        stacked = small_constraint_graph.stacked_setup_forms
+        assert stacked.n_forms == small_constraint_graph.n_edges
+        for k, edge in enumerate(small_constraint_graph.edges[:25]):
+            quantity = edge.setup_quantity
+            assert stacked.means[k] == pytest.approx(quantity.mean, abs=1e-12)
+            assert np.allclose(stacked.sensitivities[k], quantity.sensitivities, atol=1e-12)
+            assert stacked.independent[k] == pytest.approx(quantity.independent, abs=1e-9)
+
+    def test_stacked_hold_matches_per_edge_quantities(self, small_constraint_graph):
+        stacked = small_constraint_graph.stacked_hold_forms
+        for k, edge in enumerate(small_constraint_graph.edges[:25]):
+            quantity = edge.hold_quantity
+            assert stacked.means[k] == pytest.approx(quantity.mean, abs=1e-12)
+            assert np.allclose(stacked.sensitivities[k], quantity.sensitivities, atol=1e-12)
+            assert stacked.independent[k] == pytest.approx(quantity.independent, abs=1e-9)
+
+    def test_stacks_are_cached(self, small_constraint_graph):
+        assert small_constraint_graph.stacked_setup_forms is small_constraint_graph.stacked_setup_forms
+
+    def test_matmul_sample_matches_per_form_evaluation(self, small_design, small_constraint_graph):
+        """The one-matmul sample path is bit-identical to evaluating the
+        per-edge scalar forms through the same sampler stream."""
+        graph = small_constraint_graph
+        sampler_a = MonteCarloSampler(small_design.variation_model, rng=7)
+        sampler_b = MonteCarloSampler(small_design.variation_model, rng=7)
+        batch_a = sampler_a.sample(30)
+        batch_b = sampler_b.sample(30)
+        via_stacks = graph.sample(batch_a, sampler=sampler_a)
+        setup_forms = [graph.stacked_setup_forms.form(k) for k in range(graph.n_edges)]
+        hold_forms = [graph.stacked_hold_forms.form(k) for k in range(graph.n_edges)]
+        setup_values = sampler_b.evaluate(setup_forms, batch_b)
+        hold_values = sampler_b.evaluate(hold_forms, batch_b)
+        assert np.array_equal(via_stacks.setup_values, setup_values)
+        assert np.array_equal(via_stacks.hold_values, hold_values)

@@ -82,6 +82,52 @@ class TestCanonicalPairDelays:
         adjacency = tiny_design.netlist.sequential_adjacency()
         assert set(pairs) == set(adjacency.edges())
 
+    def test_array_method_matches_scalar_path(self, tiny_design):
+        """The level-batched array sweep must agree with the per-launch
+        scalar propagation to 1e-12 on every pair, in the same order."""
+        graph = TimingGraph(tiny_design)
+        scalar = all_ff_pair_delay_forms(graph, method="scalar")
+        array = all_ff_pair_delay_forms(graph, method="array")
+        assert list(scalar) == list(array)
+        for key in scalar:
+            for s, a in zip(scalar[key], array[key]):
+                assert abs(s.mean - a.mean) <= 1e-12
+                assert np.max(np.abs(s.sensitivities - a.sensitivities)) <= 1e-12
+                assert abs(s.independent - a.independent) <= 1e-12
+
+    def test_array_method_matches_scalar_on_suite_circuit(self, small_design):
+        graph = TimingGraph(small_design)
+        scalar = all_ff_pair_delay_forms(graph, method="scalar")
+        array = all_ff_pair_delay_forms(graph, method="array")
+        assert list(scalar) == list(array)
+        worst = 0.0
+        for key in scalar:
+            for s, a in zip(scalar[key], array[key]):
+                worst = max(
+                    worst,
+                    abs(s.mean - a.mean),
+                    float(np.max(np.abs(s.sensitivities - a.sensitivities))),
+                    abs(s.independent - a.independent),
+                )
+        assert worst <= 1e-12
+
+    def test_array_restricted_launch_list(self, tiny_design):
+        graph = TimingGraph(tiny_design)
+        ffs = list(tiny_design.netlist.flip_flops)[:3]
+        scalar = all_ff_pair_delay_forms(graph, launch_ffs=ffs, method="scalar")
+        array = all_ff_pair_delay_forms(graph, launch_ffs=ffs, method="array")
+        assert list(scalar) == list(array)
+
+    def test_array_unknown_launch_rejected(self, tiny_design):
+        graph = TimingGraph(tiny_design)
+        with pytest.raises(KeyError):
+            all_ff_pair_delay_forms(graph, launch_ffs=["nope"], method="array")
+
+    def test_unknown_method_rejected(self, tiny_design):
+        graph = TimingGraph(tiny_design)
+        with pytest.raises(ValueError):
+            all_ff_pair_delay_forms(graph, method="quantum")
+
     def test_monte_carlo_agrees_with_canonical_mean(self, chain_design):
         """The canonical max-delay form evaluated over samples must agree
         with gate-level Monte-Carlo within a few percent."""
