@@ -31,6 +31,9 @@ class TableOneRow:
         0, 1 or 2 — the target period is ``mu_T + target_sigma * sigma_T``.
     n_buffers / avg_range / tuned_yield / original_yield / runtime_s:
         The paper's ``Nb``, ``Ab``, ``Y``, ``Yo`` and ``T (s)``.
+        ``runtime_s`` may be ``None``, in which case the formatters render
+        ``-`` — campaign reports omit wall-clock so that resumed and
+        uninterrupted runs produce bit-identical output.
     """
 
     circuit: str
@@ -41,7 +44,7 @@ class TableOneRow:
     avg_range: float
     tuned_yield: float
     original_yield: float
-    runtime_s: float
+    runtime_s: Optional[float]
 
     @property
     def yield_improvement(self) -> float:
@@ -78,6 +81,10 @@ _HEADER = (
 )
 
 
+def _runtime_label(runtime_s: Optional[float]) -> str:
+    return "-" if runtime_s is None else f"{runtime_s:.2f}"
+
+
 def _sigma_label(sigma: float) -> str:
     if abs(sigma) < 1e-9:
         return "muT"
@@ -96,7 +103,7 @@ def format_table_one(rows: Iterable[TableOneRow]) -> str:
             f"{row.circuit:<14}{row.n_flip_flops:>7}{row.n_gates:>8}"
             f"{_sigma_label(row.target_sigma):>10}{row.n_buffers:>5}"
             f"{row.avg_range:>7.2f}{100 * row.tuned_yield:>8.2f}"
-            f"{100 * row.yield_improvement:>8.2f}{row.runtime_s:>9.2f}"
+            f"{100 * row.yield_improvement:>8.2f}{_runtime_label(row.runtime_s):>9}"
         )
     return "\n".join(lines)
 
@@ -112,7 +119,7 @@ def rows_to_markdown(rows: Iterable[TableOneRow]) -> str:
             f"| {row.circuit} | {row.n_flip_flops} | {row.n_gates} | "
             f"{_sigma_label(row.target_sigma)} | {row.n_buffers} | {row.avg_range:.2f} | "
             f"{100 * row.tuned_yield:.2f} | {100 * row.yield_improvement:.2f} | "
-            f"{row.runtime_s:.2f} |"
+            f"{_runtime_label(row.runtime_s)} |"
         )
     return "\n".join(lines)
 

@@ -25,10 +25,16 @@ from repro.baselines.criticality import (
     flip_flop_criticality,
 )
 from repro.baselines.every_ff import evaluate_every_ff, every_ff_plan
-from repro.baselines.harness import evaluate_plan_on_engine
+from repro.baselines.harness import (
+    BASELINE_CHOICES,
+    build_baseline_plan,
+    evaluate_plan_on_engine,
+)
 from repro.baselines.random_placement import evaluate_random, random_plan
 
 __all__ = [
+    "BASELINE_CHOICES",
+    "build_baseline_plan",
     "every_ff_plan",
     "criticality_plan",
     "flip_flop_criticality",

@@ -1,0 +1,83 @@
+"""repro.campaign — resumable multi-circuit experiment campaigns.
+
+The paper's results are tables over a *matrix* of circuits x
+process-variation settings x tuning budgets.  This subsystem reproduces
+whole paper-style result tables in one command and survives
+interruption:
+
+* :mod:`repro.campaign.spec` — declarative campaign specs
+  (:class:`CampaignSpec`), deterministically expanded into content-
+  fingerprinted :class:`CampaignCell` s with derived per-cell seeds,
+  plus round-robin sharding for multi-job CI;
+* :mod:`repro.campaign.store` — the checkpointed JSONL result store
+  (:class:`CampaignStore`): one fsynced record per completed cell,
+  content-addressed by cell fingerprint, tolerant of a kill mid-append;
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner`, which maps
+  pending cells onto one :mod:`repro.engine` executor, reusing warm
+  solver state via the compiled constraint system's fingerprint, and
+  resumes exactly where a previous invocation stopped;
+* :mod:`repro.campaign.report` — paper-style Table-I aggregation plus a
+  baseline-comparison table (every-FF / criticality / random), rendered
+  as markdown, plain text or canonical JSON, **bit-identical** between
+  interrupted-and-resumed and uninterrupted campaigns.
+
+The CLI surface is ``repro campaign run|status|report``.
+"""
+
+from repro.campaign.report import (
+    REPORT_SCHEMA_VERSION,
+    CampaignReport,
+    build_report,
+    format_report,
+    format_report_markdown,
+    format_report_text,
+    save_report,
+)
+from repro.campaign.runner import (
+    CampaignRunner,
+    CampaignRunSummary,
+    CampaignStatus,
+    campaign_status,
+)
+from repro.campaign.spec import (
+    SPEC_NAMES,
+    CampaignCell,
+    CampaignError,
+    CampaignSpec,
+    get_spec,
+    load_spec,
+    shard_cells,
+)
+from repro.campaign.store import (
+    STORE_SCHEMA_VERSION,
+    CampaignStore,
+    CampaignStoreError,
+    default_store_path,
+    make_record,
+)
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "SPEC_NAMES",
+    "STORE_SCHEMA_VERSION",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignRunSummary",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStatus",
+    "CampaignStore",
+    "CampaignStoreError",
+    "build_report",
+    "campaign_status",
+    "default_store_path",
+    "format_report",
+    "format_report_markdown",
+    "format_report_text",
+    "get_spec",
+    "load_spec",
+    "make_record",
+    "save_report",
+    "shard_cells",
+]

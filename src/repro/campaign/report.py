@@ -1,0 +1,267 @@
+"""Campaign aggregation and paper-style reporting.
+
+Builds, from a campaign spec and its result store, the same shape of
+output as the paper's Table I — one row per (circuit, target period)
+cell with ``Nb``/``Ab``/``Y``/``Yi`` — plus a comparison table against
+the baseline strategies (every-FF, criticality, random placement) at the
+proposed flow's buffer count.
+
+**Bit-identical by construction.**  The report is derived exclusively
+from deterministic record fields (cell parameters, yields, buffer
+counts); wall-clock runtimes are excluded (the Table-I ``T(s)`` column
+renders ``-``) and rows follow the spec's deterministic cell order.  A
+campaign that was killed and resumed therefore reports byte-for-byte the
+same markdown/JSON as one that ran uninterrupted — which is exactly what
+the resume tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.tables import TableOneRow, format_table_one, rows_to_markdown
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+#: Version of the report layout; bump on breaking changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CampaignReport:
+    """Deterministic aggregate of one campaign's completed cells."""
+
+    campaign: str
+    spec_fingerprint: str
+    n_cells: int
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    missing_cell_ids: List[str] = field(default_factory=list)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.rows)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_cell_ids
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "campaign": self.campaign,
+            "spec_fingerprint": self.spec_fingerprint,
+            "n_cells": self.n_cells,
+            "n_completed": self.n_completed,
+            "complete": self.complete,
+            "missing_cell_ids": list(self.missing_cell_ids),
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys — the bit-identity reference form)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    # ------------------------------------------------------------------
+    def table_rows(self) -> List[TableOneRow]:
+        """The proposed flow's rows in :mod:`repro.analysis.tables` form."""
+        return [
+            TableOneRow(
+                circuit=str(row["circuit"]),
+                n_flip_flops=int(row["n_flip_flops"]),
+                n_gates=int(row["n_gates"]),
+                target_sigma=float(row["sigma"]),
+                n_buffers=int(row["n_buffers"]),
+                avg_range=float(row["average_range_steps"]),
+                tuned_yield=float(row["improved_yield"]),
+                original_yield=float(row["original_yield"]),
+                runtime_s=None,
+            )
+            for row in self.rows
+        ]
+
+
+def build_report(spec: CampaignSpec, store: CampaignStore) -> CampaignReport:
+    """Aggregate the store's records over the spec's cell matrix.
+
+    Rows appear in the spec's deterministic cell order; cells without a
+    record are listed in ``missing_cell_ids`` (an interrupted campaign
+    still reports everything it finished).
+    """
+    records = store.load()
+    rows: List[Dict[str, object]] = []
+    missing: List[str] = []
+    cells = spec.cells()
+    for cell in cells:
+        record = records.get(cell.fingerprint())
+        if record is None:
+            missing.append(cell.cell_id)
+            continue
+        result = dict(record["result"])
+        rows.append(
+            {
+                "cell_id": cell.cell_id,
+                "fingerprint": cell.fingerprint(),
+                "circuit": cell.circuit,
+                "scale": cell.scale,
+                "sigma": cell.sigma,
+                "solver": cell.solver,
+                "n_samples": cell.n_samples,
+                "n_eval_samples": cell.n_eval_samples,
+                "replicate": cell.replicate,
+                "seed": cell.seed,
+                "n_flip_flops": int(result["n_flip_flops"]),
+                "n_gates": int(result["n_gates"]),
+                "target_period": float(result["target_period"]),
+                "mu_period": float(result["mu_period"]),
+                "sigma_period": float(result["sigma_period"]),
+                "n_buffers": int(result["n_buffers"]),
+                "n_physical_buffers": int(result["n_physical_buffers"]),
+                "average_range_steps": float(result["average_range_steps"]),
+                "original_yield": float(result["original_yield"]),
+                "improved_yield": float(result["improved_yield"]),
+                "yield_improvement": float(result["yield_improvement"]),
+                "baselines": {
+                    name: dict(values)
+                    for name, values in dict(result.get("baselines", {})).items()
+                },
+            }
+        )
+    return CampaignReport(
+        campaign=spec.name,
+        spec_fingerprint=spec.fingerprint(),
+        n_cells=len(cells),
+        rows=rows,
+        missing_cell_ids=missing,
+    )
+
+
+# ----------------------------------------------------------------------
+# Formatters
+# ----------------------------------------------------------------------
+def _baseline_names(report: CampaignReport) -> List[str]:
+    """Baseline strategies present in any row, in first-seen order."""
+    names: List[str] = []
+    for row in report.rows:
+        for name in row.get("baselines", {}):
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _comparison_header(names: List[str]) -> List[str]:
+    columns = ["cell", "Yo (%)", "proposed Y (%)"]
+    columns += [f"{name} Y (%)" for name in names]
+    return columns
+
+
+def _comparison_rows(report: CampaignReport, names: List[str]) -> List[List[str]]:
+    rows = []
+    for row in report.rows:
+        cells = [
+            str(row["cell_id"]),
+            f"{100 * float(row['original_yield']):.2f}",
+            f"{100 * float(row['improved_yield']):.2f} (Nb {row['n_buffers']})",
+        ]
+        for name in names:
+            values = row.get("baselines", {}).get(name)
+            if values is None:
+                cells.append("-")
+            else:
+                cells.append(
+                    f"{100 * float(values['tuned_yield']):.2f} (Nb {values['n_buffers']})"
+                )
+        rows.append(cells)
+    return rows
+
+
+def _completion_line(report: CampaignReport) -> str:
+    if report.complete:
+        return f"complete: {report.n_completed}/{report.n_cells} cells"
+    return (
+        f"incomplete: {report.n_completed}/{report.n_cells} cells "
+        f"(missing: {', '.join(report.missing_cell_ids)})"
+    )
+
+
+def format_report_markdown(report: CampaignReport) -> str:
+    """Render the report as markdown (table-one + baseline comparison)."""
+    lines = [
+        f"# Campaign `{report.campaign}`",
+        "",
+        f"- spec fingerprint: `{report.spec_fingerprint}`",
+        f"- {_completion_line(report)}",
+        "",
+        "## Proposed flow (paper Table-I layout)",
+        "",
+        rows_to_markdown(report.table_rows()),
+    ]
+    names = _baseline_names(report)
+    if names:
+        header = _comparison_header(names)
+        lines += [
+            "",
+            "## Yield vs. baselines (equal buffer count)",
+            "",
+            "| " + " | ".join(header) + " |",
+            "|" + "---|" * len(header),
+        ]
+        for row in _comparison_rows(report, names):
+            lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def format_report_text(report: CampaignReport) -> str:
+    """Render the report as plain text (the CLI's default)."""
+    lines = [
+        f"campaign  : {report.campaign}",
+        f"spec      : {report.spec_fingerprint}",
+        f"cells     : {_completion_line(report)}",
+        "",
+        format_table_one(report.table_rows()),
+    ]
+    names = _baseline_names(report)
+    if names:
+        lines += ["", "yield vs. baselines (equal buffer count):"]
+        widths: List[int] = []
+        header = _comparison_header(names)
+        body = _comparison_rows(report, names)
+        for column in range(len(header)):
+            widths.append(
+                max([len(header[column])] + [len(row[column]) for row in body])
+            )
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def format_report(report: CampaignReport, fmt: str = "text") -> str:
+    """Format the report in one of ``markdown``/``text``/``json``."""
+    if fmt == "markdown":
+        return format_report_markdown(report)
+    if fmt == "text":
+        return format_report_text(report)
+    if fmt == "json":
+        return report.to_json()
+    raise ValueError(f"unknown report format {fmt!r}; choose markdown, text or json")
+
+
+def save_report(report: CampaignReport, path: str, fmt: str = "markdown") -> str:
+    """Write the report to ``path`` in one of ``markdown``/``text``/``json``."""
+    payload = format_report(report, fmt)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return path
+
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "CampaignReport",
+    "build_report",
+    "format_report",
+    "format_report_markdown",
+    "format_report_text",
+    "save_report",
+]

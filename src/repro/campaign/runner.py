@@ -1,0 +1,304 @@
+"""Sharded, resumable campaign execution on the sample-solving engine.
+
+:class:`CampaignRunner` maps the expanded cells of a
+:class:`~repro.campaign.spec.CampaignSpec` onto **one** engine executor
+(:mod:`repro.engine`) for the whole run.  Because the engine keys its
+warm worker state by the compiled constraint system's content
+fingerprint (plus solver settings), and all cells of one
+``(circuit, scale)`` share one design instance (the spec's
+``design_seed`` is campaign-constant), a process pool started for the
+first cell of a circuit stays warm across every later cell, budget and
+replicate of that circuit — the campaign pays pool/compile start-up per
+*design*, not per cell.
+
+Resume discipline: before anything runs, the store's completed
+fingerprints are loaded and matching cells are skipped outright.  Each
+finished cell is appended (and fsynced) immediately, so a kill at any
+point loses at most the in-flight cell.  ``max_cells`` bounds how many
+pending cells one invocation executes — useful for time-boxed CI legs
+and for deterministic interruption tests.
+
+Next to the proposed flow, every cell evaluates its configured baseline
+strategies (every-FF / criticality / random) **on the same executor and
+the same evaluation batch**, at the proposed plan's buffer count, so the
+report's comparison columns are equal-area and equal-noise.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.harness import build_baseline_plan
+from repro.campaign.spec import CampaignCell, CampaignSpec, shard_cells
+from repro.campaign.store import CampaignStore, make_record
+from repro.core.flow import BufferInsertionFlow
+from repro.core.results import FlowResult
+from repro.engine import LogProgress, create_executor
+from repro.yieldsim.estimator import YieldEstimator
+
+
+@dataclass
+class CampaignRunSummary:
+    """What one ``run()`` invocation did.
+
+    Attributes
+    ----------
+    n_cells:
+        Cells of this shard (after sharding, before resume skipping).
+    n_completed_before:
+        Cells already in the store when the run started.
+    n_run:
+        Cells executed by this invocation.
+    n_remaining:
+        Cells still pending when the invocation returned (non-zero when
+        ``max_cells`` stopped the run early).
+    seconds:
+        Wall-clock of this invocation.
+    cell_ids_run:
+        ``cell_id`` of every cell executed, in execution order.
+    """
+
+    n_cells: int
+    n_completed_before: int
+    n_run: int
+    n_remaining: int
+    seconds: float
+    cell_ids_run: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_cells": self.n_cells,
+            "n_completed_before": self.n_completed_before,
+            "n_run": self.n_run,
+            "n_remaining": self.n_remaining,
+            "seconds": self.seconds,
+            "cell_ids_run": list(self.cell_ids_run),
+        }
+
+
+@dataclass
+class CampaignStatus:
+    """Completion state of a campaign spec against a store."""
+
+    name: str
+    n_cells: int
+    n_completed: int
+    pending_cell_ids: List[str] = field(default_factory=list)
+    stale_fingerprints: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.n_completed >= self.n_cells
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "n_cells": self.n_cells,
+            "n_completed": self.n_completed,
+            "complete": self.complete,
+            "pending_cell_ids": list(self.pending_cell_ids),
+            "stale_fingerprints": list(self.stale_fingerprints),
+        }
+
+
+def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
+    """How much of ``spec`` is already completed in ``store``.
+
+    Records whose fingerprint matches no cell of the spec are *stale*
+    (the spec changed after they were recorded); they are reported but
+    never deleted — re-pointing the spec back at them revives them.
+    """
+    cells = spec.cells()
+    completed = store.fingerprints()
+    cell_fps = {cell.fingerprint() for cell in cells}
+    return CampaignStatus(
+        name=spec.name,
+        n_cells=len(cells),
+        n_completed=sum(1 for cell in cells if cell.fingerprint() in completed),
+        pending_cell_ids=[
+            cell.cell_id for cell in cells if cell.fingerprint() not in completed
+        ],
+        stale_fingerprints=sorted(completed - cell_fps),
+    )
+
+
+class CampaignRunner:
+    """Execute (or resume) one campaign spec into a result store.
+
+    Parameters
+    ----------
+    spec / store:
+        The campaign matrix and its checkpointed JSONL store.
+    executor / jobs:
+        Engine backend shared by every cell of the run (results are
+        executor-independent, so shards and resumes may mix backends).
+    shard_index / shard_count:
+        Round-robin shard this invocation is responsible for.
+    max_cells:
+        Execute at most this many pending cells, then return (``None``:
+        run the whole shard).
+    progress:
+        ``True`` streams per-cell campaign lines (and per-phase engine
+        lines, labelled with the cell id) to stderr.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: CampaignStore,
+        executor: str = "serial",
+        jobs: Optional[int] = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        max_cells: Optional[int] = None,
+        progress: bool = False,
+    ) -> None:
+        if max_cells is not None and max_cells < 1:
+            raise ValueError(f"max_cells must be >= 1, got {max_cells}")
+        self.spec = spec
+        self.store = store
+        self.executor_name = executor
+        self.jobs = jobs
+        self.shard_index = int(shard_index)
+        self.shard_count = int(shard_count)
+        self.max_cells = max_cells
+        self.progress = bool(progress)
+        self._design_cache: Dict[Tuple[str, float, int], object] = {}
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self.progress:
+            print(f"[campaign] {message}", file=sys.stderr, flush=True)
+
+    def _design_for(self, cell: CampaignCell):
+        from repro.circuit.suite import build_suite_circuit
+
+        key = (cell.circuit, cell.scale, cell.design_seed)
+        if key not in self._design_cache:
+            self._design_cache[key] = build_suite_circuit(
+                cell.circuit, scale=cell.scale, seed=cell.design_seed
+            )
+        return self._design_cache[key]
+
+    # ------------------------------------------------------------------
+    def shard(self) -> List[CampaignCell]:
+        """The cells this runner is responsible for."""
+        return shard_cells(self.spec.cells(), self.shard_index, self.shard_count)
+
+    def run(self) -> CampaignRunSummary:
+        """Execute every pending cell of the shard (resuming from the store)."""
+        start = time.perf_counter()
+        cells = self.shard()
+        completed = self.store.fingerprints()
+        pending = [cell for cell in cells if cell.fingerprint() not in completed]
+        budget = len(pending) if self.max_cells is None else min(self.max_cells, len(pending))
+        self._log(
+            f"campaign {self.spec.name!r}: {len(cells)} cells in shard "
+            f"{self.shard_index + 1}/{self.shard_count}, "
+            f"{len(cells) - len(pending)} already complete, running {budget}"
+        )
+
+        run_ids: List[str] = []
+        executor = create_executor(self.executor_name, self.jobs)
+        try:
+            for cell in pending[:budget]:
+                cell_start = time.perf_counter()
+                record = self._run_cell(cell, executor)
+                self.store.append(record)
+                run_ids.append(cell.cell_id)
+                self._log(
+                    f"cell {len(run_ids)}/{budget} {cell.cell_id}: "
+                    f"Y {100 * record['result']['improved_yield']:.2f} % "
+                    f"(Nb {record['result']['n_buffers']}) "
+                    f"in {time.perf_counter() - cell_start:.2f} s"
+                )
+        finally:
+            executor.close()
+        return CampaignRunSummary(
+            n_cells=len(cells),
+            n_completed_before=len(cells) - len(pending),
+            n_run=len(run_ids),
+            n_remaining=len(pending) - len(run_ids),
+            seconds=time.perf_counter() - start,
+            cell_ids_run=run_ids,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_cell(self, cell: CampaignCell, executor) -> Dict[str, object]:
+        """Run one cell (flow + baselines) and assemble its store record."""
+        design = self._design_for(cell)
+        engine_progress = (
+            LogProgress(prefix=cell.cell_id) if self.progress else None
+        )
+        cell_start = time.perf_counter()
+        flow = BufferInsertionFlow(
+            design, cell.flow_config(), executor=executor, progress=engine_progress
+        )
+        result = flow.run()
+        baselines = self._evaluate_baselines(cell, design, result, executor)
+        runtime = time.perf_counter() - cell_start
+
+        stats = design.netlist.stats()
+        payload: Dict[str, object] = {
+            "n_flip_flops": int(stats["flip_flops"]),
+            "n_gates": int(stats["gates"]),
+            "target_period": float(result.target_period),
+            "mu_period": float(result.mu_period),
+            "sigma_period": float(result.sigma_period),
+            "n_buffers": int(result.plan.n_buffers),
+            "n_physical_buffers": int(result.plan.n_physical_buffers),
+            "average_range_steps": float(result.plan.average_range_steps),
+            "original_yield": float(result.original_yield),
+            "improved_yield": float(result.improved_yield),
+            "yield_improvement": float(result.yield_improvement),
+            "plan": result.plan.as_dict(),
+            "baselines": baselines,
+        }
+        return make_record(cell, payload, runtime_seconds=runtime)
+
+    def _evaluate_baselines(
+        self, cell: CampaignCell, design, result: FlowResult, executor
+    ) -> Dict[str, Dict[str, float]]:
+        """Evaluate the cell's baseline strategies on the shared executor.
+
+        All strategies are scored on **one** evaluation batch (drawn from
+        a seed derived from the cell seed) and capped at the proposed
+        plan's buffer count, so the comparison is equal-noise and
+        equal-area.  The sweep reuses the engine's warm worker state: the
+        estimator runs on the same compiled system fingerprint as the
+        flow that just finished.
+        """
+        if not cell.baselines:
+            return {}
+        from repro.campaign.spec import _derive_seed
+
+        eval_seed = _derive_seed(cell.seed, "baseline-eval")
+        estimator = YieldEstimator(
+            design,
+            n_samples=cell.n_eval_samples,
+            rng=eval_seed,
+            executor=executor,
+        )
+        samples = estimator.draw_samples()
+        reports: Dict[str, Dict[str, float]] = {}
+        for name in cell.baselines:
+            plan = build_baseline_plan(
+                name,
+                design,
+                result.target_period,
+                n_buffers=result.plan.n_buffers,
+                rng=_derive_seed(cell.seed, "baseline-plan", name),
+            )
+            report = estimator.evaluate_plan(
+                plan, result.target_period, constraint_samples=samples
+            )
+            reports[name] = {
+                "n_buffers": int(plan.n_buffers),
+                "original_yield": float(report.original_yield),
+                "tuned_yield": float(report.tuned_yield),
+                "yield_improvement": float(report.yield_improvement),
+            }
+        return reports

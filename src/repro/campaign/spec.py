@@ -1,0 +1,464 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` describes a paper-style experiment matrix —
+circuits x scales x sigmas x solvers x sample budgets x replicates —
+and expands it **deterministically** into :class:`CampaignCell` value
+objects.  Determinism is the load-bearing property of the whole
+subsystem:
+
+* the expansion order is a stable sort over the cell parameters, so two
+  processes expanding the same spec agree on cell ``0..N-1``;
+* every cell carries a *derived* seed (a hash of the spec seed and the
+  cell's identifying parameters), so adding or removing cells never
+  shifts the seeds of the others;
+* every cell has a content :meth:`~CampaignCell.fingerprint` — the
+  resume key of the checkpointed result store.  The execution backend is
+  deliberately **not** part of the fingerprint: flow results are
+  bit-identical across executors, so a campaign may be resumed on a
+  different executor and still skip completed cells.
+
+:func:`shard_cells` partitions the expanded cell list round-robin for
+multi-job CI runs; shards are disjoint and their union is the full list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.harness import BASELINE_CHOICES
+from repro.core.config import FlowConfig
+
+#: Fields that identify one campaign cell (serialisation order).
+CELL_FIELDS = (
+    "circuit",
+    "scale",
+    "sigma",
+    "solver",
+    "n_samples",
+    "n_eval_samples",
+    "replicate",
+    "seed",
+    "design_seed",
+    "baselines",
+)
+
+
+class CampaignError(ValueError):
+    """A campaign spec, store or run request is invalid."""
+
+
+def _derive_seed(master_seed: int, *parts: object) -> int:
+    """Stable per-cell seed: hash of the spec seed and the cell identity.
+
+    Content-derived (not positional), so editing the matrix never
+    reshuffles the seeds of unrelated cells.
+    """
+    text = "|".join([str(int(master_seed))] + [repr(p) for p in parts])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
+def _fingerprint_payload(payload: Dict[str, object]) -> str:
+    """Canonical content hash of a JSON-serialisable mapping."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One cell of the campaign matrix (everything that affects its result).
+
+    Attributes
+    ----------
+    circuit / scale:
+        The Table-I circuit and its size scale.
+    sigma:
+        Target period expressed as ``mu_T + sigma * sigma_T``.
+    solver:
+        Per-sample solver backend (``graph`` or ``milp``).
+    n_samples / n_eval_samples:
+        Training and evaluation sample budgets.
+    replicate:
+        Replicate index (same matrix point, independent sampling seed).
+    seed:
+        Derived flow seed (training/evaluation sampling, solver
+        tie-breaking) — see :func:`_derive_seed`.
+    design_seed:
+        Seed of the synthesised circuit instance.  Constant across all
+        cells of one (circuit, scale) by default, so their compiled
+        constraint systems share one content fingerprint and the
+        engine's warm worker pools survive from cell to cell.
+    baselines:
+        Comparison strategies evaluated next to the proposed flow.
+    """
+
+    circuit: str
+    scale: float
+    sigma: float = 0.0
+    solver: str = "graph"
+    n_samples: int = 60
+    n_eval_samples: int = 100
+    replicate: int = 0
+    seed: int = 0
+    design_seed: int = 1
+    baselines: Tuple[str, ...] = ()
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable stable identifier."""
+        return (
+            f"{self.circuit}@{self.scale:g}"
+            f"/sigma{self.sigma:g}"
+            f"/{self.solver}"
+            f"/n{self.n_samples}e{self.n_eval_samples}"
+            f"/r{self.replicate}"
+        )
+
+    def sort_key(self) -> Tuple:
+        """Deterministic expansion order of the campaign matrix."""
+        return (
+            self.circuit,
+            self.scale,
+            self.sigma,
+            self.solver,
+            self.n_samples,
+            self.n_eval_samples,
+            self.replicate,
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash over every result-affecting parameter.
+
+        This is the resume key of the campaign store: a record whose
+        fingerprint matches is skipped bit-identically on re-runs.
+        """
+        return _fingerprint_payload(self.as_dict())
+
+    def flow_config(self) -> FlowConfig:
+        """The :class:`FlowConfig` this cell runs (executor set at run time)."""
+        return FlowConfig(
+            n_samples=self.n_samples,
+            n_eval_samples=self.n_eval_samples,
+            seed=self.seed,
+            target_sigma=self.sigma,
+            solver=self.solver,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable parameter mapping (see :data:`CELL_FIELDS`)."""
+        data = {name: getattr(self, name) for name in CELL_FIELDS}
+        data["baselines"] = list(self.baselines)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignCell":
+        """Inverse of :meth:`as_dict` (unknown keys are rejected)."""
+        unknown = set(data) - set(CELL_FIELDS)
+        if unknown:
+            raise CampaignError(f"unknown cell parameters: {sorted(unknown)}")
+        params = dict(data)
+        params["baselines"] = tuple(params.get("baselines", ()))
+        return cls(**params)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative multi-circuit experiment campaign.
+
+    The matrix is the cross product ``circuits x sigmas x solvers x
+    budgets x replicates``; :meth:`cells` expands it deterministically
+    (see the module docstring for why that matters).
+
+    Attributes
+    ----------
+    name:
+        Campaign name (also names the default store file).
+    seed:
+        Master seed all per-cell seeds derive from.
+    circuits:
+        ``(name, scale)`` pairs of the Table-I suite.
+    sigmas:
+        Target tightnesses (paper: 0, 1, 2).
+    solvers:
+        Per-sample solver backends.
+    budgets:
+        ``(n_samples, n_eval_samples)`` pairs.
+    replicates:
+        Independent repetitions of every matrix point.
+    baselines:
+        Comparison strategies run next to the proposed flow (any of
+        :data:`repro.baselines.harness.BASELINE_CHOICES`).
+    design_seed:
+        Circuit-synthesis seed (``None``: use ``seed``); constant across
+        the campaign so warm solver state is shared between cells.
+    """
+
+    name: str
+    circuits: Tuple[Tuple[str, float], ...]
+    seed: int = 1
+    sigmas: Tuple[float, ...] = (0.0,)
+    solvers: Tuple[str, ...] = ("graph",)
+    budgets: Tuple[Tuple[int, int], ...] = ((60, 100),)
+    replicates: int = 1
+    baselines: Tuple[str, ...] = ("every_ff", "criticality", "random")
+    design_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from repro.circuit.suite import CIRCUIT_SPECS
+
+        if not self.name:
+            raise CampaignError("campaign name must be non-empty")
+        if not self.circuits:
+            raise CampaignError("campaign needs at least one circuit")
+        for entry in self.circuits:
+            if len(entry) != 2:
+                raise CampaignError(f"circuits entries must be (name, scale) pairs, got {entry!r}")
+            circuit, scale = entry
+            if circuit not in CIRCUIT_SPECS:
+                raise CampaignError(
+                    f"unknown circuit {circuit!r}; choose from {tuple(CIRCUIT_SPECS)}"
+                )
+            if not (0.0 < float(scale) <= 1.0):
+                raise CampaignError(f"circuit scale must be in (0, 1], got {scale!r}")
+        if not self.sigmas:
+            raise CampaignError("campaign needs at least one sigma")
+        for solver in self.solvers or ():
+            if solver not in ("graph", "milp"):
+                raise CampaignError(f"unknown solver {solver!r}; choose from ('graph', 'milp')")
+        if not self.solvers:
+            raise CampaignError("campaign needs at least one solver")
+        if not self.budgets:
+            raise CampaignError("campaign needs at least one sample budget")
+        for budget in self.budgets:
+            if len(budget) != 2 or int(budget[0]) < 1 or int(budget[1]) < 1:
+                raise CampaignError(
+                    f"budgets entries must be (n_samples, n_eval_samples) pairs of "
+                    f"positive integers, got {budget!r}"
+                )
+        if self.replicates < 1:
+            raise CampaignError(f"replicates must be >= 1, got {self.replicates}")
+        for baseline in self.baselines:
+            if baseline not in BASELINE_CHOICES:
+                raise CampaignError(
+                    f"unknown baseline {baseline!r}; choose from {BASELINE_CHOICES}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Size of the expanded matrix."""
+        return (
+            len(self.circuits)
+            * len(self.sigmas)
+            * len(self.solvers)
+            * len(self.budgets)
+            * self.replicates
+        )
+
+    def cells(self) -> List[CampaignCell]:
+        """Expand the matrix into deterministically ordered cells."""
+        design_seed = self.seed if self.design_seed is None else self.design_seed
+        cells = []
+        for (circuit, scale), sigma, solver, (n_samples, n_eval), replicate in product(
+            self.circuits,
+            self.sigmas,
+            self.solvers,
+            self.budgets,
+            range(self.replicates),
+        ):
+            cells.append(
+                CampaignCell(
+                    circuit=circuit,
+                    scale=float(scale),
+                    sigma=float(sigma),
+                    solver=solver,
+                    n_samples=int(n_samples),
+                    n_eval_samples=int(n_eval),
+                    replicate=replicate,
+                    seed=_derive_seed(
+                        self.seed,
+                        circuit,
+                        float(scale),
+                        float(sigma),
+                        solver,
+                        int(n_samples),
+                        int(n_eval),
+                        replicate,
+                    ),
+                    design_seed=int(design_seed),
+                    baselines=tuple(self.baselines),
+                )
+            )
+        cells.sort(key=CampaignCell.sort_key)
+        seen = set()
+        for cell in cells:
+            if cell.fingerprint() in seen:
+                raise CampaignError(f"duplicate campaign cell {cell.cell_id!r}")
+            seen.add(cell.fingerprint())
+        return cells
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole spec (recorded in reports)."""
+        return _fingerprint_payload(self.as_dict())
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "circuits": [[circuit, float(scale)] for circuit, scale in self.circuits],
+            "sigmas": [float(s) for s in self.sigmas],
+            "solvers": list(self.solvers),
+            "budgets": [[int(n), int(e)] for n, e in self.budgets],
+            "replicates": int(self.replicates),
+            "baselines": list(self.baselines),
+            "design_seed": self.design_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        """Build a spec from a plain mapping (a parsed JSON spec file)."""
+        if not isinstance(data, dict):
+            raise CampaignError("campaign spec must be a JSON object")
+        known = {
+            "name",
+            "seed",
+            "circuits",
+            "sigmas",
+            "solvers",
+            "budgets",
+            "replicates",
+            "baselines",
+            "design_seed",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise CampaignError(f"unknown campaign spec fields: {sorted(unknown)}")
+        if "name" not in data or "circuits" not in data:
+            raise CampaignError("campaign spec needs at least 'name' and 'circuits'")
+        try:
+            circuits = tuple((str(c), float(s)) for c, s in data["circuits"])
+            budgets = tuple(
+                (int(n), int(e)) for n, e in data.get("budgets", [[60, 100]])
+            )
+        except (TypeError, ValueError) as error:
+            raise CampaignError(f"malformed campaign spec: {error}") from None
+        return cls(
+            name=str(data["name"]),
+            seed=int(data.get("seed", 1)),
+            circuits=circuits,
+            sigmas=tuple(float(s) for s in data.get("sigmas", [0.0])),
+            solvers=tuple(str(s) for s in data.get("solvers", ["graph"])),
+            budgets=budgets,
+            replicates=int(data.get("replicates", 1)),
+            baselines=tuple(str(b) for b in data.get("baselines", list(BASELINE_CHOICES))),
+            design_seed=(
+                None if data.get("design_seed") is None else int(data["design_seed"])
+            ),
+        )
+
+
+def load_spec(path: str) -> CampaignSpec:
+    """Load a campaign spec from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise CampaignError(f"cannot read campaign spec {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CampaignError(f"campaign spec {path!r} is not valid JSON: {error}") from error
+    return CampaignSpec.from_dict(data)
+
+
+def shard_cells(
+    cells: Sequence[CampaignCell], shard_index: int = 0, shard_count: int = 1
+) -> List[CampaignCell]:
+    """Round-robin partition of the expanded cell list for multi-job runs.
+
+    Shards are disjoint and their union over ``0..shard_count-1`` is the
+    full list; the round-robin interleaving balances circuits across
+    shards even when the matrix is sorted by circuit.
+    """
+    if shard_count < 1:
+        raise CampaignError(f"shard_count must be >= 1, got {shard_count}")
+    if not (0 <= shard_index < shard_count):
+        raise CampaignError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return [cell for i, cell in enumerate(cells) if i % shard_count == shard_index]
+
+
+# ----------------------------------------------------------------------
+# Named built-in campaigns
+# ----------------------------------------------------------------------
+def _smoke_spec() -> CampaignSpec:
+    # Small enough for a CI smoke leg (seconds end to end) while still
+    # exercising two tightnesses, two budgets and all three baselines.
+    return CampaignSpec(
+        name="smoke",
+        seed=3,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0, 1.0),
+        budgets=((40, 80), (60, 100)),
+    )
+
+
+def _nightly_spec() -> CampaignSpec:
+    # The nightly trajectory matrix: two circuits, the paper's three
+    # tightnesses and two budgets (12 cells).
+    return CampaignSpec(
+        name="nightly",
+        seed=3,
+        circuits=(("s9234", 0.05), ("s13207", 0.05)),
+        sigmas=(0.0, 1.0, 2.0),
+        budgets=((60, 100), (120, 200)),
+    )
+
+
+def _table1_spec() -> CampaignSpec:
+    # A paper-style Table-I reproduction at moderate scale: one cell per
+    # (circuit, target period) like the paper's table.
+    return CampaignSpec(
+        name="table1",
+        seed=1,
+        circuits=(("s9234", 0.15), ("s13207", 0.1)),
+        sigmas=(0.0, 1.0, 2.0),
+        budgets=((300, 600),),
+    )
+
+
+_SPEC_BUILDERS = {
+    "smoke": _smoke_spec,
+    "nightly": _nightly_spec,
+    "table1": _table1_spec,
+}
+
+SPEC_NAMES = tuple(sorted(_SPEC_BUILDERS))
+
+
+def get_spec(name: str) -> CampaignSpec:
+    """A named built-in campaign spec."""
+    try:
+        builder = _SPEC_BUILDERS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign {name!r}; choose from {SPEC_NAMES}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "CELL_FIELDS",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignSpec",
+    "SPEC_NAMES",
+    "get_spec",
+    "load_spec",
+    "shard_cells",
+]

@@ -1,0 +1,197 @@
+"""Checkpointed JSONL campaign result store.
+
+One line per completed cell, appended **and fsynced** the moment the
+cell finishes, so a campaign killed at any point loses at most the cell
+that was in flight.  Records are content-addressed by the cell's
+:meth:`~repro.campaign.spec.CampaignCell.fingerprint`; on resume the
+runner skips every fingerprint already present, which makes the resumed
+run bit-identical to an uninterrupted one (the flow itself is
+deterministic per seed and executor-independent).
+
+Robustness rules of :meth:`CampaignStore.load`:
+
+* a truncated **final** line (the classic kill-during-write artefact) is
+  ignored silently;
+* a malformed line anywhere *before* the final one means the file was
+  corrupted, not interrupted — that raises :class:`CampaignStoreError`
+  rather than silently dropping results;
+* a duplicate fingerprint keeps the **first** record (completed cells
+  are never re-executed, so a duplicate can only come from concurrent
+  writers; keeping the first matches what a resume would have skipped).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Set
+
+from repro.campaign.spec import CampaignCell, CampaignError
+
+#: Version of the record schema; bump on breaking layout changes.
+STORE_SCHEMA_VERSION = 1
+
+#: Prefix/suffix of default store file names (``CAMPAIGN_<name>.jsonl``).
+STORE_PREFIX = "CAMPAIGN_"
+STORE_SUFFIX = ".jsonl"
+
+
+class CampaignStoreError(CampaignError):
+    """A campaign store file is structurally invalid."""
+
+
+def default_store_path(name: str, directory: str = ".") -> str:
+    """Canonical store path ``<directory>/CAMPAIGN_<name>.jsonl``."""
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in name)
+    return os.path.join(directory, f"{STORE_PREFIX}{safe}{STORE_SUFFIX}")
+
+
+def validate_record(record: object) -> Dict[str, object]:
+    """Structural validation of one store record (raises on mismatch)."""
+    if not isinstance(record, dict):
+        raise CampaignStoreError("store record must be a JSON object")
+    version = record.get("schema_version")
+    if not isinstance(version, int):
+        raise CampaignStoreError("store record is missing an integer 'schema_version'")
+    if version > STORE_SCHEMA_VERSION:
+        raise CampaignStoreError(
+            f"store record schema version {version} is newer than supported "
+            f"{STORE_SCHEMA_VERSION}"
+        )
+    fingerprint = record.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise CampaignStoreError("store record is missing its 'fingerprint'")
+    cell = record.get("cell")
+    if not isinstance(cell, dict):
+        raise CampaignStoreError("store record is missing its 'cell' object")
+    try:
+        declared = CampaignCell.from_dict(cell)
+    except (CampaignError, TypeError, ValueError) as error:
+        raise CampaignStoreError(f"store record has an invalid cell: {error}") from None
+    if declared.fingerprint() != fingerprint:
+        raise CampaignStoreError(
+            f"record fingerprint {fingerprint!r} does not match its cell "
+            f"parameters ({declared.fingerprint()!r})"
+        )
+    if not isinstance(record.get("result"), dict):
+        raise CampaignStoreError("store record is missing its 'result' object")
+    return record
+
+
+class CampaignStore:
+    """Append-only JSONL store of completed campaign cells.
+
+    The store is cheap to construct — nothing is read until
+    :meth:`load` / :meth:`fingerprints` — and safe to point at a path
+    that does not exist yet (an empty campaign).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """All records keyed by cell fingerprint (see module docstring)."""
+        if not self.exists():
+            return {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except OSError as error:
+            raise CampaignStoreError(
+                f"cannot read campaign store {self.path!r}: {error}"
+            ) from error
+        records: Dict[str, Dict[str, object]] = {}
+        # Trailing empty strings come from the final newline; drop them so
+        # "the last line" below is the last line with content.
+        while lines and lines[-1] == "":
+            lines.pop()
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = validate_record(json.loads(line))
+            except (json.JSONDecodeError, CampaignStoreError) as error:
+                if position == len(lines) - 1:
+                    # Interrupted mid-append: the record was never
+                    # completed, so the cell simply re-runs on resume.
+                    break
+                raise CampaignStoreError(
+                    f"campaign store {self.path!r} line {position + 1} is corrupt: {error}"
+                ) from None
+            records.setdefault(str(record["fingerprint"]), record)
+        return records
+
+    def fingerprints(self) -> Set[str]:
+        """Fingerprints of all completed cells."""
+        return set(self.load())
+
+    def records_in_order(self) -> List[Dict[str, object]]:
+        """Records sorted by their cells' deterministic expansion order."""
+        records = list(self.load().values())
+        records.sort(key=lambda r: CampaignCell.from_dict(dict(r["cell"])).sort_key())
+        return records
+
+    # ------------------------------------------------------------------
+    def _truncate_partial_tail(self) -> None:
+        """Drop a partial trailing record left by a kill mid-append.
+
+        Every complete record ends with a newline written in the same
+        call, so a file not ending in ``\\n`` carries an incomplete tail.
+        Truncating it *before* appending keeps the invariant that
+        corruption can only ever live on the final line — which
+        :meth:`load` tolerates — never in the middle of the file.
+        """
+        if not self.exists():
+            return
+        with open(self.path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            content = handle.read()
+            keep = content.rfind(b"\n") + 1
+            handle.truncate(keep)
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably append one completed-cell record (validate, write, fsync)."""
+        validate_record(record)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._truncate_partial_tail()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def make_record(
+    cell: CampaignCell,
+    result: Dict[str, object],
+    runtime_seconds: float,
+    completed_unix: Optional[float] = None,
+) -> Dict[str, object]:
+    """Assemble one store record.
+
+    ``result`` must contain only deterministic quantities (the report is
+    built from it and must be bit-identical across resumed runs);
+    wall-clock lives in the record envelope instead.
+    """
+    import time
+
+    return {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "fingerprint": cell.fingerprint(),
+        "cell": cell.as_dict(),
+        "result": dict(result),
+        "runtime_seconds": float(runtime_seconds),
+        "completed_unix": float(time.time() if completed_unix is None else completed_unix),
+    }

@@ -19,6 +19,13 @@ Installed as the ``repro`` console script, with four subcommands:
     diff two artifacts, or gate a candidate against a baseline with a
     configurable slowdown threshold (non-zero exit on regression).
 
+``repro campaign run|status|report``
+    The experiment-campaign subsystem (:mod:`repro.campaign`): run a
+    declarative circuits x sigmas x budgets matrix into a checkpointed
+    ``CAMPAIGN_<name>.jsonl`` store (killing and re-running resumes
+    exactly where it stopped), inspect completion, and render
+    paper-style result tables against the baseline strategies.
+
 Output discipline: machine-readable output (``--json``) goes to stdout
 only; progress reporting (``--progress``) goes to stderr only, so the
 two can be combined freely.
@@ -102,7 +109,103 @@ def build_parser() -> argparse.ArgumentParser:
     insert.add_argument("--json", action="store_true", help="print the result as JSON")
 
     _add_bench_parsers(subparsers)
+    _add_campaign_parsers(subparsers)
     return parser
+
+
+def _shard(text: str) -> tuple:
+    """Argparse type for ``--shard i/n`` (1-based index)."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected INDEX/COUNT (e.g. 1/3), got {text!r}"
+        ) from None
+    if count < 1 or not (1 <= index <= count):
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in 1..{max(count, 1)}, got {text!r}"
+        )
+    return (index - 1, count)
+
+
+def _add_campaign_parsers(subparsers) -> None:
+    from repro.campaign import SPEC_NAMES
+    from repro.engine import EXECUTOR_CHOICES
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="resumable multi-circuit experiment campaigns: run matrices, report tables",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_spec_arguments(sub):
+        group = sub.add_mutually_exclusive_group(required=True)
+        group.add_argument(
+            "--name", choices=SPEC_NAMES, help="built-in campaign spec"
+        )
+        group.add_argument("--spec", help="path to a JSON campaign spec file")
+        sub.add_argument(
+            "--store",
+            default=None,
+            help="campaign result store (default: CAMPAIGN_<name>.jsonl in the CWD)",
+        )
+
+    run = campaign_sub.add_parser(
+        "run", help="run (or resume) every pending cell of a campaign"
+    )
+    add_spec_arguments(run)
+    run.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default="processes",
+        help="engine backend shared by all cells (results are identical across executors)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker count for the parallel executors (default: CPU count)",
+    )
+    run.add_argument(
+        "--shard",
+        type=_shard,
+        default=(0, 1),
+        metavar="INDEX/COUNT",
+        help="run only this round-robin shard of the cell matrix (e.g. 1/3)",
+    )
+    run.add_argument(
+        "--max-cells",
+        type=_positive_int,
+        default=None,
+        help="execute at most this many pending cells, then stop (time-boxed CI legs)",
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell campaign and per-phase engine progress to stderr",
+    )
+    run.add_argument("--json", action="store_true", help="print the run summary as JSON")
+
+    status = campaign_sub.add_parser(
+        "status", help="show how much of a campaign is completed in its store"
+    )
+    add_spec_arguments(status)
+    status.add_argument("--json", action="store_true", help="print the status as JSON")
+
+    report = campaign_sub.add_parser(
+        "report", help="aggregate the store into paper-style result tables"
+    )
+    add_spec_arguments(report)
+    report.add_argument(
+        "--format",
+        choices=("text", "markdown", "json"),
+        default="text",
+        help="report rendering (markdown/json are bit-identical across resumed runs)",
+    )
+    report.add_argument(
+        "--out", default=None, help="also write the report to this file"
+    )
 
 
 def _add_bench_parsers(subparsers) -> None:
@@ -231,17 +334,7 @@ def _cmd_insert(args: argparse.Namespace) -> int:
             "circuit": args.circuit,
             "scale": args.scale,
             "summary": result.summary(),
-            "buffers": [
-                {
-                    "flip_flop": b.flip_flop,
-                    "lower": b.lower,
-                    "upper": b.upper,
-                    "step": b.step,
-                    "usage_count": b.usage_count,
-                    "group": b.group,
-                }
-                for b in result.plan.buffers
-            ],
+            "buffers": [b.as_dict() for b in result.plan.buffers],
             "groups": result.plan.groups,
         }
         print(json.dumps(payload, indent=2))
@@ -336,6 +429,96 @@ def _cmd_bench_gate(args: argparse.Namespace) -> int:
     return 0 if verdict.passed else 1
 
 
+def _resolve_campaign(args: argparse.Namespace):
+    """The (spec, store) pair a campaign subcommand operates on."""
+    from repro.campaign import CampaignStore, default_store_path, get_spec, load_spec
+
+    spec = get_spec(args.name) if args.name else load_spec(args.spec)
+    store_path = args.store or default_store_path(spec.name)
+    return spec, CampaignStore(store_path)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner
+
+    spec, store = _resolve_campaign(args)
+    shard_index, shard_count = args.shard
+    runner = CampaignRunner(
+        spec,
+        store,
+        executor=args.executor,
+        jobs=args.jobs,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        max_cells=args.max_cells,
+        progress=args.progress,
+    )
+    summary = runner.run()
+    if args.json:
+        payload = dict(summary.as_dict())
+        payload.update({"campaign": spec.name, "store": store.path})
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign  : {spec.name} (shard {shard_index + 1}/{shard_count})")
+    print(f"store     : {store.path}")
+    print(f"cells     : {summary.n_cells} in shard, "
+          f"{summary.n_completed_before} already complete")
+    print(f"executed  : {summary.n_run} ({summary.n_remaining} still pending)")
+    print(f"runtime   : {summary.seconds:.1f} s")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_status
+
+    spec, store = _resolve_campaign(args)
+    status = campaign_status(spec, store)
+    if args.json:
+        payload = dict(status.as_dict())
+        payload["store"] = store.path
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign  : {status.name}")
+    print(f"store     : {store.path}")
+    print(f"completed : {status.n_completed}/{status.n_cells} cells")
+    if status.pending_cell_ids:
+        print("pending   :")
+        for cell_id in status.pending_cell_ids:
+            print(f"  {cell_id}")
+    if status.stale_fingerprints:
+        print(f"stale     : {len(status.stale_fingerprints)} record(s) no longer in the spec")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import build_report, format_report
+
+    spec, store = _resolve_campaign(args)
+    payload = format_report(build_report(spec, store), fmt=args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"[campaign] wrote {args.out}", file=sys.stderr, flush=True)
+    print(payload, end="")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError
+
+    try:
+        if args.campaign_command == "run":
+            return _cmd_campaign_run(args)
+        if args.campaign_command == "status":
+            return _cmd_campaign_status(args)
+        if args.campaign_command == "report":
+            return _cmd_campaign_report(args)
+    except (CampaignError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import ArtifactError
 
@@ -364,6 +547,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_insert(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

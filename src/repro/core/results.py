@@ -48,6 +48,35 @@ class Buffer:
             return float("nan")
         return self.range_width / self.step
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (consumed by the CLI and the campaign store)."""
+        return {
+            "flip_flop": self.flip_flop,
+            "lower": float(self.lower),
+            "upper": float(self.upper),
+            "step": float(self.step),
+            "usage_count": int(self.usage_count),
+            "group": int(self.group),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Buffer":
+        """Inverse of :meth:`as_dict` (unknown/missing keys raise ValueError)."""
+        unknown = set(data) - {"flip_flop", "lower", "upper", "step", "usage_count", "group"}
+        if unknown:
+            raise ValueError(f"unknown buffer fields: {sorted(unknown)}")
+        missing = {"flip_flop", "lower", "upper", "step"} - set(data)
+        if missing:
+            raise ValueError(f"missing buffer fields: {sorted(missing)}")
+        return cls(
+            flip_flop=str(data["flip_flop"]),
+            lower=float(data["lower"]),
+            upper=float(data["upper"]),
+            step=float(data["step"]),
+            usage_count=int(data.get("usage_count", 0)),
+            group=int(data.get("group", -1)),
+        )
+
 
 @dataclass
 class BufferPlan:
@@ -99,6 +128,28 @@ class BufferPlan:
     def buffered_flip_flops(self) -> List[str]:
         """Names of all buffered flip-flops."""
         return [b.flip_flop for b in self.buffers]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the complete plan.
+
+        The layout is stable (used by the campaign result store, whose
+        records must round-trip bit-identically) and contains only
+        deterministic quantities.
+        """
+        return {
+            "target_period": float(self.target_period),
+            "buffers": [buffer.as_dict() for buffer in self.buffers],
+            "groups": [list(group) for group in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BufferPlan":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            buffers=[Buffer.from_dict(dict(entry)) for entry in data.get("buffers", [])],
+            target_period=float(data.get("target_period", 0.0)),
+            groups=[list(group) for group in data.get("groups", [])],
+        )
 
 
 @dataclass

@@ -75,12 +75,26 @@ class LogProgress(ProgressReporter):
         reporter was constructed.
     min_interval:
         Minimum seconds between two ``advance`` lines of the same phase.
+    prefix:
+        Optional context label inserted into every line (the campaign
+        runner sets it to the cell id, so interleaved cells stay
+        attributable: ``[engine:<cell>] step1_train ...``).
     """
 
-    def __init__(self, stream: Optional[TextIO] = None, min_interval: float = 0.5) -> None:
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+        prefix: str = "",
+    ) -> None:
         self._stream = stream
         self.min_interval = float(min_interval)
+        self.prefix = str(prefix)
         self._last_emit: Dict[str, float] = {}
+
+    @property
+    def _tag(self) -> str:
+        return f"[engine:{self.prefix}]" if self.prefix else "[engine]"
 
     @property
     def stream(self) -> TextIO:
@@ -88,7 +102,7 @@ class LogProgress(ProgressReporter):
         return self._stream if self._stream is not None else sys.stderr
 
     def start(self, phase: str, total: int) -> None:
-        print(f"[engine] {phase}: 0/{total} samples", file=self.stream, flush=True)
+        print(f"{self._tag} {phase}: 0/{total} samples", file=self.stream, flush=True)
         self._last_emit[phase] = time.perf_counter()
 
     def advance(self, phase: str, done: int, total: int) -> None:
@@ -96,11 +110,11 @@ class LogProgress(ProgressReporter):
         if done < total and now - self._last_emit.get(phase, 0.0) < self.min_interval:
             return
         self._last_emit[phase] = now
-        print(f"[engine] {phase}: {done}/{total} samples", file=self.stream, flush=True)
+        print(f"{self._tag} {phase}: {done}/{total} samples", file=self.stream, flush=True)
 
     def finish(self, phase: str, total: int, seconds: float) -> None:
         print(
-            f"[engine] {phase}: done ({total} samples in {seconds:.2f} s)",
+            f"{self._tag} {phase}: done ({total} samples in {seconds:.2f} s)",
             file=self.stream,
             flush=True,
         )

@@ -78,3 +78,20 @@ class TestPaperReference:
     def test_buffer_counts_below_one_percent_of_ffs(self):
         for entry in paper_table_one():
             assert entry["n_buffers"] <= 0.011 * entry["n_flip_flops"]
+
+
+class TestOptionalRuntime:
+    def test_none_runtime_renders_dash_in_text(self):
+        text = format_table_one([make_row(runtime_s=None)])
+        last = text.splitlines()[-1]
+        assert last.rstrip().endswith("-")
+        assert "None" not in text
+
+    def test_none_runtime_renders_dash_in_markdown(self):
+        markdown = rows_to_markdown([make_row(runtime_s=None)])
+        assert markdown.splitlines()[-1].endswith("| - |")
+        assert "None" not in markdown
+
+    def test_float_runtime_unchanged(self):
+        assert "54.22" in format_table_one([make_row()])
+        assert "54.22" in rows_to_markdown([make_row()])

@@ -98,3 +98,39 @@ class TestComparativeShape:
             random_plan(small_design, target, k, rng=1), target, constraint_samples=samples
         )
         assert informed.tuned_yield >= uninformed.tuned_yield
+
+
+class TestBaselineRegistry:
+    def test_choices_build_plans(self, small_design, small_constraint_graph):
+        from repro.baselines import BASELINE_CHOICES, build_baseline_plan
+
+        period = 30.0
+        for name in BASELINE_CHOICES:
+            plan = build_baseline_plan(
+                name,
+                small_design,
+                period,
+                n_buffers=3,
+                constraint_graph=small_constraint_graph,
+                rng=5,
+            )
+            assert plan.target_period == period
+            if name == "every_ff":
+                assert plan.n_buffers == len(small_design.netlist.flip_flops)
+            else:
+                assert plan.n_buffers == 3
+
+    def test_random_is_seeded(self, small_design):
+        from repro.baselines import build_baseline_plan
+
+        first = build_baseline_plan("random", small_design, 30.0, n_buffers=4, rng=11)
+        second = build_baseline_plan("random", small_design, 30.0, n_buffers=4, rng=11)
+        assert first.buffered_flip_flops() == second.buffered_flip_flops()
+
+    def test_unknown_name_raises(self, small_design):
+        import pytest
+
+        from repro.baselines import build_baseline_plan
+
+        with pytest.raises(ValueError, match="unknown baseline"):
+            build_baseline_plan("oracle", small_design, 30.0, n_buffers=1)

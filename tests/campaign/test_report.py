@@ -1,0 +1,134 @@
+"""Campaign report: aggregation, formatting and determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.report import (
+    CampaignReport,
+    build_report,
+    format_report,
+    format_report_markdown,
+    format_report_text,
+    save_report,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+
+@pytest.fixture(scope="module")
+def ran_campaign(tmp_path_factory):
+    spec = CampaignSpec(
+        name="rep",
+        seed=9,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0, 1.0),
+        budgets=((24, 48),),
+        baselines=("every_ff", "random"),
+    )
+    store = CampaignStore(str(tmp_path_factory.mktemp("rep") / "store.jsonl"))
+    CampaignRunner(spec, store, executor="serial").run()
+    return spec, store
+
+
+class TestBuildReport:
+    def test_complete_report(self, ran_campaign):
+        spec, store = ran_campaign
+        report = build_report(spec, store)
+        assert report.complete
+        assert report.n_completed == report.n_cells == spec.n_cells
+        assert report.spec_fingerprint == spec.fingerprint()
+        assert [r["cell_id"] for r in report.rows] == [c.cell_id for c in spec.cells()]
+        for row in report.rows:
+            assert set(row["baselines"]) == {"every_ff", "random"}
+            assert 0.0 <= row["improved_yield"] <= 1.0
+
+    def test_empty_store_reports_all_missing(self, ran_campaign, tmp_path):
+        spec, _ = ran_campaign
+        report = build_report(spec, CampaignStore(str(tmp_path / "empty.jsonl")))
+        assert not report.complete
+        assert report.n_completed == 0
+        assert len(report.missing_cell_ids) == spec.n_cells
+
+    def test_partial_store_reports_missing_cells(self, ran_campaign, tmp_path):
+        spec, _ = ran_campaign
+        store = CampaignStore(str(tmp_path / "partial.jsonl"))
+        CampaignRunner(spec, store, executor="serial", max_cells=1).run()
+        report = build_report(spec, store)
+        assert report.n_completed == 1
+        assert len(report.missing_cell_ids) == spec.n_cells - 1
+        assert "incomplete" in format_report_text(report)
+
+    def test_report_excludes_wall_clock(self, ran_campaign):
+        spec, store = ran_campaign
+        payload = build_report(spec, store).to_json()
+        assert "runtime" not in payload
+        assert "completed_unix" not in payload
+
+
+class TestFormatting:
+    def test_text_contains_table_one_layout(self, ran_campaign):
+        spec, store = ran_campaign
+        text = format_report_text(build_report(spec, store))
+        assert "circuit" in text and "Y(%)" in text and "Yi(%)" in text
+        # Wall-clock column renders "-" (determinism over curiosity).
+        assert " -" in text
+        assert "yield vs. baselines" in text
+
+    def test_markdown_tables(self, ran_campaign):
+        spec, store = ran_campaign
+        markdown = format_report_markdown(build_report(spec, store))
+        assert markdown.startswith("# Campaign `rep`")
+        assert "| circuit | ns | ng | target | Nb | Ab | Y (%) | Yi (%) | T (s) |" in markdown
+        assert "## Yield vs. baselines" in markdown
+        assert "every_ff Y (%)" in markdown
+
+    def test_json_round_trips(self, ran_campaign):
+        spec, store = ran_campaign
+        report = build_report(spec, store)
+        parsed = json.loads(report.to_json())
+        assert parsed["campaign"] == "rep"
+        assert parsed["n_completed"] == spec.n_cells
+        assert len(parsed["rows"]) == spec.n_cells
+
+    def test_format_report_dispatch(self, ran_campaign):
+        spec, store = ran_campaign
+        report = build_report(spec, store)
+        assert format_report(report, "text") == format_report_text(report)
+        assert format_report(report, "markdown") == format_report_markdown(report)
+        assert format_report(report, "json") == report.to_json()
+        with pytest.raises(ValueError, match="unknown report format"):
+            format_report(report, "pdf")
+
+    def test_save_report(self, ran_campaign, tmp_path):
+        spec, store = ran_campaign
+        report = build_report(spec, store)
+        path = save_report(report, str(tmp_path / "r.md"), fmt="markdown")
+        assert open(path).read() == format_report_markdown(report)
+
+    def test_rows_without_baselines_render(self):
+        report = CampaignReport(
+            campaign="bare",
+            spec_fingerprint="f" * 16,
+            n_cells=1,
+            rows=[
+                {
+                    "cell_id": "c",
+                    "circuit": "s9234",
+                    "sigma": 0.0,
+                    "n_flip_flops": 10,
+                    "n_gates": 100,
+                    "n_buffers": 2,
+                    "average_range_steps": 3.0,
+                    "original_yield": 0.5,
+                    "improved_yield": 0.9,
+                    "baselines": {},
+                }
+            ],
+        )
+        text = format_report_text(report)
+        assert "baselines" not in text
+        assert "s9234" in text

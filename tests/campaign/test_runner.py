@@ -1,0 +1,186 @@
+"""Campaign runner: execution, resume semantics, sharding, baselines.
+
+The load-bearing test is :class:`TestResume`: a campaign killed after N
+cells (simulated by ``max_cells`` plus a partial trailing record, the
+on-disk state an actual ``SIGKILL`` mid-append leaves behind) and then
+resumed — possibly on a *different* executor — must
+
+* never re-execute completed cells, and
+* produce markdown/JSON reports **bit-identical** to an uninterrupted
+  run's.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.report import (
+    build_report,
+    format_report_markdown,
+)
+from repro.campaign.runner import CampaignRunner, campaign_status
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+
+def spec_12_cells() -> CampaignSpec:
+    """A >= 12-cell matrix that still runs in seconds (tiny budgets)."""
+    return CampaignSpec(
+        name="resume",
+        seed=7,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0, 1.0, 2.0),
+        budgets=((24, 48), (32, 64)),
+        replicates=2,
+        baselines=("criticality", "random"),
+    )
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    params = dict(
+        name="tiny",
+        seed=5,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0,),
+        budgets=((24, 48),),
+        replicates=2,
+        baselines=(),
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    """One full serial run of the 12-cell spec plus its two report forms."""
+    spec = spec_12_cells()
+    store = CampaignStore(str(tmp_path_factory.mktemp("full") / "store.jsonl"))
+    summary = CampaignRunner(spec, store, executor="serial").run()
+    assert summary.n_run == spec.n_cells >= 12
+    report = build_report(spec, store)
+    return spec, store, report.to_json(), format_report_markdown(report)
+
+
+class TestRunBasics:
+    def test_full_run_completes_and_is_resumable_noop(self, tmp_path):
+        spec = tiny_spec()
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        first = CampaignRunner(spec, store, executor="serial").run()
+        assert (first.n_run, first.n_remaining) == (spec.n_cells, 0)
+        again = CampaignRunner(spec, store, executor="serial").run()
+        assert (again.n_run, again.n_completed_before) == (0, spec.n_cells)
+        status = campaign_status(spec, store)
+        assert status.complete and not status.pending_cell_ids
+
+    def test_max_cells_bounds_one_invocation(self, tmp_path):
+        spec = tiny_spec()
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        partial = CampaignRunner(spec, store, executor="serial", max_cells=1).run()
+        assert (partial.n_run, partial.n_remaining) == (1, spec.n_cells - 1)
+        assert campaign_status(spec, store).n_completed == 1
+
+    def test_record_content_is_deterministic_fields(self, tmp_path):
+        spec = tiny_spec(baselines=("every_ff",))
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        CampaignRunner(spec, store, executor="serial").run()
+        for record in store.load().values():
+            result = record["result"]
+            assert set(result["baselines"]) == {"every_ff"}
+            assert 0.0 <= result["original_yield"] <= result["baselines"]["every_ff"]["tuned_yield"] <= 1.0
+            assert result["plan"]["target_period"] == result["target_period"]
+            assert record["runtime_seconds"] > 0.0
+
+    def test_sharded_runs_cover_the_matrix(self, tmp_path):
+        spec = tiny_spec(sigmas=(0.0, 1.0))
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        for index in range(2):
+            CampaignRunner(
+                spec, store, executor="serial", shard_index=index, shard_count=2
+            ).run()
+        assert campaign_status(spec, store).complete
+
+    def test_progress_lines_go_to_stderr(self, tmp_path, capsys):
+        spec = tiny_spec(sigmas=(0.0,), replicates=1)
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        CampaignRunner(spec, store, executor="serial", progress=True).run()
+        captured = capsys.readouterr()
+        assert "[campaign]" in captured.err
+        assert "[engine:s9234@0.05" in captured.err
+        assert captured.out == ""
+
+    def test_bad_max_cells_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_cells"):
+            CampaignRunner(
+                tiny_spec(), CampaignStore(str(tmp_path / "s.jsonl")), max_cells=0
+            )
+
+
+class TestResume:
+    KILL_AFTER = 5
+
+    def _interrupt_and_resume(self, spec, store_path, resume_executor, jobs=None):
+        """Run KILL_AFTER cells, fake a kill mid-append, then resume."""
+        store = CampaignStore(store_path)
+        interrupted = CampaignRunner(
+            spec, store, executor="serial", max_cells=self.KILL_AFTER
+        ).run()
+        assert interrupted.n_run == self.KILL_AFTER
+        # A SIGKILL mid-append leaves a partial record on the final line.
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "fingerprint": "trunca')
+
+        executed = []
+        original = CampaignRunner._run_cell
+
+        def counting_run_cell(runner_self, cell, executor):
+            executed.append(cell.cell_id)
+            return original(runner_self, cell, executor)
+
+        resumed_runner = CampaignRunner(
+            spec, store, executor=resume_executor, jobs=jobs
+        )
+        CampaignRunner._run_cell = counting_run_cell
+        try:
+            resumed = resumed_runner.run()
+        finally:
+            CampaignRunner._run_cell = original
+        return store, resumed, executed
+
+    @pytest.mark.parametrize(
+        "resume_executor,jobs",
+        [("serial", None), ("threads", 2), ("processes", 2)],
+    )
+    def test_killed_campaign_resumes_bit_identically(
+        self, tmp_path, uninterrupted, resume_executor, jobs
+    ):
+        spec, _, full_json, full_markdown = uninterrupted
+        store, resumed, executed = self._interrupt_and_resume(
+            spec, str(tmp_path / "store.jsonl"), resume_executor, jobs
+        )
+        # Completed cells were skipped, pending ones ran exactly once.
+        completed_first = [c.cell_id for c in spec.cells()[: self.KILL_AFTER]]
+        assert resumed.n_completed_before == self.KILL_AFTER
+        assert resumed.n_run == spec.n_cells - self.KILL_AFTER
+        assert not set(executed) & set(completed_first)
+        assert len(executed) == len(set(executed))
+        # The aggregated report is byte-for-byte the uninterrupted one.
+        report = build_report(spec, store)
+        assert report.to_json() == full_json
+        assert format_report_markdown(report) == full_markdown
+
+    def test_resumed_store_records_match_uninterrupted(self, tmp_path, uninterrupted):
+        spec, full_store, _, _ = uninterrupted
+        store, _, _ = self._interrupt_and_resume(
+            spec, str(tmp_path / "store.jsonl"), "serial"
+        )
+        full = full_store.load()
+        resumed = store.load()
+        assert set(resumed) == set(full)
+        for fingerprint, record in resumed.items():
+            # Everything except wall-clock envelope fields is identical.
+            assert record["cell"] == full[fingerprint]["cell"]
+            assert json.dumps(record["result"], sort_keys=True) == json.dumps(
+                full[fingerprint]["result"], sort_keys=True
+            )

@@ -1,0 +1,198 @@
+"""Campaign spec expansion: determinism, seeds, fingerprints, sharding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignCell,
+    CampaignError,
+    CampaignSpec,
+    SPEC_NAMES,
+    get_spec,
+    load_spec,
+    shard_cells,
+)
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    params = dict(
+        name="t",
+        seed=5,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0, 1.0),
+        budgets=((30, 60),),
+        replicates=2,
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+class TestExpansion:
+    def test_cell_count_matches_matrix(self):
+        spec = small_spec(sigmas=(0.0, 1.0, 2.0), budgets=((30, 60), (40, 80)))
+        assert spec.n_cells == 1 * 3 * 1 * 2 * 2
+        assert len(spec.cells()) == spec.n_cells
+
+    def test_expansion_is_deterministic(self):
+        spec = small_spec()
+        first, second = spec.cells(), spec.cells()
+        assert first == second
+        assert [c.fingerprint() for c in first] == [c.fingerprint() for c in second]
+
+    def test_expansion_is_sorted(self):
+        spec = small_spec(sigmas=(1.0, 0.0), budgets=((40, 80), (30, 60)))
+        cells = spec.cells()
+        assert [c.sort_key() for c in cells] == sorted(c.sort_key() for c in cells)
+
+    def test_per_cell_seeds_are_distinct_and_content_derived(self):
+        spec = small_spec()
+        cells = spec.cells()
+        seeds = [c.seed for c in cells]
+        assert len(set(seeds)) == len(seeds)
+        # Adding cells must not reshuffle the seeds of existing ones.
+        grown = small_spec(sigmas=(0.0, 1.0, 2.0)).cells()
+        grown_seeds = {c.cell_id: c.seed for c in grown}
+        for cell in cells:
+            assert grown_seeds[cell.cell_id] == cell.seed
+
+    def test_replicates_differ_only_in_seed(self):
+        r0, r1 = small_spec(sigmas=(0.0,)).cells()
+        assert r0.seed != r1.seed
+        assert r0.fingerprint() != r1.fingerprint()
+        assert (r0.circuit, r0.sigma, r0.n_samples) == (r1.circuit, r1.sigma, r1.n_samples)
+
+    def test_design_seed_is_campaign_constant(self):
+        cells = small_spec().cells()
+        assert len({c.design_seed for c in cells}) == 1
+        pinned = small_spec(design_seed=99).cells()
+        assert all(c.design_seed == 99 for c in pinned)
+
+
+class TestFingerprints:
+    def test_fingerprint_stable_across_round_trip(self):
+        for cell in small_spec().cells():
+            clone = CampaignCell.from_dict(cell.as_dict())
+            assert clone == cell
+            assert clone.fingerprint() == cell.fingerprint()
+
+    def test_fingerprint_sensitive_to_every_result_affecting_field(self):
+        base = small_spec().cells()[0]
+        for change in (
+            dict(circuit="s13207"),
+            dict(scale=0.06),
+            dict(sigma=2.0),
+            dict(solver="milp"),
+            dict(n_samples=31),
+            dict(n_eval_samples=61),
+            dict(seed=base.seed + 1),
+            dict(design_seed=base.design_seed + 1),
+            dict(baselines=("every_ff",)),
+        ):
+            data = base.as_dict()
+            data.update(change)
+            assert CampaignCell.from_dict(data).fingerprint() != base.fingerprint()
+
+    def test_cell_from_dict_rejects_unknown_keys(self):
+        data = small_spec().cells()[0].as_dict()
+        data["executor"] = "processes"
+        with pytest.raises(CampaignError, match="unknown cell parameters"):
+            CampaignCell.from_dict(data)
+
+    def test_spec_fingerprint_changes_with_matrix(self):
+        assert small_spec().fingerprint() != small_spec(seed=6).fingerprint()
+        assert small_spec().fingerprint() == small_spec().fingerprint()
+
+
+class TestValidation:
+    def test_unknown_circuit(self):
+        with pytest.raises(CampaignError, match="unknown circuit"):
+            small_spec(circuits=(("nope", 0.1),))
+
+    def test_bad_scale(self):
+        with pytest.raises(CampaignError, match="scale"):
+            small_spec(circuits=(("s9234", 0.0),))
+
+    def test_unknown_solver(self):
+        with pytest.raises(CampaignError, match="unknown solver"):
+            small_spec(solvers=("magic",))
+
+    def test_unknown_baseline(self):
+        with pytest.raises(CampaignError, match="unknown baseline"):
+            small_spec(baselines=("oracle",))
+
+    def test_bad_budget(self):
+        with pytest.raises(CampaignError, match="budgets"):
+            small_spec(budgets=((0, 60),))
+
+    def test_bad_replicates(self):
+        with pytest.raises(CampaignError, match="replicates"):
+            small_spec(replicates=0)
+
+    def test_empty_circuits(self):
+        with pytest.raises(CampaignError, match="at least one circuit"):
+            small_spec(circuits=())
+
+
+class TestSerialisation:
+    def test_spec_round_trip(self):
+        spec = small_spec(sigmas=(0.0, 2.0), baselines=("random",))
+        clone = CampaignSpec.from_dict(spec.as_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_load_spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(small_spec().as_dict()))
+        assert load_spec(str(path)) == small_spec()
+
+    def test_load_spec_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            load_spec(str(path))
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = small_spec().as_dict()
+        data["executor"] = "processes"
+        with pytest.raises(CampaignError, match="unknown campaign spec fields"):
+            CampaignSpec.from_dict(data)
+
+
+class TestSharding:
+    def test_shards_partition_the_matrix(self):
+        cells = small_spec(sigmas=(0.0, 1.0, 2.0)).cells()
+        shards = [shard_cells(cells, i, 3) for i in range(3)]
+        merged = [c for shard in shards for c in shard]
+        assert sorted(c.cell_id for c in merged) == sorted(c.cell_id for c in cells)
+        fingerprints = [{c.fingerprint() for c in shard} for shard in shards]
+        assert not (fingerprints[0] & fingerprints[1] & fingerprints[2])
+
+    def test_single_shard_is_identity(self):
+        cells = small_spec().cells()
+        assert shard_cells(cells, 0, 1) == cells
+
+    def test_bad_shard_arguments(self):
+        cells = small_spec().cells()
+        with pytest.raises(CampaignError):
+            shard_cells(cells, 2, 2)
+        with pytest.raises(CampaignError):
+            shard_cells(cells, 0, 0)
+
+
+class TestNamedSpecs:
+    def test_builtin_names(self):
+        assert set(SPEC_NAMES) == {"smoke", "nightly", "table1"}
+        for name in SPEC_NAMES:
+            spec = get_spec(name)
+            assert spec.name == name
+            assert spec.cells()
+
+    def test_nightly_has_at_least_twelve_cells(self):
+        assert get_spec("nightly").n_cells >= 12
+
+    def test_unknown_name(self):
+        with pytest.raises(CampaignError, match="unknown campaign"):
+            get_spec("bogus")

@@ -1,0 +1,145 @@
+"""Campaign store: durability, resume keys and corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    CampaignStore,
+    CampaignStoreError,
+    STORE_SCHEMA_VERSION,
+    default_store_path,
+    make_record,
+)
+
+
+@pytest.fixture()
+def cells():
+    return CampaignSpec(
+        name="t",
+        seed=5,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0, 1.0),
+        budgets=((30, 60),),
+    ).cells()
+
+
+def fake_record(cell, value=1.0):
+    return make_record(
+        cell,
+        {"improved_yield": value, "n_buffers": 2},
+        runtime_seconds=0.1,
+        completed_unix=123.0,
+    )
+
+
+class TestBasics:
+    def test_default_store_path_sanitises(self, tmp_path):
+        assert default_store_path("a b/c", str(tmp_path)).endswith("CAMPAIGN_a-b-c.jsonl")
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "none.jsonl"))
+        assert store.load() == {}
+        assert store.fingerprints() == set()
+
+    def test_append_and_load_round_trip(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        for cell in cells:
+            store.append(fake_record(cell))
+        records = store.load()
+        assert set(records) == {c.fingerprint() for c in cells}
+        for cell in cells:
+            record = records[cell.fingerprint()]
+            assert record["schema_version"] == STORE_SCHEMA_VERSION
+            assert record["cell"] == cell.as_dict()
+
+    def test_records_in_order_follows_cell_sort(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        for cell in reversed(cells):
+            store.append(fake_record(cell))
+        ordered = store.records_in_order()
+        assert [r["fingerprint"] for r in ordered] == [c.fingerprint() for c in cells]
+
+    def test_append_validates(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        record = fake_record(cells[0])
+        record["fingerprint"] = "deadbeefdeadbeef"
+        with pytest.raises(CampaignStoreError, match="does not match"):
+            store.append(record)
+
+
+class TestCorruption:
+    def test_truncated_final_line_is_ignored(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        complete = json.dumps(fake_record(cells[1]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(complete[: len(complete) // 2])
+        records = store.load()
+        assert set(records) == {cells[0].fingerprint()}
+
+    def test_append_after_truncated_tail_keeps_store_loadable(self, tmp_path, cells):
+        # The kill-mid-append artefact must not become a corrupt middle
+        # line once the campaign resumes and appends more records.
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"partial": tru')
+        store.append(fake_record(cells[1]))
+        records = store.load()
+        assert set(records) == {cells[0].fingerprint(), cells[1].fingerprint()}
+
+    def test_corrupt_middle_line_raises(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        store.append(fake_record(cells[1]))
+        lines = open(store.path).read().splitlines()
+        lines[0] = lines[0][:-5]
+        with open(store.path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(CampaignStoreError, match="line 1 is corrupt"):
+            store.load()
+
+    def test_invalid_cell_object_is_a_store_error(self, tmp_path, cells):
+        # A cell dict missing a required field must surface as the
+        # CampaignStoreError the loader and the CLI handle — not as a
+        # raw TypeError escaping the final-line tolerance.
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        record = fake_record(cells[0])
+        del record["cell"]["circuit"]
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.write(json.dumps(fake_record(cells[1])) + "\n")
+        with pytest.raises(CampaignStoreError, match="line 1 is corrupt"):
+            store.load()
+
+    def test_invalid_cell_on_final_line_is_tolerated(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        record = fake_record(cells[1])
+        record["cell"]["circuit"] = "nope"
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        assert set(store.load()) == {cells[0].fingerprint()}
+
+    def test_duplicate_fingerprint_keeps_first(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0], value=0.5))
+        store.append(fake_record(cells[0], value=0.9))
+        records = store.load()
+        assert records[cells[0].fingerprint()]["result"]["improved_yield"] == 0.5
+
+    def test_newer_schema_version_rejected(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        record = fake_record(cells[0])
+        record["schema_version"] = STORE_SCHEMA_VERSION + 1
+        store.append(fake_record(cells[1]))
+        with open(store.path, "r+", encoding="utf-8") as handle:
+            existing = handle.read()
+            handle.seek(0)
+            handle.write(json.dumps(record) + "\n" + existing)
+        with pytest.raises(CampaignStoreError, match="newer than supported"):
+            store.load()

@@ -68,3 +68,48 @@ class TestFlowResult:
         summary = result.summary()
         assert summary["n_buffers"] == 1
         assert summary["yield_improvement"] == pytest.approx(0.3)
+
+
+class TestPlanSerialisation:
+    def _plan(self):
+        return BufferPlan(
+            buffers=[
+                Buffer("ff1", -0.5, 1.0, 0.25, usage_count=7, group=0),
+                Buffer("ff2", 0.0, 0.75, 0.25, usage_count=3, group=1),
+            ],
+            target_period=30.0,
+            groups=[["ff1"], ["ff2"]],
+        )
+
+    def test_buffer_round_trip(self):
+        buffer = Buffer("ff1", -0.5, 1.0, 0.25, usage_count=7, group=2)
+        assert Buffer.from_dict(buffer.as_dict()) == buffer
+
+    def test_buffer_from_dict_rejects_unknown_keys(self):
+        import pytest
+
+        data = Buffer("ff1", -0.5, 1.0, 0.25).as_dict()
+        data["colour"] = "blue"
+        with pytest.raises(ValueError, match="unknown buffer fields"):
+            Buffer.from_dict(data)
+
+    def test_buffer_from_dict_rejects_missing_keys(self):
+        import pytest
+
+        data = Buffer("ff1", -0.5, 1.0, 0.25).as_dict()
+        del data["lower"]
+        with pytest.raises(ValueError, match="missing buffer fields"):
+            Buffer.from_dict(data)
+
+    def test_plan_round_trip(self):
+        plan = self._plan()
+        clone = BufferPlan.from_dict(plan.as_dict())
+        assert clone.buffers == plan.buffers
+        assert clone.target_period == plan.target_period
+        assert clone.groups == plan.groups
+
+    def test_plan_as_dict_is_json_serialisable(self):
+        import json
+
+        payload = json.dumps(self._plan().as_dict(), sort_keys=True)
+        assert json.loads(payload)["target_period"] == 30.0

@@ -318,3 +318,128 @@ class TestBench:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_run_unknown_suite_exits_2_listing_choices(self, capsys):
+        """An unknown --suite must exit 2 with the valid names, never a
+        bare KeyError traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "run", "--suite", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        for name in ("quick", "default", "full"):
+            assert name in err
+
+    def test_get_suite_unknown_name_is_a_clear_valueerror(self):
+        """The programmatic path mirrors the CLI: ValueError listing the
+        valid suites, not a KeyError."""
+        from repro.bench import SUITE_NAMES, get_suite
+
+        with pytest.raises(ValueError) as excinfo:
+            get_suite("bogus")
+        message = str(excinfo.value)
+        assert "unknown suite" in message
+        for name in SUITE_NAMES:
+            assert name in message
+
+
+class TestCampaign:
+    def _spec_args(self, tmp_path, extra=()):
+        return [
+            "campaign",
+            *extra,
+            "--name",
+            "smoke",
+            "--store",
+            str(tmp_path / "store.jsonl"),
+        ]
+
+    def _run(self, tmp_path, extra=()):
+        return main(
+            self._spec_args(tmp_path, extra=["run"])
+            + ["--executor", "serial", *extra]
+        )
+
+    def test_run_status_report_round_trip(self, tmp_path, capsys):
+        assert self._run(tmp_path, extra=["--max-cells", "2", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_run"] == 2 and summary["n_remaining"] == 2
+
+        assert main(self._spec_args(tmp_path, extra=["status"])) == 0
+        out = capsys.readouterr().out
+        assert "completed : 2/4 cells" in out and "pending" in out
+
+        # Resume finishes the rest; a second resume is a no-op.
+        assert self._run(tmp_path, extra=["--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["n_remaining"] == 0
+        assert self._run(tmp_path, extra=["--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["n_run"] == 0
+
+        assert main(self._spec_args(tmp_path, extra=["status"]) + ["--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] is True
+
+        report_path = tmp_path / "report.md"
+        assert main(
+            self._spec_args(tmp_path, extra=["report"])
+            + ["--format", "markdown", "--out", str(report_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "# Campaign `smoke`" in captured.out
+        assert report_path.read_text() == captured.out
+
+    def test_run_json_with_progress_keeps_stdout_pure(self, tmp_path, capsys):
+        code = self._run(tmp_path, extra=["--max-cells", "1", "--json", "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["n_run"] == 1
+        assert "[campaign]" in captured.err
+        assert "[campaign]" not in captured.out
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        from repro.campaign import get_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(get_spec("smoke").as_dict()))
+        store = str(tmp_path / "s.jsonl")
+        code = main(
+            ["campaign", "run", "--spec", str(spec_path), "--store", store,
+             "--executor", "serial", "--max-cells", "1"]
+        )
+        assert code == 0
+        assert "executed  : 1" in capsys.readouterr().out
+
+    def test_requires_spec_or_name(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_builtin_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--name", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert main(["campaign", "status", "--spec", "no-such.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("shard", ["0/2", "3/2", "x/2", "2"])
+    def test_bad_shard_rejected(self, shard, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "run", "--name", "smoke", "--shard", shard])
+        assert excinfo.value.code == 2
+
+    def test_sharded_runs_partition(self, tmp_path, capsys):
+        store = str(tmp_path / "s.jsonl")
+        for shard in ("1/2", "2/2"):
+            code = main(
+                ["campaign", "run", "--name", "smoke", "--store", store,
+                 "--executor", "serial", "--shard", shard]
+            )
+            assert code == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--name", "smoke", "--store", store, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] is True and status["n_cells"] == 4
