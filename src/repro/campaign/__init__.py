@@ -19,11 +19,35 @@ interruption:
 * :mod:`repro.campaign.report` — paper-style Table-I aggregation plus a
   baseline-comparison table (every-FF / criticality / random), rendered
   as markdown, plain text or canonical JSON, **bit-identical** between
-  interrupted-and-resumed and uninterrupted campaigns.
+  interrupted-and-resumed and uninterrupted campaigns;
+* :mod:`repro.campaign.pool` — a shared content-addressed result pool
+  (:class:`ResultPool`): one global store many specs treat as a cache,
+  so overlapping campaigns reuse each other's completed cells;
+* :mod:`repro.campaign.compare` — per-cell yield/period/buffer deltas
+  between two stores with a threshold gate
+  (:func:`gate_comparison`), the campaign sibling of ``bench gate``.
 
-The CLI surface is ``repro campaign run|status|report``.
+Distributed aggregation: n CI jobs each run ``--shard i/n`` into their
+own store file, and :meth:`CampaignStore.merge` unions the shard stores
+into one whose report is byte-identical to an unsharded run's.
+
+The CLI surface is ``repro campaign run|status|report|merge|compare``.
 """
 
+from repro.campaign.compare import (
+    DEFAULT_MAX_BUFFER_INCREASE,
+    DEFAULT_MAX_YIELD_DROP,
+    CampaignComparison,
+    CampaignGateResult,
+    CellDelta,
+    compare_stores,
+    format_campaign_comparison,
+    gate_comparison,
+)
+from repro.campaign.pool import (
+    ResultPool,
+    default_pool_path,
+)
 from repro.campaign.report import (
     REPORT_SCHEMA_VERSION,
     CampaignReport,
@@ -31,6 +55,7 @@ from repro.campaign.report import (
     format_report,
     format_report_markdown,
     format_report_text,
+    record_row,
     save_report,
 )
 from repro.campaign.runner import (
@@ -52,16 +77,22 @@ from repro.campaign.store import (
     STORE_SCHEMA_VERSION,
     CampaignStore,
     CampaignStoreError,
+    MergeSummary,
     default_store_path,
+    deterministic_content,
     make_record,
 )
 
 __all__ = [
+    "DEFAULT_MAX_BUFFER_INCREASE",
+    "DEFAULT_MAX_YIELD_DROP",
     "REPORT_SCHEMA_VERSION",
     "SPEC_NAMES",
     "STORE_SCHEMA_VERSION",
     "CampaignCell",
+    "CampaignComparison",
     "CampaignError",
+    "CampaignGateResult",
     "CampaignReport",
     "CampaignRunSummary",
     "CampaignRunner",
@@ -69,15 +100,24 @@ __all__ = [
     "CampaignStatus",
     "CampaignStore",
     "CampaignStoreError",
+    "CellDelta",
+    "MergeSummary",
+    "ResultPool",
     "build_report",
     "campaign_status",
+    "compare_stores",
+    "default_pool_path",
     "default_store_path",
+    "deterministic_content",
+    "format_campaign_comparison",
     "format_report",
     "format_report_markdown",
     "format_report_text",
+    "gate_comparison",
     "get_spec",
     "load_spec",
     "make_record",
+    "record_row",
     "save_report",
     "shard_cells",
 ]

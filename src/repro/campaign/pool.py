@@ -1,0 +1,125 @@
+"""Shared content-addressed campaign result pool.
+
+Cell fingerprints are content hashes over every result-affecting
+parameter — they carry no notion of which *spec* a cell belongs to.  A
+:class:`ResultPool` exploits that: one global JSONL store (same format
+as a per-spec :class:`~repro.campaign.store.CampaignStore`) keyed by
+cell fingerprint, which any number of campaign specs treat as a shared
+cache.  The runner consults the pool before executing a cell and
+publishes every freshly computed record into it, so overlapping specs —
+two campaigns sharing (circuit, scale, sigma, solver, budget,
+replicate, seed, design_seed, baselines) cells — reuse each other's
+completed work instead of recomputing it.  Per-spec stores remain the
+source of truth for reports; with a pool attached they become
+materialized views over it (pool hits are copied verbatim into the
+spec store, keeping reports byte-identical to a pool-less run).
+
+Note the overlap condition: per-cell seeds derive from the spec's
+master ``seed``, so two specs only share cells when their ``seed``
+(and ``design_seed`` / ``baselines``) agree on the overlapping matrix
+points.  Grow a campaign by *extending* its spec (more budgets, more
+circuits) rather than re-seeding it and the pool carries everything
+already computed across the spec change.
+
+Concurrency: appends go through the store's advisory lock, so
+concurrent shard writers never corrupt the file.  ``publish`` checks
+duplicates against the *cached* view (one pool read per runner
+invocation); two racing writers that both miss the same fingerprint
+each append their record and ``load`` keeps the first — benign,
+because results are deterministic per fingerprint (equal-content
+duplicates).  A record whose content *conflicts* with the pooled one
+raises — that can only mean corruption or a seed-discipline bug,
+never an honest race.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.campaign.store import (
+    STORE_PREFIX,
+    STORE_SUFFIX,
+    CampaignStore,
+    CampaignStoreError,
+    deterministic_content,
+    validate_record,
+)
+
+#: Name of the default shared pool file (``CAMPAIGN_pool.jsonl``).
+DEFAULT_POOL_NAME = "pool"
+
+
+def default_pool_path(directory: str = ".") -> str:
+    """Canonical shared-pool path ``<directory>/CAMPAIGN_pool.jsonl``."""
+    return os.path.join(directory, f"{STORE_PREFIX}{DEFAULT_POOL_NAME}{STORE_SUFFIX}")
+
+
+class ResultPool:
+    """One global content-addressed store shared by many campaign specs.
+
+    Cheap to construct; the backing file is only read on first
+    :meth:`lookup` / :meth:`records` and re-read by :meth:`refresh`
+    (which :meth:`publish` always does, to observe concurrent writers).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.store = CampaignStore(path)
+        self._cache: Optional[Dict[str, Dict[str, object]]] = None
+
+    @property
+    def path(self) -> str:
+        return self.store.path
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> Dict[str, Dict[str, object]]:
+        """Re-read the pool from disk (sees records other writers added)."""
+        self._cache = self.store.load()
+        return self._cache
+
+    def records(self) -> Dict[str, Dict[str, object]]:
+        """All pooled records keyed by fingerprint (cached after first read)."""
+        if self._cache is None:
+            return self.refresh()
+        return self._cache
+
+    def lookup(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The pooled record for one cell fingerprint, if any."""
+        return self.records().get(fingerprint)
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # ------------------------------------------------------------------
+    def publish(self, record: Dict[str, object]) -> bool:
+        """Add one completed-cell record to the pool (idempotent).
+
+        Returns ``True`` when the record was appended, ``False`` when an
+        identical record was already pooled.  A pooled record with
+        *conflicting* deterministic content for the same fingerprint
+        raises :class:`CampaignStoreError` — deterministic cells cannot
+        honestly disagree, so the pool (or the publisher) is corrupt.
+
+        The duplicate check runs against the cached view (one pool read
+        per runner invocation, not one per published cell).  A record
+        another writer pooled *after* our last read is therefore
+        appended again — benign, because the duplicate carries identical
+        deterministic content and ``load`` keeps the first.
+        """
+        validate_record(record)
+        fingerprint = str(record["fingerprint"])
+        existing = self.records().get(fingerprint)
+        if existing is not None:
+            if deterministic_content(existing) != deterministic_content(record):
+                raise CampaignStoreError(
+                    f"result pool {self.path!r} already holds a conflicting "
+                    f"record for cell fingerprint {fingerprint!r}"
+                )
+            return False
+        self.store.append(record)
+        if self._cache is not None:
+            self._cache[fingerprint] = record
+        return True
+
+
+__all__ = ["DEFAULT_POOL_NAME", "ResultPool", "default_pool_path"]

@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.analysis.tables import TableOneRow, format_table_one, rows_to_markdown
-from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import CampaignStore
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CampaignStore, CampaignStoreError
 
 #: Version of the report layout; bump on breaking changes.
 REPORT_SCHEMA_VERSION = 1
@@ -82,6 +82,55 @@ class CampaignReport:
         ]
 
 
+def record_row(cell: CampaignCell, record: Dict[str, object]) -> Dict[str, object]:
+    """Flatten one store record into the report's deterministic row form.
+
+    Shared with :mod:`repro.campaign.compare` so the report and the
+    store-diff gate can never drift on how result fields are extracted.
+    A result payload missing an expected field raises
+    :class:`~repro.campaign.store.CampaignStoreError` (the CLI's exit-2
+    artifact-error path), never a bare ``KeyError``.
+    """
+    result = dict(record["result"])
+    try:
+        return _record_row(cell, result)
+    except KeyError as error:
+        raise CampaignStoreError(
+            f"store record for cell {cell.cell_id!r} is missing result "
+            f"field {error.args[0]!r}"
+        ) from None
+
+
+def _record_row(cell: CampaignCell, result: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "cell_id": cell.cell_id,
+        "fingerprint": cell.fingerprint(),
+        "circuit": cell.circuit,
+        "scale": cell.scale,
+        "sigma": cell.sigma,
+        "solver": cell.solver,
+        "n_samples": cell.n_samples,
+        "n_eval_samples": cell.n_eval_samples,
+        "replicate": cell.replicate,
+        "seed": cell.seed,
+        "n_flip_flops": int(result["n_flip_flops"]),
+        "n_gates": int(result["n_gates"]),
+        "target_period": float(result["target_period"]),
+        "mu_period": float(result["mu_period"]),
+        "sigma_period": float(result["sigma_period"]),
+        "n_buffers": int(result["n_buffers"]),
+        "n_physical_buffers": int(result["n_physical_buffers"]),
+        "average_range_steps": float(result["average_range_steps"]),
+        "original_yield": float(result["original_yield"]),
+        "improved_yield": float(result["improved_yield"]),
+        "yield_improvement": float(result["yield_improvement"]),
+        "baselines": {
+            name: dict(values)
+            for name, values in dict(result.get("baselines", {})).items()
+        },
+    }
+
+
 def build_report(spec: CampaignSpec, store: CampaignStore) -> CampaignReport:
     """Aggregate the store's records over the spec's cell matrix.
 
@@ -98,36 +147,7 @@ def build_report(spec: CampaignSpec, store: CampaignStore) -> CampaignReport:
         if record is None:
             missing.append(cell.cell_id)
             continue
-        result = dict(record["result"])
-        rows.append(
-            {
-                "cell_id": cell.cell_id,
-                "fingerprint": cell.fingerprint(),
-                "circuit": cell.circuit,
-                "scale": cell.scale,
-                "sigma": cell.sigma,
-                "solver": cell.solver,
-                "n_samples": cell.n_samples,
-                "n_eval_samples": cell.n_eval_samples,
-                "replicate": cell.replicate,
-                "seed": cell.seed,
-                "n_flip_flops": int(result["n_flip_flops"]),
-                "n_gates": int(result["n_gates"]),
-                "target_period": float(result["target_period"]),
-                "mu_period": float(result["mu_period"]),
-                "sigma_period": float(result["sigma_period"]),
-                "n_buffers": int(result["n_buffers"]),
-                "n_physical_buffers": int(result["n_physical_buffers"]),
-                "average_range_steps": float(result["average_range_steps"]),
-                "original_yield": float(result["original_yield"]),
-                "improved_yield": float(result["improved_yield"]),
-                "yield_improvement": float(result["yield_improvement"]),
-                "baselines": {
-                    name: dict(values)
-                    for name, values in dict(result.get("baselines", {})).items()
-                },
-            }
-        )
+        rows.append(record_row(cell, record))
     return CampaignReport(
         campaign=spec.name,
         spec_fingerprint=spec.fingerprint(),
@@ -263,5 +283,6 @@ __all__ = [
     "format_report",
     "format_report_markdown",
     "format_report_text",
+    "record_row",
     "save_report",
 ]

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.harness import build_baseline_plan
+from repro.campaign.pool import ResultPool
 from repro.campaign.spec import CampaignCell, CampaignSpec, shard_cells
 from repro.campaign.store import CampaignStore, make_record
 from repro.core.flow import BufferInsertionFlow
@@ -52,6 +53,9 @@ class CampaignRunSummary:
         Cells already in the store when the run started.
     n_run:
         Cells executed by this invocation.
+    n_pool_reused:
+        Cells materialized from the shared result pool instead of being
+        executed (always 0 without a pool).
     n_remaining:
         Cells still pending when the invocation returned (non-zero when
         ``max_cells`` stopped the run early).
@@ -67,12 +71,14 @@ class CampaignRunSummary:
     n_remaining: int
     seconds: float
     cell_ids_run: List[str] = field(default_factory=list)
+    n_pool_reused: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "n_cells": self.n_cells,
             "n_completed_before": self.n_completed_before,
             "n_run": self.n_run,
+            "n_pool_reused": self.n_pool_reused,
             "n_remaining": self.n_remaining,
             "seconds": self.seconds,
             "cell_ids_run": list(self.cell_ids_run),
@@ -111,17 +117,18 @@ def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
     (the spec changed after they were recorded); they are reported but
     never deleted — re-pointing the spec back at them revives them.
     """
-    cells = spec.cells()
+    by_fingerprint = spec.cells_by_fingerprint()
     completed = store.fingerprints()
-    cell_fps = {cell.fingerprint() for cell in cells}
     return CampaignStatus(
         name=spec.name,
-        n_cells=len(cells),
-        n_completed=sum(1 for cell in cells if cell.fingerprint() in completed),
+        n_cells=len(by_fingerprint),
+        n_completed=sum(1 for fp in by_fingerprint if fp in completed),
         pending_cell_ids=[
-            cell.cell_id for cell in cells if cell.fingerprint() not in completed
+            cell.cell_id
+            for fp, cell in by_fingerprint.items()
+            if fp not in completed
         ],
-        stale_fingerprints=sorted(completed - cell_fps),
+        stale_fingerprints=sorted(completed - set(by_fingerprint)),
     )
 
 
@@ -139,7 +146,13 @@ class CampaignRunner:
         Round-robin shard this invocation is responsible for.
     max_cells:
         Execute at most this many pending cells, then return (``None``:
-        run the whole shard).
+        run the whole shard).  Pool hits are free and never count
+        against this budget.
+    pool:
+        Optional shared :class:`~repro.campaign.pool.ResultPool`.  Every
+        pending cell already pooled is copied into the spec store
+        instead of being executed, and every freshly computed record is
+        published back, so overlapping specs reuse each other's cells.
     progress:
         ``True`` streams per-cell campaign lines (and per-phase engine
         lines, labelled with the cell id) to stderr.
@@ -154,6 +167,7 @@ class CampaignRunner:
         shard_index: int = 0,
         shard_count: int = 1,
         max_cells: Optional[int] = None,
+        pool: Optional[ResultPool] = None,
         progress: bool = False,
     ) -> None:
         if max_cells is not None and max_cells < 1:
@@ -165,6 +179,7 @@ class CampaignRunner:
         self.shard_index = int(shard_index)
         self.shard_count = int(shard_count)
         self.max_cells = max_cells
+        self.pool = pool
         self.progress = bool(progress)
         self._design_cache: Dict[Tuple[str, float, int], object] = {}
 
@@ -194,11 +209,16 @@ class CampaignRunner:
         cells = self.shard()
         completed = self.store.fingerprints()
         pending = [cell for cell in cells if cell.fingerprint() not in completed]
+        pool_hits = self._materialize_pool_hits(pending)
+        if pool_hits:
+            hit_ids = set(pool_hits)
+            pending = [cell for cell in pending if cell.cell_id not in hit_ids]
         budget = len(pending) if self.max_cells is None else min(self.max_cells, len(pending))
         self._log(
             f"campaign {self.spec.name!r}: {len(cells)} cells in shard "
             f"{self.shard_index + 1}/{self.shard_count}, "
-            f"{len(cells) - len(pending)} already complete, running {budget}"
+            f"{len(cells) - len(pending) - len(pool_hits)} already complete, "
+            f"{len(pool_hits)} reused from the pool, running {budget}"
         )
 
         run_ids: List[str] = []
@@ -208,6 +228,8 @@ class CampaignRunner:
                 cell_start = time.perf_counter()
                 record = self._run_cell(cell, executor)
                 self.store.append(record)
+                if self.pool is not None:
+                    self.pool.publish(record)
                 run_ids.append(cell.cell_id)
                 self._log(
                     f"cell {len(run_ids)}/{budget} {cell.cell_id}: "
@@ -219,12 +241,32 @@ class CampaignRunner:
             executor.close()
         return CampaignRunSummary(
             n_cells=len(cells),
-            n_completed_before=len(cells) - len(pending),
+            n_completed_before=len(cells) - len(pending) - len(pool_hits),
             n_run=len(run_ids),
             n_remaining=len(pending) - len(run_ids),
             seconds=time.perf_counter() - start,
             cell_ids_run=run_ids,
+            n_pool_reused=len(pool_hits),
         )
+
+    def _materialize_pool_hits(self, pending: List[CampaignCell]) -> List[str]:
+        """Copy pooled records for pending cells into the spec store.
+
+        Returns the ``cell_id`` of every materialized cell.  The record
+        is copied verbatim (envelope included), so a report over the
+        spec store stays byte-identical to a pool-less run's.
+        """
+        if self.pool is None or not pending:
+            return []
+        pooled = self.pool.refresh()
+        hits: List[str] = []
+        for cell in pending:
+            record = pooled.get(cell.fingerprint())
+            if record is None:
+                continue
+            self.store.append(record)
+            hits.append(cell.cell_id)
+        return hits
 
     # ------------------------------------------------------------------
     def _run_cell(self, cell: CampaignCell, executor) -> Dict[str, object]:

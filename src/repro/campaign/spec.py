@@ -301,6 +301,14 @@ class CampaignSpec:
             seen.add(cell.fingerprint())
         return cells
 
+    def cells_by_fingerprint(self) -> Dict[str, CampaignCell]:
+        """Expanded cells keyed by their content fingerprint.
+
+        The lookup form the store, pool and status layers all join on —
+        a spec *is* a view over content-addressed cells.
+        """
+        return {cell.fingerprint(): cell for cell in self.cells()}
+
     def fingerprint(self) -> str:
         """Content hash of the whole spec (recorded in reports)."""
         return _fingerprint_payload(self.as_dict())

@@ -10,23 +10,50 @@ deterministic per seed and executor-independent).
 
 Robustness rules of :meth:`CampaignStore.load`:
 
-* a truncated **final** line (the classic kill-during-write artefact) is
-  ignored silently;
-* a malformed line anywhere *before* the final one means the file was
-  corrupted, not interrupted — that raises :class:`CampaignStoreError`
-  rather than silently dropping results;
+* a truncated **final** line is ignored silently *only* when the file
+  does not end with a newline (the classic kill-during-write artefact:
+  :meth:`~CampaignStore.append` writes every complete record and its
+  terminating ``\\n`` in one call, so an interrupted append can never
+  leave a newline behind its partial record);
+* a malformed line anywhere else — including a malformed final line in
+  a newline-terminated file — means the file was corrupted, not
+  interrupted, and raises :class:`CampaignStoreError` rather than
+  silently dropping results;
 * a duplicate fingerprint keeps the **first** record (completed cells
   are never re-executed, so a duplicate can only come from concurrent
   writers; keeping the first matches what a resume would have skipped).
+
+Concurrent shard writers sharing one store file are serialised by a
+best-effort advisory lock (``fcntl``/``msvcrt``) on a ``<store>.lock``
+sidecar around the truncate+append critical section, so two processes
+cannot interleave a tail truncation with another's in-flight append.
+
+:meth:`CampaignStore.merge` unions N shard stores by cell fingerprint
+into one store — the distributed aggregation step that lets n CI jobs
+each run one ``--shard i/n`` into its own file.  Conflicting results
+for the same fingerprint (same cell, different deterministic payload)
+are an error; equal duplicates collapse to one record.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import json
 import os
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import ContextManager, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.campaign.spec import CampaignCell, CampaignError
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
+try:  # Windows
+    import msvcrt
+except ImportError:
+    msvcrt = None  # type: ignore[assignment]
 
 #: Version of the record schema; bump on breaking layout changes.
 STORE_SCHEMA_VERSION = 1
@@ -41,9 +68,42 @@ class CampaignStoreError(CampaignError):
 
 
 def default_store_path(name: str, directory: str = ".") -> str:
-    """Canonical store path ``<directory>/CAMPAIGN_<name>.jsonl``."""
+    """Canonical store path ``<directory>/CAMPAIGN_<name>.jsonl``.
+
+    Sanitising the name can collide (``a/b`` and ``a:b`` both map to
+    ``a-b``); whenever sanitisation changed the name, a short hash of
+    the *original* name is appended so two distinct campaigns can never
+    silently share one checkpoint file.
+    """
     safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in name)
+    if safe != name:
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+        safe = f"{safe}-{digest}"
     return os.path.join(directory, f"{STORE_PREFIX}{safe}{STORE_SUFFIX}")
+
+
+@contextlib.contextmanager
+def _advisory_lock(path: str) -> Iterator[None]:
+    """Best-effort exclusive advisory file lock (no-op without a backend)."""
+    if fcntl is None and msvcrt is None:  # pragma: no cover - exotic platform
+        yield
+        return
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a+b") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        else:  # pragma: no cover - Windows
+            handle.seek(0)
+            msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
+        try:
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            else:  # pragma: no cover - Windows
+                handle.seek(0)
+                msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
 
 
 def validate_record(record: object) -> Dict[str, object]:
@@ -99,11 +159,16 @@ class CampaignStore:
             return {}
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.read().split("\n")
+                text = handle.read()
         except OSError as error:
             raise CampaignStoreError(
                 f"cannot read campaign store {self.path!r}: {error}"
             ) from error
+        lines = text.split("\n")
+        # Every *complete* record ends with a newline written in the same
+        # call as the record itself, so only a file NOT ending in "\n"
+        # can carry an interrupted-append artefact on its final line.
+        newline_terminated = text.endswith("\n")
         records: Dict[str, Dict[str, object]] = {}
         # Trailing empty strings come from the final newline; drop them so
         # "the last line" below is the last line with content.
@@ -115,7 +180,7 @@ class CampaignStore:
             try:
                 record = validate_record(json.loads(line))
             except (json.JSONDecodeError, CampaignStoreError) as error:
-                if position == len(lines) - 1:
+                if position == len(lines) - 1 and not newline_terminated:
                     # Interrupted mid-append: the record was never
                     # completed, so the cell simply re-runs on resume.
                     break
@@ -132,8 +197,18 @@ class CampaignStore:
     def records_in_order(self) -> List[Dict[str, object]]:
         """Records sorted by their cells' deterministic expansion order."""
         records = list(self.load().values())
-        records.sort(key=lambda r: CampaignCell.from_dict(dict(r["cell"])).sort_key())
+        records.sort(key=_record_sort_key)
         return records
+
+    # ------------------------------------------------------------------
+    def lock(self) -> ContextManager[None]:
+        """Advisory exclusive lock on this store (``<path>.lock`` sidecar).
+
+        Best-effort: serialises the truncate+append critical section
+        between concurrent shard writers on platforms with ``fcntl`` or
+        ``msvcrt``; a no-op elsewhere.
+        """
+        return _advisory_lock(self.path + ".lock")
 
     # ------------------------------------------------------------------
     def _truncate_partial_tail(self) -> None:
@@ -161,16 +236,151 @@ class CampaignStore:
             handle.truncate(keep)
 
     def append(self, record: Dict[str, object]) -> None:
-        """Durably append one completed-cell record (validate, write, fsync)."""
+        """Durably append one completed-cell record (validate, write, fsync).
+
+        The truncate+append pair runs under the store's advisory lock so
+        two shard processes sharing one store cannot interleave a tail
+        truncation with another writer's in-flight record.
+        """
         validate_record(record)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        self._truncate_partial_tail()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        with self.lock():
+            self._truncate_partial_tail()
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(
+        cls, output_path: str, input_paths: Sequence[str]
+    ) -> "MergeSummary":
+        """Union N shard stores into one store at ``output_path``.
+
+        Records are keyed by cell fingerprint.  Two records for the same
+        fingerprint with equal deterministic content (cell parameters +
+        result payload; the wall-clock envelope is ignored) collapse to
+        the first occurrence; *conflicting* content raises
+        :class:`CampaignStoreError` — the same cell can never honestly
+        produce two different results, so a conflict means one input is
+        wrong and silently keeping either would corrupt the report.
+
+        The output is written atomically (temp file + rename) in the
+        cells' deterministic expansion order, so a report built from the
+        merged store is byte-identical to one built from a single
+        unsharded run of the same spec.
+        """
+        if not input_paths:
+            raise CampaignStoreError("merge needs at least one input store")
+        merged: Dict[str, Dict[str, object]] = {}
+        origin: Dict[str, str] = {}
+        n_duplicates = 0
+        per_input: List[Tuple[str, int]] = []
+        for path in input_paths:
+            store = cls(path)
+            if not store.exists():
+                raise CampaignStoreError(
+                    f"campaign store {path!r} does not exist"
+                )
+            records = store.load()
+            per_input.append((str(path), len(records)))
+            for fingerprint, record in records.items():
+                existing = merged.get(fingerprint)
+                if existing is not None:
+                    if deterministic_content(existing) != deterministic_content(record):
+                        raise CampaignStoreError(
+                            f"conflicting results for cell fingerprint "
+                            f"{fingerprint!r}: {origin[fingerprint]!r} and "
+                            f"{path!r} disagree on its deterministic content"
+                        )
+                    n_duplicates += 1
+                    continue
+                merged[fingerprint] = record
+                origin[fingerprint] = str(path)
+        ordered = sorted(merged.values(), key=_record_sort_key)
+        directory = os.path.dirname(os.path.abspath(output_path))
+        os.makedirs(directory, exist_ok=True)
+        temp_path = output_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for record in ordered:
+                handle.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+                )
             handle.flush()
             os.fsync(handle.fileno())
+        os.replace(temp_path, output_path)
+        return MergeSummary(
+            output=str(output_path),
+            n_records=len(ordered),
+            n_duplicates=n_duplicates,
+            per_input=per_input,
+        )
+
+
+@dataclass
+class MergeSummary:
+    """What one :meth:`CampaignStore.merge` call produced.
+
+    Attributes
+    ----------
+    output:
+        Path of the merged store.
+    n_records:
+        Distinct cell records in the merged store.
+    n_duplicates:
+        Records dropped because an earlier input already carried an
+        identical record for the same fingerprint.
+    per_input:
+        ``(path, n_records)`` of every input store, in argument order.
+    """
+
+    output: str
+    n_records: int
+    n_duplicates: int
+    per_input: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.per_input)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "output": self.output,
+            "n_records": self.n_records,
+            "n_duplicates": self.n_duplicates,
+            "n_inputs": self.n_inputs,
+            "inputs": [
+                {"path": path, "n_records": count} for path, count in self.per_input
+            ],
+        }
+
+
+def deterministic_content(record: Dict[str, object]) -> str:
+    """Canonical serialisation of a record's result-bearing fields.
+
+    Only the cell parameters and the result payload count — the envelope
+    (``runtime_seconds``, ``completed_unix``) is wall-clock and differs
+    between honest re-runs of the same cell.
+    """
+    return json.dumps(
+        {"cell": record["cell"], "result": record["result"]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _record_sort_key(record: Dict[str, object]) -> Tuple:
+    """Deterministic record order: cell expansion order, then fingerprint.
+
+    The fingerprint tiebreaks cells that share a sort key (e.g. the same
+    matrix point under two ``design_seed`` values), keeping the merged
+    file byte-stable regardless of input order.
+    """
+    cell = CampaignCell.from_dict(dict(record["cell"]))
+    return (cell.sort_key(), str(record["fingerprint"]))
 
 
 def make_record(

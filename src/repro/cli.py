@@ -19,12 +19,16 @@ Installed as the ``repro`` console script, with four subcommands:
     diff two artifacts, or gate a candidate against a baseline with a
     configurable slowdown threshold (non-zero exit on regression).
 
-``repro campaign run|status|report``
+``repro campaign run|status|report|merge|compare``
     The experiment-campaign subsystem (:mod:`repro.campaign`): run a
     declarative circuits x sigmas x budgets matrix into a checkpointed
     ``CAMPAIGN_<name>.jsonl`` store (killing and re-running resumes
-    exactly where it stopped), inspect completion, and render
-    paper-style result tables against the baseline strategies.
+    exactly where it stopped), inspect completion, render paper-style
+    result tables against the baseline strategies, union the stores of
+    n distributed ``--shard i/n`` jobs into one, and diff two stores
+    with an optional quality gate (exit 1 on regression).  ``run
+    --pool`` attaches a shared content-addressed result pool so
+    overlapping campaigns reuse each other's completed cells.
 
 Output discipline: machine-readable output (``--json``) goes to stdout
 only; progress reporting (``--progress``) goes to stderr only, so the
@@ -181,6 +185,15 @@ def _add_campaign_parsers(subparsers) -> None:
         help="execute at most this many pending cells, then stop (time-boxed CI legs)",
     )
     run.add_argument(
+        "--pool",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="shared content-addressed result pool: reuse completed cells from PATH "
+        "and publish new ones into it (bare --pool uses CAMPAIGN_pool.jsonl in the CWD)",
+    )
+    run.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell campaign and per-phase engine progress to stderr",
@@ -205,6 +218,45 @@ def _add_campaign_parsers(subparsers) -> None:
     )
     report.add_argument(
         "--out", default=None, help="also write the report to this file"
+    )
+
+    merge = campaign_sub.add_parser(
+        "merge",
+        help="union N shard stores into one (conflicting results are an error)",
+    )
+    merge.add_argument("output", help="merged store to write (atomically replaced)")
+    merge.add_argument("inputs", nargs="+", help="shard stores to union")
+    merge.add_argument(
+        "--json", action="store_true", help="print the merge summary as JSON"
+    )
+
+    compare = campaign_sub.add_parser(
+        "compare",
+        help="per-cell yield/period/buffer deltas between two campaign stores",
+    )
+    compare.add_argument("old", help="old (baseline) campaign store")
+    compare.add_argument("new", help="new (candidate) campaign store")
+    compare.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (exit 1) when any cell regressed beyond the thresholds",
+    )
+    from repro.campaign import DEFAULT_MAX_BUFFER_INCREASE, DEFAULT_MAX_YIELD_DROP
+
+    compare.add_argument(
+        "--max-yield-drop",
+        type=float,
+        default=DEFAULT_MAX_YIELD_DROP,
+        help="tolerated tuned-yield drop in percentage points (inclusive)",
+    )
+    compare.add_argument(
+        "--max-buffer-increase",
+        type=int,
+        default=DEFAULT_MAX_BUFFER_INCREASE,
+        help="tolerated per-cell buffer-count increase (inclusive)",
+    )
+    compare.add_argument(
+        "--json", action="store_true", help="print the comparison/verdict as JSON"
     )
 
 
@@ -439,10 +491,13 @@ def _resolve_campaign(args: argparse.Namespace):
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRunner
+    from repro.campaign import CampaignRunner, ResultPool, default_pool_path
 
     spec, store = _resolve_campaign(args)
     shard_index, shard_count = args.shard
+    pool = None
+    if args.pool is not None:
+        pool = ResultPool(args.pool or default_pool_path())
     runner = CampaignRunner(
         spec,
         store,
@@ -451,21 +506,79 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         shard_index=shard_index,
         shard_count=shard_count,
         max_cells=args.max_cells,
+        pool=pool,
         progress=args.progress,
     )
     summary = runner.run()
     if args.json:
         payload = dict(summary.as_dict())
         payload.update({"campaign": spec.name, "store": store.path})
+        if pool is not None:
+            payload["pool"] = pool.path
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"campaign  : {spec.name} (shard {shard_index + 1}/{shard_count})")
     print(f"store     : {store.path}")
+    if pool is not None:
+        print(f"pool      : {pool.path} ({summary.n_pool_reused} cells reused)")
     print(f"cells     : {summary.n_cells} in shard, "
           f"{summary.n_completed_before} already complete")
     print(f"executed  : {summary.n_run} ({summary.n_remaining} still pending)")
     print(f"runtime   : {summary.seconds:.1f} s")
     return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+
+    summary = CampaignStore.merge(args.output, args.inputs)
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"merged    : {summary.output}")
+    print(f"records   : {summary.n_records} from {summary.n_inputs} store(s) "
+          f"({summary.n_duplicates} duplicate(s) collapsed)")
+    for path, count in summary.per_input:
+        print(f"  {path}: {count} record(s)")
+    return 0
+
+
+def _cmd_campaign_compare(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignStore,
+        CampaignStoreError,
+        compare_stores,
+        format_campaign_comparison,
+        gate_comparison,
+    )
+
+    old, new = CampaignStore(args.old), CampaignStore(args.new)
+    for store in (old, new):
+        if not store.exists():
+            raise CampaignStoreError(f"campaign store {store.path!r} does not exist")
+    comparison = compare_stores(old, new)
+    if not args.gate:
+        if args.json:
+            print(json.dumps(comparison.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_campaign_comparison(comparison))
+        return 0
+    verdict = gate_comparison(
+        comparison,
+        max_yield_drop=args.max_yield_drop,
+        max_buffer_increase=args.max_buffer_increase,
+    )
+    if args.json:
+        print(json.dumps(verdict.as_dict(), indent=2, sort_keys=True))
+    else:
+        status = "PASS" if verdict.passed else "FAIL"
+        print(f"campaign gate {status} "
+              f"(max yield drop {verdict.max_yield_drop:g} points, "
+              f"max buffer increase +{verdict.max_buffer_increase})")
+        print(format_campaign_comparison(comparison))
+        for failure in verdict.failures:
+            print(f"  regression: {failure}")
+    return 0 if verdict.passed else 1
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -513,6 +626,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return _cmd_campaign_status(args)
         if args.campaign_command == "report":
             return _cmd_campaign_report(args)
+        if args.campaign_command == "merge":
+            return _cmd_campaign_merge(args)
+        if args.campaign_command == "compare":
+            return _cmd_campaign_compare(args)
     except (CampaignError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

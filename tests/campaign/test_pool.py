@@ -1,0 +1,175 @@
+"""Shared result pool: cross-spec reuse, publishing, conflicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.pool import ResultPool, default_pool_path
+from repro.campaign.report import build_report
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore, CampaignStoreError, make_record
+
+
+def base_spec(**overrides) -> CampaignSpec:
+    params = dict(
+        name="pool-a",
+        seed=5,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0,),
+        budgets=((24, 48),),
+        replicates=2,
+        baselines=(),
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def superset_spec() -> CampaignSpec:
+    # Same master seed / design_seed / baselines, one extra budget: the
+    # base spec's cells are a strict subset of this spec's.
+    return base_spec(name="pool-b", budgets=((24, 48), (32, 64)))
+
+
+def fake_record(cell, value=1.0):
+    return make_record(
+        cell,
+        {"improved_yield": value, "n_buffers": 2},
+        runtime_seconds=0.1,
+        completed_unix=123.0,
+    )
+
+
+class TestPoolBasics:
+    def test_default_pool_path(self, tmp_path):
+        assert default_pool_path(str(tmp_path)).endswith("CAMPAIGN_pool.jsonl")
+
+    def test_empty_pool(self, tmp_path):
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        assert len(pool) == 0
+        assert pool.lookup("nope") is None
+
+    def test_publish_is_idempotent(self, tmp_path):
+        cells = base_spec().cells()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        record = fake_record(cells[0])
+        assert pool.publish(record) is True
+        assert pool.publish(record) is False
+        assert len(pool) == 1
+        assert pool.lookup(cells[0].fingerprint())["result"]["improved_yield"] == 1.0
+
+    def test_publish_conflicting_content_raises(self, tmp_path):
+        cells = base_spec().cells()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        pool.publish(fake_record(cells[0], value=0.5))
+        with pytest.raises(CampaignStoreError, match="conflicting"):
+            pool.publish(fake_record(cells[0], value=0.9))
+
+    def test_refresh_sees_other_writers(self, tmp_path):
+        cells = base_spec().cells()
+        path = str(tmp_path / "pool.jsonl")
+        reader, writer = ResultPool(path), ResultPool(path)
+        assert len(reader) == 0
+        writer.publish(fake_record(cells[0]))
+        # The cached view is stale until refreshed.
+        assert reader.lookup(cells[0].fingerprint()) is None
+        reader.refresh()
+        assert reader.lookup(cells[0].fingerprint()) is not None
+
+
+class TestRunnerIntegration:
+    def _count_executed(self, monkeypatch):
+        executed = []
+        original = CampaignRunner._run_cell
+
+        def counting(runner_self, cell, executor):
+            executed.append(cell.cell_id)
+            return original(runner_self, cell, executor)
+
+        monkeypatch.setattr(CampaignRunner, "_run_cell", counting)
+        return executed
+
+    def test_run_publishes_every_cell(self, tmp_path):
+        spec = base_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        summary = CampaignRunner(spec, store, executor="serial", pool=pool).run()
+        assert (summary.n_run, summary.n_pool_reused) == (spec.n_cells, 0)
+        pool.refresh()
+        assert {cell.fingerprint() for cell in spec.cells()} <= set(pool.records())
+
+    def test_overlapping_spec_reuses_pooled_cells(self, tmp_path, monkeypatch):
+        first, second = base_spec(), superset_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        CampaignRunner(
+            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+        ).run()
+
+        executed = self._count_executed(monkeypatch)
+        store = CampaignStore(str(tmp_path / "b.jsonl"))
+        summary = CampaignRunner(second, store, executor="serial", pool=pool).run()
+        shared = set(c.fingerprint() for c in first.cells()) & set(
+            c.fingerprint() for c in second.cells()
+        )
+        assert len(shared) == first.n_cells  # strict subset by construction
+        assert summary.n_pool_reused == len(shared)
+        assert summary.n_run == second.n_cells - len(shared)
+        assert len(executed) == summary.n_run
+        # The view store is complete and reports normally.
+        report = build_report(second, store)
+        assert report.complete
+
+    def test_pooled_report_is_byte_identical_to_poolless_run(self, tmp_path):
+        first, second = base_spec(), superset_spec()
+        # Reference: the superset spec run without any pool.
+        plain_store = CampaignStore(str(tmp_path / "plain.jsonl"))
+        CampaignRunner(second, plain_store, executor="serial").run()
+        plain_json = build_report(second, plain_store).to_json()
+
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        CampaignRunner(
+            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+        ).run()
+        pooled_store = CampaignStore(str(tmp_path / "b.jsonl"))
+        summary = CampaignRunner(
+            second, pooled_store, executor="serial", pool=pool
+        ).run()
+        assert summary.n_pool_reused == first.n_cells
+        assert build_report(second, pooled_store).to_json() == plain_json
+
+    def test_pool_hits_do_not_consume_max_cells_budget(self, tmp_path, monkeypatch):
+        first, second = base_spec(), superset_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        CampaignRunner(
+            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+        ).run()
+
+        executed = self._count_executed(monkeypatch)
+        store = CampaignStore(str(tmp_path / "b.jsonl"))
+        summary = CampaignRunner(
+            second, store, executor="serial", pool=pool, max_cells=1
+        ).run()
+        # All pool hits materialize for free; exactly one cell executes.
+        assert summary.n_pool_reused == first.n_cells
+        assert (summary.n_run, len(executed)) == (1, 1)
+        assert summary.n_remaining == second.n_cells - first.n_cells - 1
+
+    def test_resume_with_pool_skips_materialized_cells(self, tmp_path, monkeypatch):
+        first, second = base_spec(), superset_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        CampaignRunner(
+            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+        ).run()
+        store = CampaignStore(str(tmp_path / "b.jsonl"))
+        CampaignRunner(second, store, executor="serial", pool=pool).run()
+        executed = self._count_executed(monkeypatch)
+        again = CampaignRunner(second, store, executor="serial", pool=pool).run()
+        assert (again.n_run, again.n_pool_reused, len(executed)) == (0, 0, 0)
+        assert again.n_completed_before == second.n_cells
+
+    def test_summary_dict_includes_pool_reuse(self, tmp_path):
+        spec = base_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        summary = CampaignRunner(spec, store, executor="serial", pool=pool).run()
+        assert summary.as_dict()["n_pool_reused"] == 0

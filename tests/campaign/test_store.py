@@ -38,7 +38,20 @@ def fake_record(cell, value=1.0):
 
 class TestBasics:
     def test_default_store_path_sanitises(self, tmp_path):
-        assert default_store_path("a b/c", str(tmp_path)).endswith("CAMPAIGN_a-b-c.jsonl")
+        path = default_store_path("a b/c", str(tmp_path))
+        assert "CAMPAIGN_a-b-c-" in path and path.endswith(".jsonl")
+
+    def test_default_store_path_unchanged_names_have_no_hash(self, tmp_path):
+        assert default_store_path("plain-name_1.2", str(tmp_path)).endswith(
+            "CAMPAIGN_plain-name_1.2.jsonl"
+        )
+
+    def test_default_store_path_distinct_names_never_collide(self, tmp_path):
+        # Sanitisation alone maps both to "a-b"; the appended name hash
+        # keeps two distinct campaigns out of one checkpoint file.
+        assert default_store_path("a/b", str(tmp_path)) != default_store_path(
+            "a:b", str(tmp_path)
+        )
 
     def test_missing_file_is_empty(self, tmp_path):
         store = CampaignStore(str(tmp_path / "none.jsonl"))
@@ -116,13 +129,38 @@ class TestCorruption:
         with pytest.raises(CampaignStoreError, match="line 1 is corrupt"):
             store.load()
 
-    def test_invalid_cell_on_final_line_is_tolerated(self, tmp_path, cells):
+    def test_newline_terminated_corrupt_final_line_raises(self, tmp_path, cells):
+        # Every complete record ends with "\n" written in the same call,
+        # so a malformed final line in a newline-terminated file is
+        # corruption — not an interrupted append — and must not be
+        # silently dropped.
         store = CampaignStore(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         record = fake_record(cells[1])
         record["cell"]["circuit"] = "nope"
         with open(store.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record) + "\n")
+        with pytest.raises(CampaignStoreError, match="line 2 is corrupt"):
+            store.load()
+
+    def test_newline_terminated_truncated_final_line_raises(self, tmp_path, cells):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        partial = json.dumps(fake_record(cells[1]))
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(partial[: len(partial) // 2] + "\n")
+        with pytest.raises(CampaignStoreError, match="line 2 is corrupt"):
+            store.load()
+
+    def test_invalid_cell_on_unterminated_final_line_is_tolerated(self, tmp_path, cells):
+        # Without the trailing newline this *is* the kill-mid-append
+        # artefact, even when the partial happens to be valid JSON.
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        record = fake_record(cells[1])
+        record["cell"]["circuit"] = "nope"
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record))
         assert set(store.load()) == {cells[0].fingerprint()}
 
     def test_duplicate_fingerprint_keeps_first(self, tmp_path, cells):
@@ -143,3 +181,34 @@ class TestCorruption:
             handle.write(json.dumps(record) + "\n" + existing)
         with pytest.raises(CampaignStoreError, match="newer than supported"):
             store.load()
+
+
+class TestAdvisoryLock:
+    def test_lock_is_exclusive_while_held(self, tmp_path, cells):
+        fcntl = pytest.importorskip("fcntl")
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        with store.lock():
+            with open(store.path + ".lock", "a+b") as probe:
+                with pytest.raises(OSError):
+                    fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        # Released on exit: a second writer can take it again.
+        with open(store.path + ".lock", "a+b") as probe:
+            fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(probe.fileno(), fcntl.LOCK_UN)
+
+    def test_concurrent_appends_interleave_safely(self, tmp_path, cells):
+        # Two threads hammering one store (the shared-store shard
+        # scenario) must produce a well-formed file containing every
+        # record exactly once — the truncate+append critical section is
+        # serialised by the advisory lock.
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        records = [fake_record(cell) for cell in cells]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(store.append, records))
+        loaded = store.load()
+        assert set(loaded) == {cell.fingerprint() for cell in cells}
+        with open(store.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert text.endswith("\n") and len(text.strip().split("\n")) == len(cells)

@@ -443,3 +443,132 @@ class TestCampaign:
         assert main(["campaign", "status", "--name", "smoke", "--store", store, "--json"]) == 0
         status = json.loads(capsys.readouterr().out)
         assert status["complete"] is True and status["n_cells"] == 4
+
+    def test_run_with_pool_reuses_cells(self, tmp_path, capsys):
+        pool = str(tmp_path / "pool.jsonl")
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        args = ["campaign", "run", "--name", "smoke", "--executor", "serial",
+                "--pool", pool, "--json"]
+        assert main(args + ["--store", first]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_pool_reused"] == 0 and summary["pool"] == pool
+        # A second store over the same spec materializes everything from
+        # the pool — nothing executes.
+        assert main(args + ["--store", second]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_run"] == 0
+        assert summary["n_pool_reused"] == summary["n_cells"]
+
+
+class TestCampaignMergeCompare:
+    """CLI-level exit-code contract: 0 pass, 1 gated regression, 2 errors."""
+
+    def _shard_stores(self, tmp_path, capsys):
+        paths = []
+        for index, shard in enumerate(("1/2", "2/2")):
+            store = str(tmp_path / f"shard{index}.jsonl")
+            assert main(
+                ["campaign", "run", "--name", "smoke", "--store", store,
+                 "--executor", "serial", "--shard", shard]
+            ) == 0
+            paths.append(store)
+        capsys.readouterr()
+        return paths
+
+    def test_merge_then_report_round_trip(self, tmp_path, capsys):
+        shards = self._shard_stores(tmp_path, capsys)
+        merged = str(tmp_path / "merged.jsonl")
+        assert main(["campaign", "merge", merged, *shards, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_records"] == 4 and summary["n_inputs"] == 2
+
+        # The merged store reports as complete...
+        assert main(["campaign", "status", "--name", "smoke", "--store", merged,
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["complete"] is True
+        # ...and compares clean against itself (exit 0, with and without --gate).
+        assert main(["campaign", "compare", merged, merged]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "compare", merged, merged, "--gate", "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["passed"] is True
+
+    def test_merge_missing_input_exits_2(self, tmp_path, capsys):
+        merged = str(tmp_path / "merged.jsonl")
+        assert main(["campaign", "merge", merged, str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_merge_conflicting_inputs_exit_2(self, tmp_path, capsys):
+        from repro.campaign import CampaignStore, get_spec, make_record
+
+        cells = get_spec("smoke").cells()
+        paths = []
+        for index, value in enumerate((0.5, 0.9)):
+            store = CampaignStore(str(tmp_path / f"c{index}.jsonl"))
+            store.append(
+                make_record(cells[0], {"improved_yield": value, "n_buffers": 1},
+                            runtime_seconds=0.1, completed_unix=1.0)
+            )
+            paths.append(store.path)
+        assert main(["campaign", "merge", str(tmp_path / "m.jsonl"), *paths]) == 2
+        assert "conflicting" in capsys.readouterr().err
+
+    def test_compare_gate_regression_exits_1(self, tmp_path, capsys):
+        from repro.campaign import CampaignStore, get_spec, make_record
+
+        cells = get_spec("smoke").cells()
+
+        def build(path, improved_yield):
+            store = CampaignStore(str(tmp_path / path))
+            store.append(
+                make_record(cells[0], {
+                    "n_flip_flops": 10, "n_gates": 50, "target_period": 10.0,
+                    "mu_period": 9.5, "sigma_period": 0.2, "n_buffers": 2,
+                    "n_physical_buffers": 2, "average_range_steps": 2.0,
+                    "original_yield": 0.5, "improved_yield": improved_yield,
+                    "yield_improvement": improved_yield - 0.5, "plan": {},
+                    "baselines": {},
+                }, runtime_seconds=0.1, completed_unix=1.0)
+            )
+            return store.path
+
+        old = build("old.jsonl", 0.95)
+        new = build("new.jsonl", 0.80)
+        # Without --gate the diff always exits 0.
+        assert main(["campaign", "compare", old, new]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "compare", old, new, "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "regression" in out
+        # A generous threshold turns the same diff into a pass.
+        assert main(["campaign", "compare", old, new, "--gate",
+                     "--max-yield-drop", "20"]) == 0
+
+    def test_compare_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "compare", str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_compare_corrupt_store_exits_2(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        a.write_text('{"not": "a record"}\n')
+        assert main(["campaign", "compare", str(a), str(a)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_partial_result_payload_exits_2(self, tmp_path, capsys):
+        # A structurally valid record whose result payload lacks the
+        # report fields is an artifact error (exit 2, "error: ..."), not
+        # a KeyError traceback that CI would misread as a gated
+        # regression (exit 1).
+        from repro.campaign import CampaignStore, get_spec, make_record
+
+        cells = get_spec("smoke").cells()
+        store = CampaignStore(str(tmp_path / "partial.jsonl"))
+        store.append(
+            make_record(cells[0], {"improved_yield": 0.9, "n_buffers": 1},
+                        runtime_seconds=0.1, completed_unix=1.0)
+        )
+        assert main(["campaign", "compare", store.path, store.path, "--gate"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "missing result field" in err
