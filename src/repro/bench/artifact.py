@@ -121,7 +121,13 @@ class ScenarioRecord:
 
 @dataclass
 class BenchArtifact:
-    """One complete benchmark run, serialisable to ``BENCH_<label>.json``."""
+    """One complete benchmark run, serialisable to ``BENCH_<label>.json``.
+
+    ``obs`` is an optional observability attachment (the run's metrics
+    snapshot and trace pointer, see :mod:`repro.obs`); it is serialised
+    only when non-empty, so artifacts of untraced runs stay byte-stable
+    against earlier schema-1 files.
+    """
 
     label: str
     suite: str
@@ -131,6 +137,7 @@ class BenchArtifact:
     created_unix: float = 0.0
     environment: Dict[str, object] = field(default_factory=collect_environment)
     schema_version: int = SCHEMA_VERSION
+    obs: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.created_unix:
@@ -153,7 +160,7 @@ class BenchArtifact:
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema_version": self.schema_version,
             "label": self.label,
             "suite": self.suite,
@@ -163,6 +170,9 @@ class BenchArtifact:
             "repeat": int(self.repeat),
             "scenarios": [record.as_dict() for record in self.records],
         }
+        if self.obs:
+            data["obs"] = dict(self.obs)
+        return data
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
@@ -185,6 +195,7 @@ class BenchArtifact:
             created_unix=float(data.get("created_unix", 0.0)) or 1.0,
             environment=dict(data.get("environment", {})),
             schema_version=int(data["schema_version"]),
+            obs=dict(data.get("obs", {})),
         )
 
 
@@ -205,6 +216,9 @@ def validate_artifact_dict(data: object) -> None:
     scenarios = data.get("scenarios")
     if not isinstance(scenarios, list):
         raise ArtifactError("artifact is missing the 'scenarios' list")
+    obs = data.get("obs")
+    if obs is not None and not isinstance(obs, dict):
+        raise ArtifactError("artifact field 'obs' must be an object when present")
     param_types = {
         "circuit": str,
         "scale": (int, float),

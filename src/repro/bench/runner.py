@@ -28,6 +28,9 @@ from repro.bench.artifact import BenchArtifact, ScenarioRecord
 from repro.bench.scenarios import Scenario, get_suite, sort_scenarios
 from repro.core.flow import BufferInsertionFlow
 from repro.core.results import FlowResult
+from repro.obs.metrics import MANIFEST_SCHEMA_VERSION, get_registry
+from repro.obs.trace import get_tracer
+from repro.obs.trace import span as trace_span
 
 
 def plan_fingerprint(result: FlowResult) -> str:
@@ -110,18 +113,22 @@ class BenchRunner:
         design = self._design_for(scenario)
         executor = create_executor(scenario.executor, scenario.jobs)
         try:
-            for _ in range(self.warmup):
-                self._run_flow(design, scenario, executor)
-
-            totals: List[float] = []
-            best: Optional[Tuple[float, FlowResult]] = None
-            for _ in range(self.repeat):
-                seconds, result = self._run_flow(design, scenario, executor)
-                totals.append(seconds)
-                if best is None or seconds < best[0]:
-                    best = (seconds, result)
+            with trace_span("bench.scenario", scenario=scenario.scenario_id):
+                return self._timed_runs(design, scenario, executor)
         finally:
             executor.close()
+
+    def _timed_runs(self, design, scenario: Scenario, executor) -> ScenarioRecord:
+        for _ in range(self.warmup):
+            self._run_flow(design, scenario, executor)
+
+        totals: List[float] = []
+        best: Optional[Tuple[float, FlowResult]] = None
+        for _ in range(self.repeat):
+            seconds, result = self._run_flow(design, scenario, executor)
+            totals.append(seconds)
+            if best is None or seconds < best[0]:
+                best = (seconds, result)
         assert best is not None
         _, best_result = best
         return ScenarioRecord(
@@ -135,15 +142,29 @@ class BenchRunner:
     def run_scenarios(
         self, scenarios: Iterable[Scenario], label: str, suite: str = "custom"
     ) -> BenchArtifact:
-        """Run scenarios (re-sorted deterministically) into one artifact."""
+        """Run scenarios (re-sorted deterministically) into one artifact.
+
+        When the run is traced (:func:`repro.obs.trace.get_tracer`), the
+        artifact carries an ``obs`` attachment: the metrics snapshot so
+        far plus the trace path, so nightly ``BENCH_*.json`` files point
+        at the telemetry of the run that produced them.
+        """
         records = [self.run_scenario(s) for s in sort_scenarios(scenarios)]
-        return BenchArtifact(
+        artifact = BenchArtifact(
             label=label,
             suite=suite,
             records=records,
             warmup=self.warmup,
             repeat=self.repeat,
         )
+        tracer = get_tracer()
+        if tracer is not None:
+            artifact.obs = {
+                "schema_version": MANIFEST_SCHEMA_VERSION,
+                "trace_path": tracer.path,
+                "metrics": get_registry().snapshot(),
+            }
+        return artifact
 
     def run_suite(self, suite: str, label: Optional[str] = None) -> BenchArtifact:
         """Run one named suite (see :func:`repro.bench.scenarios.get_suite`)."""

@@ -38,6 +38,9 @@ from repro.campaign.store import CampaignStore, make_record
 from repro.core.flow import BufferInsertionFlow
 from repro.core.results import FlowResult
 from repro.engine import LogProgress, create_executor
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as trace_span
+from repro.obs.trace import trace_context
 from repro.yieldsim.estimator import YieldEstimator
 
 
@@ -87,17 +90,28 @@ class CampaignRunSummary:
 
 @dataclass
 class CampaignStatus:
-    """Completion state of a campaign spec against a store."""
+    """Completion state of a campaign spec against a store.
+
+    ``cell_seconds`` maps every *completed* cell's ``cell_id`` to the
+    ``runtime_seconds`` of its store record envelope — wall-clock
+    bookkeeping, deliberately outside the deterministic result payload.
+    """
 
     name: str
     n_cells: int
     n_completed: int
     pending_cell_ids: List[str] = field(default_factory=list)
     stale_fingerprints: List[str] = field(default_factory=list)
+    cell_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         return self.n_completed >= self.n_cells
+
+    @property
+    def total_recorded_seconds(self) -> float:
+        """Summed wall-clock of every completed cell's record."""
+        return float(sum(self.cell_seconds.values()))
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -107,6 +121,8 @@ class CampaignStatus:
             "complete": self.complete,
             "pending_cell_ids": list(self.pending_cell_ids),
             "stale_fingerprints": list(self.stale_fingerprints),
+            "cell_seconds": dict(self.cell_seconds),
+            "total_recorded_seconds": self.total_recorded_seconds,
         }
 
 
@@ -118,17 +134,22 @@ def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
     never deleted — re-pointing the spec back at them revives them.
     """
     by_fingerprint = spec.cells_by_fingerprint()
-    completed = store.fingerprints()
+    records = store.load()
     return CampaignStatus(
         name=spec.name,
         n_cells=len(by_fingerprint),
-        n_completed=sum(1 for fp in by_fingerprint if fp in completed),
+        n_completed=sum(1 for fp in by_fingerprint if fp in records),
         pending_cell_ids=[
             cell.cell_id
             for fp, cell in by_fingerprint.items()
-            if fp not in completed
+            if fp not in records
         ],
-        stale_fingerprints=sorted(completed - set(by_fingerprint)),
+        stale_fingerprints=sorted(set(records) - set(by_fingerprint)),
+        cell_seconds={
+            cell.cell_id: float(records[fp]["runtime_seconds"])
+            for fp, cell in by_fingerprint.items()
+            if fp in records
+        },
     )
 
 
@@ -224,9 +245,24 @@ class CampaignRunner:
         run_ids: List[str] = []
         executor = create_executor(self.executor_name, self.jobs)
         try:
+            registry = get_registry()
             for cell in pending[:budget]:
                 cell_start = time.perf_counter()
-                record = self._run_cell(cell, executor)
+                # The span carries the cell's resume fingerprint; the
+                # trace_context makes every span opened underneath (flow
+                # stages, engine phases, worker-side chunks via payload
+                # labels) attributable to this cell.
+                with trace_span(
+                    "campaign.cell",
+                    cell=cell.cell_id,
+                    fingerprint=cell.fingerprint(),
+                    circuit=cell.circuit,
+                ), trace_context(cell=cell.cell_id):
+                    record = self._run_cell(cell, executor)
+                registry.counter("campaign.cells.executed").inc()
+                registry.histogram("campaign.cell.seconds").observe(
+                    time.perf_counter() - cell_start
+                )
                 self.store.append(record)
                 if self.pool is not None:
                     self.pool.publish(record)
@@ -266,6 +302,9 @@ class CampaignRunner:
                 continue
             self.store.append(record)
             hits.append(cell.cell_id)
+        registry = get_registry()
+        registry.counter("campaign.pool.hits").inc(len(hits))
+        registry.counter("campaign.pool.misses").inc(len(pending) - len(hits))
         return hits
 
     # ------------------------------------------------------------------

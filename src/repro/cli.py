@@ -30,9 +30,18 @@ Installed as the ``repro`` console script, with four subcommands:
     --pool`` attaches a shared content-addressed result pool so
     overlapping campaigns reuse each other's completed cells.
 
+``repro trace summary|top|export``
+    The observability subsystem (:mod:`repro.obs`): render the per-cell/
+    per-phase wall-clock breakdown of a trace file, list its slowest
+    spans, or export it as Chrome trace-event JSON.  Traces are recorded
+    by passing ``--trace [PATH]`` to ``insert``, ``bench run`` or
+    ``campaign run``; a run manifest (metrics snapshot) is written next
+    to the trace.
+
 Output discipline: machine-readable output (``--json``) goes to stdout
-only; progress reporting (``--progress``) goes to stderr only, so the
-two can be combined freely.
+only; progress reporting (``--progress``), trace/manifest notices and
+diagnostics go to stderr only, so the streams can be combined freely —
+enabling ``--trace`` never changes result bytes or stdout.
 """
 
 from __future__ import annotations
@@ -111,10 +120,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
     )
     insert.add_argument("--json", action="store_true", help="print the result as JSON")
+    _add_trace_argument(insert, "insert")
 
     _add_bench_parsers(subparsers)
     _add_campaign_parsers(subparsers)
+    _add_trace_parsers(subparsers)
     return parser
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser, label: str) -> None:
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL span trace of the run (plus a .manifest.json metrics "
+        f"snapshot next to it; bare --trace uses TRACE_{label}.jsonl in the CWD)",
+    )
+
+
+def _add_trace_parsers(subparsers) -> None:
+    trace = subparsers.add_parser(
+        "trace",
+        help="analyse recorded trace files: wall-clock breakdowns, slowest spans, export",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    summary = trace_sub.add_parser(
+        "summary", help="per-cell/per-phase wall-clock breakdown of a trace file"
+    )
+    summary.add_argument("path", help="JSONL trace file (written by --trace)")
+    summary.add_argument("--json", action="store_true", help="print the summary as JSON")
+
+    top = trace_sub.add_parser("top", help="the slowest spans of a trace file")
+    top.add_argument("path", help="JSONL trace file (written by --trace)")
+    top.add_argument(
+        "-n", "--count", type=_positive_int, default=10, help="number of spans to show"
+    )
+    top.add_argument(
+        "--name",
+        default=None,
+        help="only rank spans of this name (e.g. engine.chunk)",
+    )
+    top.add_argument("--json", action="store_true", help="print the spans as JSON")
+
+    export = trace_sub.add_parser(
+        "export", help="convert a trace to Chrome trace-event JSON (chrome://tracing)"
+    )
+    export.add_argument("path", help="JSONL trace file (written by --trace)")
+    export.add_argument(
+        "--out", default=None, help="write the export here instead of stdout"
+    )
 
 
 def _shard(text: str) -> tuple:
@@ -199,6 +256,7 @@ def _add_campaign_parsers(subparsers) -> None:
         help="print per-cell campaign and per-phase engine progress to stderr",
     )
     run.add_argument("--json", action="store_true", help="print the run summary as JSON")
+    _add_trace_argument(run, "campaign-run")
 
     status = campaign_sub.add_parser(
         "status", help="show how much of a campaign is completed in its store"
@@ -290,6 +348,7 @@ def _add_bench_parsers(subparsers) -> None:
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
     )
     run.add_argument("--json", action="store_true", help="print the artifact JSON to stdout")
+    _add_trace_argument(run, "bench-run")
 
     compare = bench_sub.add_parser("compare", help="diff two benchmark artifacts")
     compare.add_argument("baseline", help="baseline BENCH_*.json")
@@ -594,6 +653,9 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     print(f"campaign  : {status.name}")
     print(f"store     : {store.path}")
     print(f"completed : {status.n_completed}/{status.n_cells} cells")
+    if status.cell_seconds:
+        print(f"recorded  : {status.total_recorded_seconds:.1f} s over "
+              f"{len(status.cell_seconds)} completed cell(s)")
     if status.pending_cell_ids:
         print("pending   :")
         for cell_id in status.pending_cell_ids:
@@ -636,6 +698,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        events = obs.load_trace(args.path)
+        if args.trace_command == "summary":
+            summary = obs.summarize_trace(events)
+            if args.json:
+                print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+            else:
+                print(obs.format_summary(summary))
+            return 0
+        if args.trace_command == "top":
+            spans = obs.top_spans(events, count=args.count, name=args.name)
+            if args.json:
+                print(json.dumps(spans, indent=2, sort_keys=True))
+            else:
+                print(obs.format_top(spans))
+            return 0
+        if args.trace_command == "export":
+            text = json.dumps(obs.export_chrome(events), indent=2, sort_keys=True)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+                print(f"[trace] wrote {args.out}", file=sys.stderr, flush=True)
+            else:
+                print(text)
+            return 0
+    except (obs.TraceError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import ArtifactError
 
@@ -652,10 +748,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point (returns the process exit code)."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "list-circuits":
         return _cmd_list_circuits()
     if args.command == "characterize":
@@ -666,8 +759,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def _requested_trace_path(args: argparse.Namespace) -> Optional[str]:
+    """The trace file a ``--trace`` flag asks for (``None``: no tracing).
+
+    A bare ``--trace`` resolves to a canonical per-command default
+    (``TRACE_insert.jsonl``, ``TRACE_bench-run.jsonl``,
+    ``TRACE_campaign-run.jsonl``) in the working directory.
+    """
+    path = getattr(args, "trace", None)
+    if path is None:
+        return None
+    if path:
+        return path
+    from repro.obs import default_trace_path
+
+    label = args.command
+    if args.command == "bench":
+        label = "bench-run"
+    elif args.command == "campaign":
+        label = "campaign-run"
+    return default_trace_path(label)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns the process exit code).
+
+    Tracing is a ``main()`` concern, not a per-command one: when the
+    parsed arguments carry ``--trace``, the run is bracketed by
+    :func:`repro.obs.start_run` / :func:`repro.obs.finish_run`, so every
+    subcommand gets the same trace + manifest lifecycle (and a crash
+    still finalizes whatever was recorded).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    trace_path = _requested_trace_path(args)
+    if trace_path is None:
+        return _dispatch(parser, args)
+
+    from repro import obs
+
+    obs.start_run(trace_path)
+    try:
+        return _dispatch(parser, args)
+    finally:
+        outputs = obs.finish_run(
+            command=list(argv) if argv is not None else list(sys.argv[1:])
+        )
+        if outputs is not None:
+            print(
+                f"[obs] wrote trace {outputs.trace_path} ({outputs.n_events} events) "
+                f"and manifest {outputs.manifest_path}",
+                file=sys.stderr,
+                flush=True,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

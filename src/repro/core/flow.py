@@ -57,7 +57,8 @@ seed; per-phase engine counters are returned in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -83,10 +84,20 @@ from repro.engine import (
     SampleScheduler,
     create_executor,
 )
+from repro.obs.trace import span as trace_span
 from repro.timing.period import sample_min_periods
 from repro.utils.rng import spawn_rngs
 from repro.utils.timers import Stopwatch
 from repro.variation.sampling import MonteCarloSampler
+
+
+@contextmanager
+def _stage(stopwatch: Stopwatch, name: str) -> Iterator[None]:
+    """Measure one flow stage on the stopwatch and as a ``flow.stage``
+    span, so trace timelines and :attr:`FlowResult.runtime_seconds` tell
+    the same story under the same stage names."""
+    with trace_span("flow.stage", stage=name), stopwatch.measure(name):
+        yield
 
 
 class BufferInsertionFlow:
@@ -133,7 +144,10 @@ class BufferInsertionFlow:
             cfg.executor, cfg.jobs
         )
         try:
-            return self._run(executor)
+            with trace_span(
+                "flow.run", n_samples=cfg.n_samples, n_eval_samples=cfg.n_eval_samples
+            ):
+                return self._run(executor)
         finally:
             if owns_executor:
                 executor.close()
@@ -146,7 +160,7 @@ class BufferInsertionFlow:
         # ------------------------------------------------------------------
         # Sampling and target period
         # ------------------------------------------------------------------
-        with stopwatch.measure("sampling"):
+        with _stage(stopwatch, "sampling"):
             train_sampler = MonteCarloSampler(self.design.variation_model, rng=train_rng)
             train_batch = train_sampler.sample(cfg.n_samples)
             train_samples = self.compiled.sample(train_batch, sampler=train_sampler)
@@ -209,14 +223,14 @@ class BufferInsertionFlow:
         float_lower = np.full(n_ffs, -float(spec.n_steps) if spec.discrete else -max_range)
         float_upper = np.full(n_ffs, float(spec.n_steps) if spec.discrete else max_range)
 
-        with stopwatch.measure("step1_sampling"):
+        with _stage(stopwatch, "step1_sampling"):
             candidates = np.ones(n_ffs, dtype=bool)
             step1_solutions = scheduler.solve_batch(
                 train_problem, float_lower, float_upper, candidates, None, phase=PHASE_STEP1_TRAIN
             )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
 
-        with stopwatch.measure("step1_pruning"):
+        with _stage(stopwatch, "step1_pruning"):
             pruning = prune_buffers(
                 self.topology,
                 usage1,
@@ -253,7 +267,7 @@ class BufferInsertionFlow:
 
         step1 = self._collect_artifacts(step1_solutions, usage1)
 
-        with stopwatch.measure("step1_bounds"):
+        with _stage(stopwatch, "step1_bounds"):
             window_width = float(spec.n_steps) if spec.discrete else max_range
             window_step = 1.0 if spec.discrete else max_range / spec.n_steps
             windows = assign_lower_bounds(
@@ -283,7 +297,7 @@ class BufferInsertionFlow:
         outside_fraction = outside_window_fraction(step1.tuning_values, windows, n_samples)
 
         averages = np.zeros(n_ffs)
-        with stopwatch.measure("step2_sampling"):
+        with _stage(stopwatch, "step2_sampling"):
             if outside_fraction >= cfg.skip_step2_threshold:
                 # Re-run the count-minimisation with the fixed windows first
                 # (Sec. III-B1), then compute the averages from its values.
@@ -313,7 +327,7 @@ class BufferInsertionFlow:
         # ------------------------------------------------------------------
         # Final buffer selection, ranges and grouping
         # ------------------------------------------------------------------
-        with stopwatch.measure("selection_grouping"):
+        with _stage(stopwatch, "selection_grouping"):
             keep_threshold = cfg.keep_threshold(step2.n_tuned_samples)
             kept_ffs = [
                 i for i in candidate_ffs if usage2[i] >= keep_threshold
@@ -362,7 +376,7 @@ class BufferInsertionFlow:
         # ------------------------------------------------------------------
         # Yield evaluation on fresh samples
         # ------------------------------------------------------------------
-        with stopwatch.measure("evaluation"):
+        with _stage(stopwatch, "evaluation"):
             eval_sampler = MonteCarloSampler(self.design.variation_model, rng=eval_rng)
             eval_batch = eval_sampler.sample(cfg.n_eval_samples)
             eval_samples = self.compiled.sample(eval_batch, sampler=eval_sampler)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -81,7 +81,11 @@ class ChunkPayload:
     warm shared solver and one payload.  ``extra`` is an optional small
     task-specific object (e.g. the buffer plan of a yield-evaluation
     sweep); ``extra_key`` is its stable content key, which workers use to
-    memoise anything derived from it across chunks.
+    memoise anything derived from it across chunks.  ``label`` is an
+    optional attribute dict for observability only (phase name, campaign
+    cell): the scheduler stamps it on before dispatch and worker-side
+    chunk spans carry it, so cross-process trace events stay attributable
+    — it never influences what is computed.
     """
 
     indices: np.ndarray
@@ -93,6 +97,7 @@ class ChunkPayload:
     targets: Optional[np.ndarray] = None
     extra: Any = None
     extra_key: Optional[str] = None
+    label: Optional[Dict[str, Any]] = None
 
     @property
     def n_tasks(self) -> int:

@@ -75,6 +75,12 @@ class LogProgress(ProgressReporter):
         reporter was constructed.
     min_interval:
         Minimum seconds between two ``advance`` lines of the same phase.
+        The throttle never suppresses the **last** pre-completion line
+        (``done >= total - 1``): when the final task of a phase stalls,
+        the log must show the phase parked at ``total-1``, not at
+        whatever count the previous interval happened to catch.
+        Advance lines carry a linear ETA estimate once at least one
+        task has finished.
     prefix:
         Optional context label inserted into every line (the campaign
         runner sets it to the cell id, so interleaved cells stay
@@ -91,6 +97,7 @@ class LogProgress(ProgressReporter):
         self.min_interval = float(min_interval)
         self.prefix = str(prefix)
         self._last_emit: Dict[str, float] = {}
+        self._phase_start: Dict[str, float] = {}
 
     @property
     def _tag(self) -> str:
@@ -103,14 +110,24 @@ class LogProgress(ProgressReporter):
 
     def start(self, phase: str, total: int) -> None:
         print(f"{self._tag} {phase}: 0/{total} samples", file=self.stream, flush=True)
-        self._last_emit[phase] = time.perf_counter()
+        now = time.perf_counter()
+        self._last_emit[phase] = now
+        self._phase_start[phase] = now
 
     def advance(self, phase: str, done: int, total: int) -> None:
         now = time.perf_counter()
-        if done < total and now - self._last_emit.get(phase, 0.0) < self.min_interval:
+        # done >= total - 1 bypasses the throttle: the line announcing
+        # the final outstanding task must never be suppressed, or a
+        # stalled last task looks like a stalled reporter.
+        if done < total - 1 and now - self._last_emit.get(phase, 0.0) < self.min_interval:
             return
         self._last_emit[phase] = now
-        print(f"{self._tag} {phase}: {done}/{total} samples", file=self.stream, flush=True)
+        line = f"{self._tag} {phase}: {done}/{total} samples"
+        if 0 < done < total:
+            elapsed = now - self._phase_start.get(phase, now)
+            eta = elapsed * (total - done) / done
+            line += f" (ETA {eta:.1f} s)"
+        print(line, file=self.stream, flush=True)
 
     def finish(self, phase: str, total: int, seconds: float) -> None:
         print(

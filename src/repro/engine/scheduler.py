@@ -39,6 +39,9 @@ from repro.engine.batch import BatchProblem, ChunkPayload, default_chunk_size, m
 from repro.engine.cache import CacheKey, ResultCache, fingerprint_array, fingerprint_arrays
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.progress import PHASE_YIELD_EVAL, EngineStats, NullProgress, ProgressReporter
+from repro.obs.metrics import get_registry
+from repro.obs.trace import current_context
+from repro.obs.trace import span as trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine is a leaf)
     from repro.core.sample_solver import PerSampleSolver, SampleSolution
@@ -53,6 +56,37 @@ def _next_shared_key(prefix: str) -> str:
     return f"{prefix}-{next(_SHARED_KEY_COUNTER)}"
 
 
+def _label_chunks(chunks: List[ChunkPayload], phase: str) -> None:
+    """Stamp each chunk with its phase and the ambient trace context.
+
+    The label rides the payload across the process boundary, so chunk
+    spans emitted inside pool workers still carry their campaign cell
+    and phase.  Observability only — never read by chunk functions.
+    """
+    label: Dict[str, Any] = current_context()
+    label["phase"] = phase
+    for chunk in chunks:
+        chunk.label = label
+
+
+def _record_dispatch_metrics(
+    executor: Executor, shared_key: str, chunks: List[ChunkPayload]
+) -> None:
+    """Count warm-pool reuse vs. cold dispatch and observe chunk sizes."""
+    if not chunks:
+        return
+    registry = get_registry()
+    # warm_key must be read BEFORE map_chunks: dispatch itself warms
+    # the pool, which would make every dispatch look like a reuse.
+    if getattr(executor, "warm_key", None) == shared_key:
+        registry.counter("engine.pool.warm_reuses").inc()
+    else:
+        registry.counter("engine.pool.cold_dispatches").inc()
+    sizes = registry.histogram("engine.chunk.size")
+    for chunk in chunks:
+        sizes.observe(chunk.n_tasks)
+
+
 # ----------------------------------------------------------------------
 # Worker-side chunk functions (module level: picklable by reference)
 # ----------------------------------------------------------------------
@@ -65,18 +99,19 @@ def solve_chunk(solver: "PerSampleSolver", payload: ChunkPayload) -> List[Tuple[
     """
     from repro.core.sample_solver import SampleProblem  # deferred: keeps the engine a leaf
 
-    solve = solver.solve_with_milp if solver.backend == "milp" else solver.solve
-    results: List[Tuple[int, SampleSolution]] = []
-    for position, index in enumerate(payload.indices):
-        problem = SampleProblem(
-            payload.setup_bounds[:, position],
-            payload.hold_bounds[:, position],
-            payload.lower,
-            payload.upper,
-        )
-        solution = solve(problem, candidates=payload.candidates, targets=payload.targets)
-        results.append((int(index), solution))
-    return results
+    with trace_span("engine.chunk", n_samples=payload.n_tasks, **(payload.label or {})):
+        solve = solver.solve_with_milp if solver.backend == "milp" else solver.solve
+        results: List[Tuple[int, SampleSolution]] = []
+        for position, index in enumerate(payload.indices):
+            problem = SampleProblem(
+                payload.setup_bounds[:, position],
+                payload.hold_bounds[:, position],
+                payload.lower,
+                payload.upper,
+            )
+            solution = solve(problem, candidates=payload.candidates, targets=payload.targets)
+            results.append((int(index), solution))
+        return results
 
 
 def configure_chunk(configurator: Any, payload: ChunkPayload) -> List[Tuple[int, bool]]:
@@ -86,13 +121,14 @@ def configure_chunk(configurator: Any, payload: ChunkPayload) -> List[Tuple[int,
     ``configure_sample(setup_bound, hold_bound) -> (ok, assignment)``
     contract of :class:`repro.tuning.configurator.PostSiliconConfigurator`.
     """
-    results: List[Tuple[int, bool]] = []
-    for position, index in enumerate(payload.indices):
-        ok, _ = configurator.configure_sample(
-            payload.setup_bounds[:, position], payload.hold_bounds[:, position]
-        )
-        results.append((int(index), bool(ok)))
-    return results
+    with trace_span("engine.chunk", n_samples=payload.n_tasks, **(payload.label or {})):
+        results: List[Tuple[int, bool]] = []
+        for position, index in enumerate(payload.indices):
+            ok, _ = configurator.configure_sample(
+                payload.setup_bounds[:, position], payload.hold_bounds[:, position]
+            )
+            results.append((int(index), bool(ok)))
+        return results
 
 
 def evaluate_plan_chunk(solver: "PerSampleSolver", payload: ChunkPayload) -> List[Tuple[int, bool]]:
@@ -215,63 +251,80 @@ class SampleScheduler:
         loop).  Results are merged by sample index, so the output is
         independent of the executor and chunk layout.
         """
-        start = time.perf_counter()
-        n_samples = batch.n_samples
-        solutions: List[Optional[SampleSolution]] = [None] * n_samples
-        needed = [int(i) for i in batch.violated_indices()]
-        self.progress.start(phase, len(needed))
+        with trace_span("engine.phase", phase=phase) as span_attrs:
+            start = time.perf_counter()
+            registry = get_registry()
+            n_samples = batch.n_samples
+            solutions: List[Optional[SampleSolution]] = [None] * n_samples
+            needed = [int(i) for i in batch.violated_indices()]
+            self.progress.start(phase, len(needed))
 
-        # Cache lookups first; only misses are dispatched.
-        to_solve: List[int] = needed
-        key_of: Dict[int, CacheKey] = {}
-        n_hits = 0
-        if self.cache is not None and needed:
-            keys = self._keys_for(batch, lower, upper, candidates, targets, needed)
-            key_of = dict(zip(needed, keys))
-            to_solve = []
-            for index, key in zip(needed, keys):
-                hit = self.cache.get(key)
-                if hit is not None:
-                    solutions[index] = hit
-                    n_hits += 1
-                else:
-                    to_solve.append(index)
+            # Cache lookups first; only misses are dispatched.
+            to_solve: List[int] = needed
+            key_of: Dict[int, CacheKey] = {}
+            n_hits = 0
+            if self.cache is not None and needed:
+                keys = self._keys_for(batch, lower, upper, candidates, targets, needed)
+                key_of = dict(zip(needed, keys))
+                to_solve = []
+                for index, key in zip(needed, keys):
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        solutions[index] = hit
+                        n_hits += 1
+                    else:
+                        to_solve.append(index)
+            registry.counter("engine.cache.hits").inc(n_hits)
+            registry.counter("engine.cache.misses").inc(len(to_solve))
 
-        chunk_size = self.chunk_size or default_chunk_size(len(to_solve), self.executor.jobs)
-        chunks = make_chunks(
-            to_solve,
-            batch.setup_bounds,
-            batch.hold_bounds,
-            lower,
-            upper,
-            candidates=candidates,
-            targets=targets,
-            chunk_size=chunk_size,
-        )
-        done = n_hits
-        for chunk_result in self.executor.map_chunks(
-            solve_chunk, chunks, shared=self.solver, shared_key=self._shared_key
-        ):
-            for index, solution in chunk_result:
-                solutions[index] = solution
-                done += 1
-            self.progress.advance(phase, done, len(needed))
+            chunk_size = self.chunk_size or default_chunk_size(len(to_solve), self.executor.jobs)
+            chunks = make_chunks(
+                to_solve,
+                batch.setup_bounds,
+                batch.hold_bounds,
+                lower,
+                upper,
+                candidates=candidates,
+                targets=targets,
+                chunk_size=chunk_size,
+            )
+            _label_chunks(chunks, phase)
+            _record_dispatch_metrics(self.executor, self._shared_key, chunks)
+            latency = registry.histogram("engine.chunk.latency_seconds")
+            done = n_hits
+            last_arrival = time.perf_counter()
+            for chunk_result in self.executor.map_chunks(
+                solve_chunk, chunks, shared=self.solver, shared_key=self._shared_key
+            ):
+                arrival = time.perf_counter()
+                latency.observe(arrival - last_arrival)
+                last_arrival = arrival
+                for index, solution in chunk_result:
+                    solutions[index] = solution
+                    done += 1
+                self.progress.advance(phase, done, len(needed))
 
-        if self.cache is not None and to_solve:
-            for index in to_solve:
-                self.cache.put(key_of[index], solutions[index])
+            if self.cache is not None and to_solve:
+                for index in to_solve:
+                    self.cache.put(key_of[index], solutions[index])
 
-        seconds = time.perf_counter() - start
-        self.progress.finish(phase, len(needed), seconds)
-        self.stats.record(
-            phase,
-            n_tasks=len(needed),
-            n_dispatched=len(to_solve),
-            n_cache_hits=n_hits,
-            n_chunks=len(chunks),
-            seconds=seconds,
-        )
-        return solutions
+            seconds = time.perf_counter() - start
+            self.progress.finish(phase, len(needed), seconds)
+            self.stats.record(
+                phase,
+                n_tasks=len(needed),
+                n_dispatched=len(to_solve),
+                n_cache_hits=n_hits,
+                n_chunks=len(chunks),
+                seconds=seconds,
+            )
+            span_attrs.update(
+                n_tasks=len(needed),
+                n_dispatched=len(to_solve),
+                n_cache_hits=n_hits,
+                n_chunks=len(chunks),
+            )
+            return solutions
 
     # ------------------------------------------------------------------
     def evaluate_plan(
@@ -294,48 +347,60 @@ class SampleScheduler:
 
         Returns ``(passed, needed_tuning)`` boolean per-sample arrays.
         """
-        start = time.perf_counter()
-        clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
-        passed = clean.copy()
-        needed = ~clean
-        indices = [int(i) for i in np.where(needed)[0]]
-        self.progress.start(phase, len(indices))
+        with trace_span("engine.phase", phase=phase) as span_attrs:
+            start = time.perf_counter()
+            registry = get_registry()
+            clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
+            passed = clean.copy()
+            needed = ~clean
+            indices = [int(i) for i in np.where(needed)[0]]
+            self.progress.start(phase, len(indices))
 
-        empty = np.zeros(0)
-        chunk_size = self.chunk_size or default_chunk_size(len(indices), self.executor.jobs)
-        plan_key = fingerprint_arrays(
-            np.frombuffer(repr(plan).encode("utf-8"), dtype=np.uint8),
-            np.asarray([float(step)]),
-        )
-        chunks = make_chunks(
-            indices,
-            setup_bounds,
-            hold_bounds,
-            empty,
-            empty,
-            chunk_size=chunk_size,
-            extra=(plan, float(step)),
-            extra_key=plan_key,
-        )
-        done = 0
-        for chunk_result in self.executor.map_chunks(
-            evaluate_plan_chunk, chunks, shared=self.solver, shared_key=self._shared_key
-        ):
-            for index, ok in chunk_result:
-                passed[index] = ok
-                done += 1
-            self.progress.advance(phase, done, len(indices))
+            empty = np.zeros(0)
+            chunk_size = self.chunk_size or default_chunk_size(len(indices), self.executor.jobs)
+            plan_key = fingerprint_arrays(
+                np.frombuffer(repr(plan).encode("utf-8"), dtype=np.uint8),
+                np.asarray([float(step)]),
+            )
+            chunks = make_chunks(
+                indices,
+                setup_bounds,
+                hold_bounds,
+                empty,
+                empty,
+                chunk_size=chunk_size,
+                extra=(plan, float(step)),
+                extra_key=plan_key,
+            )
+            _label_chunks(chunks, phase)
+            _record_dispatch_metrics(self.executor, self._shared_key, chunks)
+            latency = registry.histogram("engine.chunk.latency_seconds")
+            done = 0
+            last_arrival = time.perf_counter()
+            for chunk_result in self.executor.map_chunks(
+                evaluate_plan_chunk, chunks, shared=self.solver, shared_key=self._shared_key
+            ):
+                arrival = time.perf_counter()
+                latency.observe(arrival - last_arrival)
+                last_arrival = arrival
+                for index, ok in chunk_result:
+                    passed[index] = ok
+                    done += 1
+                self.progress.advance(phase, done, len(indices))
 
-        seconds = time.perf_counter() - start
-        self.progress.finish(phase, len(indices), seconds)
-        self.stats.record(
-            phase,
-            n_tasks=len(indices),
-            n_dispatched=len(indices),
-            n_chunks=len(chunks),
-            seconds=seconds,
-        )
-        return passed, needed
+            seconds = time.perf_counter() - start
+            self.progress.finish(phase, len(indices), seconds)
+            self.stats.record(
+                phase,
+                n_tasks=len(indices),
+                n_dispatched=len(indices),
+                n_chunks=len(chunks),
+                seconds=seconds,
+            )
+            span_attrs.update(
+                n_tasks=len(indices), n_dispatched=len(indices), n_chunks=len(chunks)
+            )
+            return passed, needed
 
     # ------------------------------------------------------------------
     def adopt(
@@ -395,49 +460,55 @@ def run_yield_evaluation(
         Boolean per-sample arrays with the semantics of
         :class:`repro.tuning.configurator.TuningEvaluation`.
     """
-    start = time.perf_counter()
-    executor = executor if executor is not None else SerialExecutor()
-    progress = progress if progress is not None else NullProgress()
-    clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
-    passed = clean.copy()
-    needed = ~clean
-    indices = [int(i) for i in np.where(needed)[0]]
-    progress.start(phase, len(indices))
+    with trace_span("engine.phase", phase=phase) as span_attrs:
+        start = time.perf_counter()
+        executor = executor if executor is not None else SerialExecutor()
+        progress = progress if progress is not None else NullProgress()
+        clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
+        passed = clean.copy()
+        needed = ~clean
+        indices = [int(i) for i in np.where(needed)[0]]
+        progress.start(phase, len(indices))
 
-    n_ffs_dummy = np.zeros(0)
-    size = chunk_size or default_chunk_size(len(indices), executor.jobs)
-    chunks = make_chunks(
-        indices,
-        setup_bounds,
-        hold_bounds,
-        n_ffs_dummy,
-        n_ffs_dummy,
-        chunk_size=size,
-    )
-    shared_key = getattr(configurator, "_engine_shared_key", None)
-    if shared_key is None:
-        shared_key = _next_shared_key("configurator")
-        try:
-            configurator._engine_shared_key = shared_key
-        except AttributeError:  # pragma: no cover - exotic configurator types
-            pass
-    done = 0
-    for chunk_result in executor.map_chunks(
-        configure_chunk, chunks, shared=configurator, shared_key=shared_key
-    ):
-        for index, ok in chunk_result:
-            passed[index] = ok
-            done += 1
-        progress.advance(phase, done, len(indices))
-
-    seconds = time.perf_counter() - start
-    progress.finish(phase, len(indices), seconds)
-    if stats is not None:
-        stats.record(
-            phase,
-            n_tasks=len(indices),
-            n_dispatched=len(indices),
-            n_chunks=len(chunks),
-            seconds=seconds,
+        n_ffs_dummy = np.zeros(0)
+        size = chunk_size or default_chunk_size(len(indices), executor.jobs)
+        chunks = make_chunks(
+            indices,
+            setup_bounds,
+            hold_bounds,
+            n_ffs_dummy,
+            n_ffs_dummy,
+            chunk_size=size,
         )
-    return passed, needed
+        shared_key = getattr(configurator, "_engine_shared_key", None)
+        if shared_key is None:
+            shared_key = _next_shared_key("configurator")
+            try:
+                configurator._engine_shared_key = shared_key
+            except AttributeError:  # pragma: no cover - exotic configurator types
+                pass
+        _label_chunks(chunks, phase)
+        _record_dispatch_metrics(executor, shared_key, chunks)
+        done = 0
+        for chunk_result in executor.map_chunks(
+            configure_chunk, chunks, shared=configurator, shared_key=shared_key
+        ):
+            for index, ok in chunk_result:
+                passed[index] = ok
+                done += 1
+            progress.advance(phase, done, len(indices))
+
+        seconds = time.perf_counter() - start
+        progress.finish(phase, len(indices), seconds)
+        if stats is not None:
+            stats.record(
+                phase,
+                n_tasks=len(indices),
+                n_dispatched=len(indices),
+                n_chunks=len(chunks),
+                seconds=seconds,
+            )
+        span_attrs.update(
+            n_tasks=len(indices), n_dispatched=len(indices), n_chunks=len(chunks)
+        )
+        return passed, needed

@@ -1,0 +1,140 @@
+"""repro.obs — structured tracing, metrics, and run manifests.
+
+The observability substrate of the repo: a zero-dependency JSONL span
+tracer (:mod:`repro.obs.trace`), a counter/gauge/histogram registry
+snapshotted into per-run manifests (:mod:`repro.obs.metrics`), and the
+trace analysis/rendering layer behind ``repro trace``
+(:mod:`repro.obs.summary`).
+
+This package is a strict stdlib-only leaf: the engine, campaign, bench
+and CLI layers all import it, so it must never import them back.
+
+Run lifecycle for entry points::
+
+    outputs = None
+    obs.start_run("TRACE_run.jsonl")     # tracer + fresh metrics
+    try:
+        ...                              # instrumented work
+    finally:
+        outputs = obs.finish_run(command=sys.argv[1:])
+    # outputs.trace_path / outputs.manifest_path / outputs.n_events
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.obs.metrics import (
+    MANIFEST_SCHEMA_VERSION,
+    MANIFEST_SUFFIX,
+    Counter,
+    Gauge,
+    Histogram,
+    ManifestError,
+    MetricsRegistry,
+    build_manifest,
+    get_registry,
+    load_manifest,
+    manifest_path_for,
+    reset_metrics,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.summary import (
+    PhaseRow,
+    TraceSummary,
+    export_chrome,
+    format_summary,
+    format_top,
+    load_trace,
+    span_events,
+    summarize_trace,
+    top_spans,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    RunOutputs,
+    TraceError,
+    Tracer,
+    configure_tracing,
+    current_context,
+    default_trace_path,
+    finalize_tracing,
+    get_tracer,
+    span,
+    trace_context,
+    tracing_enabled,
+    worker_part_path,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "MANIFEST_SUFFIX",
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestError",
+    "MetricsRegistry",
+    "PhaseRow",
+    "RunOutputs",
+    "TraceError",
+    "TraceSummary",
+    "Tracer",
+    "build_manifest",
+    "configure_tracing",
+    "current_context",
+    "default_trace_path",
+    "export_chrome",
+    "finalize_tracing",
+    "finish_run",
+    "format_summary",
+    "format_top",
+    "get_registry",
+    "get_tracer",
+    "load_manifest",
+    "load_trace",
+    "manifest_path_for",
+    "reset_metrics",
+    "span",
+    "span_events",
+    "start_run",
+    "summarize_trace",
+    "top_spans",
+    "trace_context",
+    "tracing_enabled",
+    "validate_manifest",
+    "worker_part_path",
+    "write_manifest",
+]
+
+
+def start_run(trace_path: str) -> Tracer:
+    """Begin a traced run: install the tracer, reset the metrics."""
+    reset_metrics()
+    return configure_tracing(trace_path)
+
+
+def finish_run(command: Optional[List[str]] = None) -> Optional[RunOutputs]:
+    """Finalize the traced run and write its manifest next to the trace.
+
+    Returns ``None`` when no run was started (tracing disabled), so
+    entry points can call it unconditionally from a ``finally`` block.
+    """
+    tracer = finalize_tracing()
+    if tracer is None:
+        return None
+    if command is None:
+        command = list(sys.argv[1:])
+    manifest = build_manifest(
+        trace_path=tracer.path,
+        n_trace_events=tracer.n_events,
+        command=command,
+    )
+    manifest_path = write_manifest(manifest_path_for(tracer.path), manifest)
+    return RunOutputs(
+        trace_path=tracer.path,
+        manifest_path=manifest_path,
+        n_events=tracer.n_events,
+    )

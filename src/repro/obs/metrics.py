@@ -1,0 +1,275 @@
+"""Counter/gauge/histogram registry and per-run manifests.
+
+:class:`MetricsRegistry` is a tiny process-local metrics surface: named
+counters (cache hits, pool reuses, cells executed), gauges (last seen
+values) and histograms (chunk sizes, dispatch latencies, cell seconds).
+Instrumented code calls ``get_registry().counter("engine.cache.hits")``
+unconditionally — recording is a few attribute operations, cheap enough
+to leave on permanently, and a snapshot is only materialised when a run
+manifest is written.
+
+A **run manifest** (``<trace>.manifest.json``, schema-versioned) is the
+machine-readable sibling of a trace file: the metrics snapshot of the
+run, the command that produced it, and the trace file it belongs to.
+Nightly artifacts carry both, so counter trajectories (cache hit
+ratios, pool reuse counts) can be diffed night over night next to the
+``BENCH_*.json`` timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Version of the run-manifest schema; bump on breaking layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Suffix replacing the trace extension to form the manifest path.
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+class ManifestError(ValueError):
+    """A run manifest file is structurally invalid."""
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        """Add ``amount`` (default 1) and return the new value."""
+        self.value += int(amount)
+        return self.value
+
+
+class Gauge:
+    """Last-observed-value metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Full value retention would make manifests unbounded; the summary
+    stays O(1) and still answers the questions the manifests exist for
+    (how many, how much in total, how extreme).
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "total": float(self.total),
+            "min": float(self.min),
+            "max": float(self.max),
+            "mean": float(self.mean),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    asking for the same name as a different kind raises — silently
+    shadowing a counter with a gauge would corrupt the manifest.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, table: Dict[str, object], name: str, factory) -> object:
+        name = str(name)
+        with self._lock:
+            for kind, other in (
+                ("counter", self._counters),
+                ("gauge", self._gauges),
+                ("histogram", self._histograms),
+            ):
+                if other is not table and name in other:
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a {kind}"
+                    )
+            metric = table.get(name)
+            if metric is None:
+                metric = table[name] = factory()
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every metric, name-sorted for stable JSON."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name].value for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].as_dict()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh run starts from a clean registry)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-global registry instrumented code records into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Reset the global registry (run boundaries, test isolation)."""
+    _REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# Run manifests
+# ----------------------------------------------------------------------
+def manifest_path_for(trace_path: str) -> str:
+    """Manifest path next to a trace file (``t.jsonl`` → ``t.manifest.json``)."""
+    root, _ = os.path.splitext(trace_path)
+    return root + MANIFEST_SUFFIX
+
+
+def build_manifest(
+    trace_path: Optional[str] = None,
+    n_trace_events: Optional[int] = None,
+    command: Optional[List[str]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    created_unix: Optional[float] = None,
+) -> Dict[str, object]:
+    """Assemble a run-manifest payload from the current metrics."""
+    registry = registry if registry is not None else get_registry()
+    manifest: Dict[str, object] = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "created_unix": float(time.time() if created_unix is None else created_unix),
+        "metrics": registry.snapshot(),
+    }
+    if trace_path is not None:
+        manifest["trace_path"] = str(trace_path)
+    if n_trace_events is not None:
+        manifest["n_trace_events"] = int(n_trace_events)
+    if command is not None:
+        manifest["command"] = [str(part) for part in command]
+    return manifest
+
+
+def write_manifest(path: str, manifest: Dict[str, object]) -> str:
+    """Validate and write one manifest file; returns the path."""
+    validate_manifest(manifest)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_manifest(data: object) -> Dict[str, object]:
+    """Structural validation of a manifest payload (raises on mismatch)."""
+    if not isinstance(data, dict):
+        raise ManifestError("manifest must be a JSON object")
+    version = data.get("schema_version")
+    if not isinstance(version, int):
+        raise ManifestError("manifest is missing an integer 'schema_version'")
+    if version > MANIFEST_SCHEMA_VERSION:
+        raise ManifestError(
+            f"manifest schema version {version} is newer than supported "
+            f"{MANIFEST_SCHEMA_VERSION}"
+        )
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ManifestError("manifest is missing its 'metrics' object")
+    for section in ("counters", "gauges", "histograms"):
+        table = metrics.get(section)
+        if not isinstance(table, dict):
+            raise ManifestError(f"manifest metrics lack the {section!r} table")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ManifestError(f"counter {name!r} has a non-integer value {value!r}")
+    for name, value in metrics["histograms"].items():
+        if not isinstance(value, dict) or not {
+            "count",
+            "total",
+            "min",
+            "max",
+            "mean",
+        } <= set(value):
+            raise ManifestError(f"histogram {name!r} is missing summary fields")
+    return data
+
+
+def load_manifest(path: str) -> Dict[str, object]:
+    """Load and validate one manifest file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ManifestError(f"cannot read manifest {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ManifestError(f"manifest {path!r} is not valid JSON: {error}") from error
+    try:
+        return validate_manifest(data)
+    except ManifestError as error:
+        raise ManifestError(f"manifest {path!r}: {error}") from error

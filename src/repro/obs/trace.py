@@ -1,0 +1,393 @@
+"""Zero-dependency structured span tracing.
+
+One run produces one JSONL trace file: one schema-versioned event per
+line, appended without fsync (losing the tail of a trace on a crash is
+acceptable; losing flow results is not — results never live here).
+Every event carries the schema version ``v``, its ``type``, the emitting
+``pid``/``tid`` and a wall-aligned timestamp; ``span`` events add a
+``name``, a process-unique ``span`` id, the ``parent`` span id (when the
+span was opened inside another span of the same thread), a monotonic
+``dur`` in seconds and free-form ``attrs``.
+
+Three layers:
+
+* :class:`Tracer` — a per-process event buffer with a
+  :meth:`~Tracer.span` context manager.  Span ids are
+  ``"<pid>-<counter>"`` so ids never collide across the processes of a
+  warm worker pool; parent linkage uses a per-thread stack.
+* Module-level :func:`span` / :func:`configure_tracing` /
+  :func:`finalize_tracing` — the global tracer the instrumented code
+  talks to.  When no tracer is configured, :func:`span` is a near-free
+  no-op (one environment lookup), so instrumentation can stay
+  unconditional in hot-ish paths like the engine's chunk functions.
+* Worker propagation — :func:`configure_tracing` exports
+  :data:`WORKER_ENV` (``"<trace path>|<owner pid>"``).  A worker process
+  that emits a span discovers the variable, lazily opens its own
+  **side file** (``<trace>.w<pid>.part``, flushed per event because pool
+  workers are torn down without cleanup hooks) and
+  :func:`finalize_tracing` merges all side files into the main trace —
+  so spans from warm process pools land in the same file, attributable
+  to their cell/phase/chunk via their ``attrs``.
+
+Span attribution across subsystem boundaries uses
+:func:`trace_context`: the campaign runner pushes ``cell=<cell id>``
+around each cell, every span opened inside (engine phases, flow stages)
+inherits the key into its ``attrs``, and the engine copies the current
+context into each chunk payload's ``label`` so even worker-side chunk
+spans — emitted in a different process — carry their cell.
+
+Tracing never changes what is computed: events go to their own file,
+spans consume no randomness, and the per-run manifest
+(:mod:`repro.obs.metrics`) is written next to the trace, not into any
+result artifact store.
+"""
+
+from __future__ import annotations
+
+import glob
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Version of the trace event schema; bump on breaking layout changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Environment variable announcing an active trace to worker processes.
+WORKER_ENV = "REPRO_TRACE_WORKER"
+
+#: Prefix/suffix of default trace file names (``TRACE_<label>.jsonl``).
+TRACE_PREFIX = "TRACE_"
+TRACE_SUFFIX = ".jsonl"
+
+#: Suffix of per-worker side files merged into the trace on finalize.
+WORKER_PART_SUFFIX = ".part"
+
+
+class TraceError(ValueError):
+    """A trace file or tracing configuration is invalid."""
+
+
+def default_trace_path(label: str, directory: str = ".") -> str:
+    """Canonical trace path ``<directory>/TRACE_<label>.jsonl``."""
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in label)
+    return os.path.join(directory, f"{TRACE_PREFIX}{safe}{TRACE_SUFFIX}")
+
+
+def worker_part_path(trace_path: str, pid: int) -> str:
+    """Side-file path one worker process writes its events to."""
+    return f"{trace_path}.w{int(pid)}{WORKER_PART_SUFFIX}"
+
+
+class Tracer:
+    """Per-process span tracer writing JSONL events to one file.
+
+    Parameters
+    ----------
+    path:
+        The event file.  The owner (parent) tracer truncates it on
+        construction — one run owns its trace; worker tracers append.
+    autoflush:
+        Flush every event straight to disk.  Worker-side tracers use
+        this because pool workers are terminated without cleanup hooks;
+        the parent buffers and flushes on :meth:`finalize`.
+    """
+
+    def __init__(self, path: str, autoflush: bool = False, truncate: bool = True) -> None:
+        self.path = str(path)
+        self.autoflush = bool(autoflush)
+        self._pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._buffer: List[str] = []
+        self._n_events = 0
+        self._t0_wall = time.time()
+        self._t0_mono = time.perf_counter()
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        if truncate:
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+        self.emit("run", attrs={"t0_unix": round(self._t0_wall, 6)})
+
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Events emitted so far (buffered, flushed and merged alike)."""
+        return self._n_events
+
+    def _now(self) -> float:
+        """Monotonic timestamp anchored to this process's wall clock."""
+        return self._t0_wall + (time.perf_counter() - self._t0_mono)
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        type_: str,
+        name: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent: Optional[str] = None,
+        ts: Optional[float] = None,
+        dur: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one event to the buffer (and to disk under autoflush)."""
+        event: Dict[str, Any] = {
+            "v": TRACE_SCHEMA_VERSION,
+            "type": str(type_),
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "ts": round(self._now() if ts is None else float(ts), 6),
+        }
+        if name is not None:
+            event["name"] = str(name)
+        if span_id is not None:
+            event["span"] = str(span_id)
+        if parent is not None:
+            event["parent"] = str(parent)
+        if dur is not None:
+            event["dur"] = round(float(dur), 9)
+        if attrs:
+            event["attrs"] = attrs
+        # default=str keeps exotic attr values (numpy scalars, paths)
+        # from ever aborting a traced run.
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"), default=str)
+        with self._lock:
+            self._buffer.append(line)
+            self._n_events += 1
+            if self.autoflush:
+                self._flush_locked()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Dict[str, Any]]:
+        """Measure one span; yields its mutable ``attrs`` dict.
+
+        The yielded dict starts as the ambient :func:`trace_context`
+        merged under the explicit keyword attrs; callers may add
+        attributes discovered during the span (task counts, cache hits).
+        """
+        stack = self._stack()
+        span_id = f"{self._pid}-{next(self._ids)}"
+        parent = stack[-1] if stack else None
+        merged = dict(_CONTEXT)
+        merged.update(attrs)
+        ts = self._now()
+        start = time.perf_counter()
+        stack.append(span_id)
+        try:
+            yield merged
+        finally:
+            stack.pop()
+            self.emit(
+                "span",
+                name=name,
+                span_id=span_id,
+                parent=parent,
+                ts=ts,
+                dur=time.perf_counter() - start,
+                attrs=merged,
+            )
+
+    # ------------------------------------------------------------------
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def flush(self) -> None:
+        """Append all buffered events to the trace file (no fsync)."""
+        with self._lock:
+            self._flush_locked()
+
+    def merge_worker_parts(self) -> int:
+        """Fold worker side files into the main trace file.
+
+        Side files are appended verbatim and deleted; a malformed line
+        (a worker killed mid-write) is skipped silently — worker spans
+        are observability, not results.  Returns the number of merged
+        events.
+        """
+        merged = 0
+        for part in sorted(glob.glob(f"{self.path}.w*{WORKER_PART_SUFFIX}")):
+            try:
+                with open(part, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError:
+                continue
+            for line in text.split("\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                with self._lock:
+                    self._buffer.append(line)
+                    self._n_events += 1
+                merged += 1
+            os.remove(part)
+        return merged
+
+    def finalize(self) -> str:
+        """Flush, merge worker side files and return the trace path."""
+        self.merge_worker_parts()
+        self.flush()
+        return self.path
+
+
+# ----------------------------------------------------------------------
+# Global tracer and ambient context
+# ----------------------------------------------------------------------
+_TRACER: Optional[Tracer] = None
+
+#: Ambient attributes merged into every span (see :func:`trace_context`).
+_CONTEXT: Dict[str, Any] = {}
+
+_MISSING = object()
+
+
+def configure_tracing(path: str) -> Tracer:
+    """Install the global tracer writing to ``path``.
+
+    Also exports :data:`WORKER_ENV` so worker processes forked/spawned
+    *after* this call write side files that :func:`finalize_tracing`
+    merges back.  Reconfiguring while a tracer is active finalizes the
+    old one first.
+    """
+    global _TRACER
+    if _TRACER is not None:
+        finalize_tracing()
+    tracer = Tracer(path)
+    _TRACER = tracer
+    os.environ[WORKER_ENV] = f"{os.path.abspath(path)}|{os.getpid()}"
+    return tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The tracer configured in this process (``None`` when disabled)."""
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    """Whether spans emitted now would be recorded."""
+    return _current_tracer() is not None
+
+
+def finalize_tracing() -> Optional[Tracer]:
+    """Flush + merge the global tracer and disable tracing.
+
+    Returns the finalized tracer (its ``path`` / ``n_events`` describe
+    what was written), or ``None`` when tracing was never configured.
+    """
+    global _TRACER
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    _TRACER = None
+    os.environ.pop(WORKER_ENV, None)
+    tracer.finalize()
+    return tracer
+
+
+def _current_tracer() -> Optional[Tracer]:
+    """The tracer to emit into: the configured one, or a lazily-created
+    worker side-file tracer when :data:`WORKER_ENV` names another
+    process as the trace owner.
+
+    A tracer whose pid is not this process's pid is a **fork artefact**:
+    pool workers forked from a tracing parent inherit the parent's
+    tracer object, and events appended to it would sit in the worker's
+    copy of the buffer and be lost.  Such a tracer is discarded here and
+    replaced by this worker's own side-file tracer.
+    """
+    global _TRACER
+    if _TRACER is not None and _TRACER._pid == os.getpid():
+        return _TRACER
+    _TRACER = None
+    env = os.environ.get(WORKER_ENV)
+    if not env:
+        return None
+    path, _, owner = env.rpartition("|")
+    try:
+        owner_pid = int(owner)
+    except ValueError:
+        return None
+    if not path or owner_pid == os.getpid():
+        # The owner manages its tracer explicitly; a stale variable in
+        # the owner process must not resurrect a finalized trace.
+        return None
+    _TRACER = Tracer(
+        worker_part_path(path, os.getpid()), autoflush=True, truncate=False
+    )
+    return _TRACER
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Dict[str, Any]]:
+    """Record a span on the active tracer; a cheap no-op when disabled.
+
+    Always yields a mutable dict so call sites can unconditionally
+    attach attributes; without a tracer the dict is discarded.
+    """
+    tracer = _current_tracer()
+    if tracer is None:
+        yield dict(attrs)
+        return
+    with tracer.span(name, **attrs) as merged:
+        yield merged
+
+
+@contextmanager
+def trace_context(**attrs: Any) -> Iterator[None]:
+    """Push ambient span attributes for the duration of the block.
+
+    Every span opened inside (in this process) inherits the keys into
+    its ``attrs``; explicit span attrs win on collision.  The engine
+    also copies the current context into chunk payload labels, which is
+    how worker-process chunk spans learn their campaign cell.
+    """
+    saved = {key: _CONTEXT.get(key, _MISSING) for key in attrs}
+    _CONTEXT.update(attrs)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is _MISSING:
+                _CONTEXT.pop(key, None)
+            else:
+                _CONTEXT[key] = value
+
+
+def current_context() -> Dict[str, Any]:
+    """Copy of the ambient span attributes (for chunk payload labels)."""
+    return dict(_CONTEXT)
+
+
+@dataclass
+class RunOutputs:
+    """What finalizing a traced run wrote to disk."""
+
+    trace_path: str
+    manifest_path: str
+    n_events: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace_path": self.trace_path,
+            "manifest_path": self.manifest_path,
+            "n_events": self.n_events,
+        }

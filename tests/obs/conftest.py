@@ -1,0 +1,24 @@
+"""Isolation for observability tests.
+
+Tracing and metrics are process-global by design (one run, one trace);
+tests must never leak a configured tracer, the worker environment
+variable, ambient context or recorded metrics into each other.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    trace_mod._TRACER = None
+    os.environ.pop(trace_mod.WORKER_ENV, None)
+    trace_mod._CONTEXT.clear()
+    metrics_mod.reset_metrics()

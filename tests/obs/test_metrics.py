@@ -1,0 +1,168 @@
+"""Tests for the metrics registry and run manifests."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MANIFEST_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    ManifestError,
+    MetricsRegistry,
+    build_manifest,
+    get_registry,
+    load_manifest,
+    manifest_path_for,
+    reset_metrics,
+    validate_manifest,
+    write_manifest,
+)
+
+
+class TestMetricKinds:
+    def test_counter(self):
+        counter = Counter()
+        assert counter.inc() == 1
+        assert counter.inc(4) == 5
+        assert counter.value == 5
+
+    def test_gauge(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(3)
+        assert gauge.value == 3.0
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        for value in (4.0, 1.0, 7.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 1.0 and histogram.max == 7.0
+        assert histogram.total == pytest.approx(12.0)
+        assert histogram.mean == pytest.approx(4.0)
+        assert set(histogram.as_dict()) == {"count", "total", "min", "max", "mean"}
+
+    def test_histogram_first_observation_sets_extremes(self):
+        histogram = Histogram()
+        histogram.observe(-2.0)
+        assert histogram.min == histogram.max == -2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    @pytest.mark.parametrize("first,second", [
+        ("counter", "gauge"),
+        ("counter", "histogram"),
+        ("histogram", "counter"),
+        ("gauge", "histogram"),
+    ])
+    def test_kind_collision_raises(self, first, second):
+        registry = MetricsRegistry()
+        getattr(registry, first)("name")
+        with pytest.raises(ValueError, match="already registered"):
+            getattr(registry, second)("name")
+
+    def test_snapshot_is_name_sorted_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second").inc(2)
+        registry.counter("a.first").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "b.second"]
+        assert snap["counters"]["b.second"] == 2
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1.0
+        json.dumps(snap)  # must be plain JSON-serializable data
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_global_registry_reset_helper(self):
+        get_registry().counter("x").inc()
+        reset_metrics()
+        assert get_registry().snapshot()["counters"] == {}
+
+
+class TestManifests:
+    def test_manifest_path_for_replaces_extension(self):
+        assert manifest_path_for("t.jsonl") == "t.manifest.json"
+        assert manifest_path_for("/a/bench-trace.jsonl") == "/a/bench-trace.manifest.json"
+
+    def test_build_write_load_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("engine.cache.hits").inc(3)
+        registry.histogram("engine.chunk.size").observe(16.0)
+        manifest = build_manifest(
+            trace_path="t.jsonl",
+            n_trace_events=25,
+            command=["insert", "--trace"],
+            registry=registry,
+            created_unix=1000.0,
+        )
+        path = write_manifest(str(tmp_path / "t.manifest.json"), manifest)
+        loaded = load_manifest(path)
+        assert loaded == manifest
+        assert loaded["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert loaded["created_unix"] == 1000.0
+        assert loaded["trace_path"] == "t.jsonl"
+        assert loaded["n_trace_events"] == 25
+        assert loaded["command"] == ["insert", "--trace"]
+        assert loaded["metrics"]["counters"]["engine.cache.hits"] == 3
+        assert loaded["metrics"]["histograms"]["engine.chunk.size"]["mean"] == 16.0
+
+    def test_build_manifest_defaults_to_global_registry(self):
+        get_registry().counter("c").inc()
+        manifest = build_manifest()
+        assert manifest["metrics"]["counters"] == {"c": 1}
+        assert "trace_path" not in manifest and "command" not in manifest
+
+    @pytest.mark.parametrize("payload,message", [
+        ([], "JSON object"),
+        ({}, "schema_version"),
+        ({"schema_version": "1"}, "schema_version"),
+        ({"schema_version": 99, "metrics": {}}, "newer than supported"),
+        ({"schema_version": 1}, "'metrics'"),
+        ({"schema_version": 1, "metrics": {"counters": {}, "gauges": {}}}, "histograms"),
+        (
+            {"schema_version": 1,
+             "metrics": {"counters": {"c": True}, "gauges": {}, "histograms": {}}},
+            "non-integer",
+        ),
+        (
+            {"schema_version": 1,
+             "metrics": {"counters": {}, "gauges": {},
+                         "histograms": {"h": {"count": 1}}}},
+            "summary fields",
+        ),
+    ])
+    def test_validate_rejects_malformed(self, payload, message):
+        with pytest.raises(ManifestError, match=message):
+            validate_manifest(payload)
+
+    def test_write_manifest_validates_first(self, tmp_path):
+        path = tmp_path / "m.json"
+        with pytest.raises(ManifestError):
+            write_manifest(str(path), {"schema_version": 1})
+        assert not path.exists()
+
+    def test_load_manifest_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read"):
+            load_manifest(str(tmp_path / "nope.json"))
+
+    def test_load_manifest_bad_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{broken")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_manifest(str(path))

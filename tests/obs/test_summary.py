@@ -1,0 +1,220 @@
+"""Tests for trace analysis: loading/validation, the per-cell/per-phase
+summary, slowest-span ranking and Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.summary import (
+    NO_CELL,
+    TraceSummary,
+    export_chrome,
+    format_summary,
+    format_top,
+    load_trace,
+    span_events,
+    summarize_trace,
+    top_spans,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceError
+
+
+def run_event():
+    return {"v": 1, "type": "run", "pid": 1, "tid": 1, "ts": 100.0}
+
+
+def span_event(name, dur, span_id="1-1", cell=None, phase=None, ts=100.0, **attrs):
+    event = {
+        "v": 1, "type": "span", "pid": 1, "tid": 1,
+        "ts": ts, "name": name, "span": span_id, "dur": dur,
+    }
+    if cell is not None:
+        attrs["cell"] = cell
+    if phase is not None:
+        attrs["phase"] = phase
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+def write_trace(tmp_path, events, terminate=True, extra_text=""):
+    path = tmp_path / "t.jsonl"
+    text = "\n".join(json.dumps(event) for event in events)
+    if terminate:
+        text += "\n"
+    path.write_text(text + extra_text)
+    return str(path)
+
+
+class TestLoadTrace:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="does not exist"):
+            load_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_round_trip(self, tmp_path):
+        events = [run_event(), span_event("engine.phase", 0.5, phase="p")]
+        path = write_trace(tmp_path, events)
+        assert load_trace(path) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(run_event()) + "\n\n" + json.dumps(run_event()) + "\n")
+        assert len(load_trace(str(path))) == 2
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(run_event()) + "\n{broken\n" + json.dumps(run_event()) + "\n")
+        with pytest.raises(TraceError, match="line 2 is corrupt"):
+            load_trace(str(path))
+
+    def test_torn_final_line_tolerated_without_newline(self, tmp_path):
+        path = write_trace(tmp_path, [run_event()], extra_text='{"v":1,"type":"sp')
+        assert len(load_trace(path)) == 1
+
+    def test_corrupt_final_line_with_newline_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(run_event()) + "\n{broken\n")
+        with pytest.raises(TraceError, match="corrupt"):
+            load_trace(str(path))
+
+    @pytest.mark.parametrize("event,message", [
+        ([1, 2], "JSON object"),
+        ({"type": "run"}, "schema version"),
+        ({"v": TRACE_SCHEMA_VERSION + 1, "type": "run"}, "newer than supported"),
+        ({"v": 1}, "'type'"),
+        ({"v": 1, "type": "span", "span": "1-1", "dur": 0.1}, "'name'"),
+        ({"v": 1, "type": "span", "name": "s", "dur": 0.1}, "'span' id"),
+        ({"v": 1, "type": "span", "name": "s", "span": "1-1", "dur": -0.1}, "'dur'"),
+        ({"v": 1, "type": "span", "name": "s", "span": "1-1"}, "'dur'"),
+    ])
+    def test_schema_violations_raise(self, tmp_path, event, message):
+        path = write_trace(tmp_path, [event])
+        with pytest.raises(TraceError, match=message):
+            load_trace(path)
+
+    def test_span_events_filters_by_type(self):
+        events = [run_event(), span_event("s", 0.1)]
+        assert span_events(events) == [events[1]]
+
+
+class TestSummarize:
+    def events(self):
+        return [
+            run_event(),
+            span_event("engine.phase", 1.0, "1-1", cell="c1", phase="step1_train"),
+            span_event("engine.chunk", 0.4, "2-1", cell="c1", phase="step1_train"),
+            span_event("engine.chunk", 0.4, "2-2", cell="c1", phase="step1_train"),
+            span_event("engine.phase", 0.5, "1-2", cell="c1", phase="yield_eval"),
+            span_event("engine.phase", 2.0, "1-3", cell="c2", phase="step1_train"),
+            span_event("engine.chunk", 3.0, "2-3", cell="c2", phase="step1_train"),
+            span_event("flow.stage", 9.0, "1-4", stage="sampling"),
+        ]
+
+    def test_rows_fold_phase_and_chunk_spans(self):
+        summary = summarize_trace(self.events())
+        assert summary.n_events == 8 and summary.n_spans == 7
+        by_key = {(row.cell, row.phase): row for row in summary.rows}
+        first = by_key[("c1", "step1_train")]
+        assert first.n_spans == 1 and first.n_chunks == 2
+        assert first.wall_seconds == pytest.approx(1.0)
+        assert first.work_seconds == pytest.approx(0.8)
+        assert first.self_seconds == pytest.approx(0.2)
+
+    def test_self_seconds_clamped_when_work_exceeds_wall(self):
+        summary = summarize_trace(self.events())
+        parallel = {(r.cell, r.phase): r for r in summary.rows}[("c2", "step1_train")]
+        assert parallel.work_seconds > parallel.wall_seconds
+        assert parallel.self_seconds == 0.0
+
+    def test_rows_keep_first_appearance_order(self):
+        summary = summarize_trace(self.events())
+        assert [(row.cell, row.phase) for row in summary.rows] == [
+            ("c1", "step1_train"), ("c1", "yield_eval"), ("c2", "step1_train"),
+        ]
+        assert list(summary.cell_seconds()) == ["c1", "c2"]
+
+    def test_totals_exclude_non_engine_spans(self):
+        summary = summarize_trace(self.events())
+        # flow.stage's 9.0 s must not leak into the wall total.
+        assert summary.total_wall_seconds == pytest.approx(3.5)
+        assert summary.cell_seconds() == {
+            "c1": pytest.approx(1.5), "c2": pytest.approx(2.0),
+        }
+
+    def test_orphan_chunk_gets_its_own_row(self):
+        summary = summarize_trace([run_event(), span_event("engine.chunk", 0.3, "2-9")])
+        assert len(summary.rows) == 1
+        row = summary.rows[0]
+        assert row.cell == NO_CELL and row.n_spans == 0 and row.n_chunks == 1
+        assert row.work_seconds == pytest.approx(0.3)
+
+    def test_as_dict_shape(self):
+        payload = summarize_trace(self.events()).as_dict()
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+        assert payload["total_wall_seconds"] == pytest.approx(3.5)
+        assert {"cell", "phase", "wall_seconds", "work_seconds", "self_seconds",
+                "n_spans", "n_chunks"} <= set(payload["rows"][0])
+
+    def test_format_summary_renders_rows_and_cell_totals(self):
+        text = format_summary(summarize_trace(self.events()))
+        assert "cell" in text and "wall s" in text
+        assert "step1_train" in text and "c2" in text
+        assert "cell total" in text  # two cells -> per-cell totals
+        assert "total wall 3.500 s over 7 span(s), 8 event(s)" in text
+
+    def test_format_summary_widens_cell_column(self):
+        long_cell = "s9234@0.05/sigma0/graph/n40e80/r0"
+        events = [span_event("engine.phase", 1.0, cell=long_cell, phase="zz")]
+        header, row = format_summary(summarize_trace(events)).split("\n")[:2]
+        assert row.startswith(long_cell + "  ")
+        assert header.index("phase") == row.index("zz")
+
+    def test_empty_summary(self):
+        summary = summarize_trace([])
+        assert summary.rows == [] and summary.total_wall_seconds == 0.0
+        assert "total wall 0.000 s" in format_summary(summary)
+
+
+class TestTopSpans:
+    def test_sorted_by_duration_desc(self):
+        events = [
+            span_event("a", 0.1, "1-1"),
+            span_event("b", 0.9, "1-2"),
+            span_event("c", 0.5, "1-3"),
+        ]
+        assert [e["name"] for e in top_spans(events)] == ["b", "c", "a"]
+
+    def test_count_limits_and_name_filters(self):
+        events = [span_event("x", float(i), f"1-{i}") for i in range(5)]
+        events += [span_event("y", 99.0, "1-9")]
+        top = top_spans(events, count=2, name="x")
+        assert [e["dur"] for e in top] == [4.0, 3.0]
+        assert top_spans(events, count=0) == []
+
+    def test_ties_break_on_span_id(self):
+        events = [span_event("a", 1.0, "1-2"), span_event("a", 1.0, "1-1")]
+        assert [e["span"] for e in top_spans(events)] == ["1-1", "1-2"]
+
+    def test_format_top_renders_attrs_sorted(self):
+        text = format_top([span_event("engine.chunk", 0.25, phase="p", cell="c")])
+        assert "engine.chunk" in text and "0.2500" in text
+        assert "cell=c phase=p" in text
+
+
+class TestExportChrome:
+    def test_events_rebased_to_microseconds(self):
+        events = [
+            run_event(),
+            span_event("a", 0.5, "1-1", ts=100.0),
+            span_event("b", 0.25, "1-2", ts=100.5, phase="p"),
+        ]
+        chrome = export_chrome(events)
+        assert chrome["displayTimeUnit"] == "ms"
+        first, second = chrome["traceEvents"]
+        assert first["ph"] == "X" and first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(5e5)
+        assert second["ts"] == pytest.approx(5e5)
+        assert second["args"] == {"phase": "p"}
+
+    def test_empty_trace_exports_empty_list(self):
+        assert export_chrome([]) == {"traceEvents": [], "displayTimeUnit": "ms"}

@@ -1,0 +1,193 @@
+"""Tests for the span tracer: event layout, nesting, ambient context,
+worker side files and the fork-artefact guard."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace as trace_mod
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    WORKER_ENV,
+    Tracer,
+    configure_tracing,
+    current_context,
+    default_trace_path,
+    finalize_tracing,
+    get_tracer,
+    span,
+    trace_context,
+    tracing_enabled,
+    worker_part_path,
+)
+
+
+def read_events(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestPaths:
+    def test_default_trace_path_layout(self, tmp_path):
+        path = default_trace_path("campaign-run", directory=str(tmp_path))
+        assert path == str(tmp_path / "TRACE_campaign-run.jsonl")
+
+    def test_default_trace_path_sanitizes_label(self):
+        assert default_trace_path("a b/c") == os.path.join(".", "TRACE_a-b-c.jsonl")
+
+    def test_worker_part_path(self):
+        assert worker_part_path("/x/t.jsonl", 42) == "/x/t.jsonl.w42.part"
+
+
+class TestTracer:
+    def test_run_header_is_first_event(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path)
+        tracer.flush()
+        events = read_events(path)
+        assert events[0]["type"] == "run"
+        assert events[0]["v"] == TRACE_SCHEMA_VERSION
+        assert events[0]["pid"] == os.getpid()
+        assert "t0_unix" in events[0]["attrs"]
+
+    def test_span_event_layout_and_nesting(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path)
+        with tracer.span("outer", a=1):
+            with tracer.span("inner"):
+                pass
+        tracer.flush()
+        events = read_events(path)
+        # Spans close innermost-first.
+        inner, outer = events[1], events[2]
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["span"]
+        assert "parent" not in outer
+        assert outer["span"].startswith(f"{os.getpid()}-")
+        assert inner["dur"] >= 0.0 and outer["dur"] >= inner["dur"]
+        assert outer["attrs"] == {"a": 1}
+
+    def test_span_yields_mutable_attrs_recorded_at_close(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("phase", phase="x") as attrs:
+            attrs["n_tasks"] = 7
+        tracer.flush()
+        recorded = read_events(tracer.path)[-1]
+        assert recorded["attrs"] == {"phase": "x", "n_tasks": 7}
+
+    def test_n_events_counts_buffered_and_flushed(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        assert tracer.n_events == 1  # the run header
+        with tracer.span("s"):
+            pass
+        assert tracer.n_events == 2
+
+    def test_exotic_attr_values_never_abort(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("s", weird=object()):
+            pass
+        tracer.flush()
+        assert isinstance(read_events(tracer.path)[-1]["attrs"]["weird"], str)
+
+
+class TestModuleLevel:
+    def test_span_without_tracer_is_noop_yielding_attrs(self, tmp_path):
+        assert get_tracer() is None and not tracing_enabled()
+        with span("s", a=1) as attrs:
+            assert attrs == {"a": 1}
+            attrs["b"] = 2  # accepted and discarded
+
+    def test_configure_exports_worker_env(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = configure_tracing(path)
+        assert get_tracer() is tracer and tracing_enabled()
+        assert os.environ[WORKER_ENV] == f"{os.path.abspath(path)}|{os.getpid()}"
+
+    def test_finalize_disables_and_cleans_env(self, tmp_path):
+        configure_tracing(str(tmp_path / "t.jsonl"))
+        with span("s"):
+            pass
+        tracer = finalize_tracing()
+        assert tracer is not None and tracer.n_events == 2
+        assert WORKER_ENV not in os.environ
+        assert get_tracer() is None
+        assert finalize_tracing() is None
+        assert len(read_events(tracer.path)) == 2
+
+    def test_reconfigure_finalizes_previous_trace(self, tmp_path):
+        first = str(tmp_path / "a.jsonl")
+        configure_tracing(first)
+        with span("s"):
+            pass
+        configure_tracing(str(tmp_path / "b.jsonl"))
+        # The first trace was flushed by the implicit finalize.
+        assert len(read_events(first)) == 2
+
+    def test_trace_context_merges_under_explicit_attrs(self, tmp_path):
+        configure_tracing(str(tmp_path / "t.jsonl"))
+        with trace_context(cell="c1", phase="ambient"):
+            assert current_context() == {"cell": "c1", "phase": "ambient"}
+            with span("s", phase="explicit"):
+                pass
+        assert current_context() == {}
+        tracer = finalize_tracing()
+        recorded = read_events(tracer.path)[-1]
+        assert recorded["attrs"] == {"cell": "c1", "phase": "explicit"}
+
+    def test_trace_context_restores_shadowed_keys(self):
+        with trace_context(cell="outer"):
+            with trace_context(cell="inner"):
+                assert current_context()["cell"] == "inner"
+            assert current_context()["cell"] == "outer"
+
+
+class TestWorkerSideFiles:
+    def test_worker_env_spawns_side_file_tracer(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        os.environ[WORKER_ENV] = f"{path}|{os.getpid() + 1}"
+        with span("engine.chunk", n_samples=4):
+            pass
+        part = worker_part_path(path, os.getpid())
+        assert os.path.exists(part)
+        events = read_events(part)  # autoflush: on disk without finalize
+        assert [event["type"] for event in events] == ["run", "span"]
+        assert events[1]["attrs"] == {"n_samples": 4}
+
+    def test_owner_pid_never_resurrects_finalized_trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        os.environ[WORKER_ENV] = f"{path}|{os.getpid()}"
+        assert not tracing_enabled()
+        with span("s"):
+            pass
+        assert not os.path.exists(worker_part_path(path, os.getpid()))
+
+    def test_malformed_env_disables_tracing(self):
+        os.environ[WORKER_ENV] = "no-pid-separator"
+        assert not tracing_enabled()
+
+    def test_fork_inherited_tracer_is_replaced(self, tmp_path):
+        """A forked worker inherits the parent's tracer object; emitting
+        into it would strand events in the worker's buffer copy."""
+        path = str(tmp_path / "t.jsonl")
+        stale = Tracer(path)
+        stale._pid = os.getpid() + 1  # simulate the post-fork pid mismatch
+        trace_mod._TRACER = stale
+        os.environ[WORKER_ENV] = f"{path}|{os.getpid() + 1}"
+        with span("engine.chunk"):
+            pass
+        assert trace_mod._TRACER is not stale
+        assert os.path.exists(worker_part_path(path, os.getpid()))
+
+    def test_finalize_merges_and_deletes_parts(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = configure_tracing(path)
+        good = json.dumps({"v": 1, "type": "span", "name": "w", "span": "9-1", "dur": 0.1})
+        part = worker_part_path(path, 9)
+        with open(part, "w", encoding="utf-8") as handle:
+            handle.write(good + "\n{not json\n" + good + "\n")
+        finalize_tracing()
+        assert not os.path.exists(part)
+        events = read_events(path)
+        assert tracer.n_events == len(events) == 3  # header + 2 good worker lines
+        assert sum(1 for event in events if event.get("name") == "w") == 2

@@ -572,3 +572,181 @@ class TestCampaignMergeCompare:
         assert main(["campaign", "compare", store.path, store.path, "--gate"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "missing result field" in err
+
+
+class TestTraceLifecycle:
+    """The --trace flag: trace + manifest files, stdout discipline."""
+
+    def _insert(self, extra=()):
+        return main(
+            ["insert", "--circuit", "s9234", "--scale", "0.05",
+             "--samples", "60", "--eval-samples", "80", "--seed", "2", *extra]
+        )
+
+    def test_json_stdout_stays_pure_with_trace_and_progress(self, tmp_path, capsys):
+        """Tier-1 guard: --json stdout must be exactly the JSON payload
+        even with --trace and --progress both enabled."""
+        trace = str(tmp_path / "t.jsonl")
+        assert self._insert(["--json", "--progress", "--trace", trace]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # fails if any notice leaked
+        assert "improved_yield" in payload["summary"]
+        assert "[obs] wrote trace" in captured.err
+        assert "[engine]" in captured.err
+        for marker in ("[obs]", "[engine]"):
+            assert marker not in captured.out
+
+    def test_trace_and_manifest_written_and_schema_valid(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = str(tmp_path / "t.jsonl")
+        assert self._insert(["--trace", trace]) == 0
+        capsys.readouterr()
+        events = obs.load_trace(trace)  # schema-validates every event
+        names = {e["name"] for e in obs.span_events(events)}
+        assert {"flow.run", "engine.phase", "engine.chunk"} <= names
+        manifest = obs.load_manifest(obs.manifest_path_for(trace))
+        assert manifest["trace_path"] == trace
+        assert manifest["n_trace_events"] == len(events)
+        assert "insert" in manifest["command"]
+
+    def test_trace_changes_no_result_bytes(self, tmp_path, capsys):
+        assert self._insert(["--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert self._insert(["--json", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        traced = json.loads(capsys.readouterr().out)
+        plain["summary"].pop("runtime_seconds")
+        traced["summary"].pop("runtime_seconds")
+        assert traced == plain
+
+    def test_bare_trace_uses_command_default_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert self._insert(["--trace"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "TRACE_insert.jsonl").exists()
+        assert (tmp_path / "TRACE_insert.manifest.json").exists()
+
+
+class TestTraceCommands:
+    """repro trace summary|top|export on a recorded trace."""
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        assert main(
+            ["insert", "--circuit", "s9234", "--scale", "0.05",
+             "--samples", "40", "--eval-samples", "60", "--seed", "2",
+             "--trace", path]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_summary_text_and_json(self, trace_path, capsys):
+        assert main(["trace", "summary", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "step1_train" in out and "total wall" in out
+
+        assert main(["trace", "summary", trace_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["total_wall_seconds"] > 0.0
+        assert any(row["phase"] == "yield_eval" for row in payload["rows"])
+
+    def test_top_filters_and_limits(self, trace_path, capsys):
+        assert main(["trace", "top", trace_path, "-n", "3", "--name", "engine.chunk"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.chunk" in out and "flow.run" not in out
+
+        assert main(["trace", "top", trace_path, "-n", "2", "--json"]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert len(spans) == 2
+        assert spans[0]["dur"] >= spans[1]["dur"]
+
+    def test_export_writes_chrome_json(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", "export", trace_path, "--out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "[trace] wrote" in captured.err
+        chrome = json.loads(out_path.read_text())
+        assert chrome["traceEvents"]
+        assert all(event["ph"] == "X" for event in chrome["traceEvents"])
+
+        assert main(["trace", "export", trace_path]) == 0
+        assert "traceEvents" in json.loads(capsys.readouterr().out)
+
+    def test_missing_trace_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n" + "{}\n")
+        assert main(["trace", "summary", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTracedCampaignAndBench:
+    def test_campaign_cells_attributed_and_status_reports_seconds(self, tmp_path, capsys):
+        from repro import obs
+
+        store = str(tmp_path / "store.jsonl")
+        trace = str(tmp_path / "t.jsonl")
+        assert main(
+            ["campaign", "run", "--name", "smoke", "--store", store,
+             "--executor", "serial", "--max-cells", "2", "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+
+        events = obs.load_trace(trace)
+        cell_spans = [
+            event for event in obs.span_events(events)
+            if event["name"] == "campaign.cell"
+        ]
+        assert len(cell_spans) == 2
+        for event in cell_spans:
+            assert {"cell", "fingerprint", "circuit"} <= set(event["attrs"])
+        cells = obs.summarize_trace(events).cell_seconds()
+        assert len(cells) == 2  # engine phases carry their cell id
+
+        manifest = obs.load_manifest(obs.manifest_path_for(trace))
+        counters = manifest["metrics"]["counters"]
+        assert counters["campaign.cells.executed"] == 2
+        assert manifest["metrics"]["histograms"]["campaign.cell.seconds"]["count"] == 2.0
+
+        assert main(
+            ["campaign", "status", "--name", "smoke", "--store", store, "--json"]
+        ) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert len(status["cell_seconds"]) == 2
+        assert all(seconds > 0.0 for seconds in status["cell_seconds"].values())
+        assert status["total_recorded_seconds"] == pytest.approx(
+            sum(status["cell_seconds"].values())
+        )
+
+        assert main(["campaign", "status", "--name", "smoke", "--store", store]) == 0
+        assert "recorded  :" in capsys.readouterr().out
+
+    def test_bench_artifact_embeds_obs_snapshot_only_when_traced(self, tmp_path, capsys):
+        from repro.bench import load_artifact
+
+        trace = str(tmp_path / "t.jsonl")
+        assert main(
+            ["bench", "run", "--suite", "quick", "--label", "traced",
+             "--out-dir", str(tmp_path), "--warmup", "0",
+             "--executor", "serial", "--jobs", "1", "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        artifact = load_artifact(str(tmp_path / "BENCH_traced.json"))
+        assert artifact.obs["trace_path"] == trace
+        assert artifact.obs["schema_version"] == 1
+        assert "counters" in artifact.obs["metrics"]
+
+        assert main(
+            ["bench", "run", "--suite", "quick", "--label", "plain",
+             "--out-dir", str(tmp_path), "--warmup", "0",
+             "--executor", "serial", "--jobs", "1"]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "BENCH_plain.json").read_text())
+        assert "obs" not in data  # untraced artifacts stay byte-stable
