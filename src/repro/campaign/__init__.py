@@ -9,9 +9,12 @@ interruption:
   (:class:`CampaignSpec`), deterministically expanded into content-
   fingerprinted :class:`CampaignCell` s with derived per-cell seeds,
   plus round-robin sharding for multi-job CI;
-* :mod:`repro.campaign.store` — the checkpointed JSONL result store
-  (:class:`CampaignStore`): one fsynced record per completed cell,
-  content-addressed by cell fingerprint, tolerant of a kill mid-append;
+* :mod:`repro.campaign.store` — the checkpointed result store
+  (:class:`CampaignStore`): one durable record per completed cell,
+  content-addressed by cell fingerprint, held in a pluggable
+  :mod:`repro.store` backend addressed by URI (``jsonl:path`` — the
+  zero-dep default, tolerant of a kill mid-append — or ``sqlite:path``
+  — WAL mode, transactional, safe true-concurrent writers);
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner`, which maps
   pending cells onto one :mod:`repro.engine` executor, reusing warm
   solver state via the compiled constraint system's fingerprint, and
@@ -25,13 +28,18 @@ interruption:
   so overlapping campaigns reuse each other's completed cells;
 * :mod:`repro.campaign.compare` — per-cell yield/period/buffer deltas
   between two stores with a threshold gate
-  (:func:`gate_comparison`), the campaign sibling of ``bench gate``.
+  (:func:`gate_comparison`), the campaign sibling of ``bench gate``;
+* :mod:`repro.campaign.trend` — cross-run per-cell yield/runtime
+  series out of one store's append history (idempotent ingestion of
+  nightly artifacts; one SQL scan on the SQLite driver).
 
 Distributed aggregation: n CI jobs each run ``--shard i/n`` into their
 own store file, and :meth:`CampaignStore.merge` unions the shard stores
 into one whose report is byte-identical to an unsharded run's.
 
-The CLI surface is ``repro campaign run|status|report|merge|compare``.
+The CLI surface is ``repro campaign run|status|report|merge|compare|
+trend`` plus ``repro pool gc`` for store retention; every subcommand
+addresses stores by the same ``--store``/``--pool`` URIs.
 """
 
 from repro.campaign.compare import (
@@ -81,6 +89,27 @@ from repro.campaign.store import (
     default_store_path,
     deterministic_content,
     make_record,
+    open_campaign_backend,
+    validate_record,
+)
+from repro.campaign.trend import (
+    CampaignTrend,
+    CellTrend,
+    TrendPoint,
+    build_trend,
+    format_trend,
+    ingest_stores,
+)
+from repro.store import (
+    GCPlan,
+    StoreBackend,
+    StoreError,
+    StoreURI,
+    apply_gc,
+    format_gc_plan,
+    open_store,
+    parse_store_uri,
+    plan_gc,
 )
 
 __all__ = [
@@ -100,24 +129,41 @@ __all__ = [
     "CampaignStatus",
     "CampaignStore",
     "CampaignStoreError",
+    "CampaignTrend",
     "CellDelta",
+    "CellTrend",
+    "GCPlan",
     "MergeSummary",
     "ResultPool",
+    "StoreBackend",
+    "StoreError",
+    "StoreURI",
+    "TrendPoint",
+    "apply_gc",
     "build_report",
+    "build_trend",
     "campaign_status",
     "compare_stores",
     "default_pool_path",
     "default_store_path",
     "deterministic_content",
     "format_campaign_comparison",
+    "format_gc_plan",
     "format_report",
     "format_report_markdown",
     "format_report_text",
+    "format_trend",
     "gate_comparison",
     "get_spec",
+    "ingest_stores",
     "load_spec",
     "make_record",
+    "open_campaign_backend",
+    "open_store",
+    "parse_store_uri",
+    "plan_gc",
     "record_row",
     "save_report",
     "shard_cells",
+    "validate_record",
 ]

@@ -2,17 +2,18 @@
 
 Cell fingerprints are content hashes over every result-affecting
 parameter — they carry no notion of which *spec* a cell belongs to.  A
-:class:`ResultPool` exploits that: one global JSONL store (same format
-as a per-spec :class:`~repro.campaign.store.CampaignStore`) keyed by
-cell fingerprint, which any number of campaign specs treat as a shared
-cache.  The runner consults the pool before executing a cell and
-publishes every freshly computed record into it, so overlapping specs —
-two campaigns sharing (circuit, scale, sigma, solver, budget,
-replicate, seed, design_seed, baselines) cells — reuse each other's
-completed work instead of recomputing it.  Per-spec stores remain the
-source of truth for reports; with a pool attached they become
-materialized views over it (pool hits are copied verbatim into the
-spec store, keeping reports byte-identical to a pool-less run).
+:class:`ResultPool` exploits that: one global store (same record format
+as a per-spec :class:`~repro.campaign.store.CampaignStore`, any
+:mod:`repro.store` driver) keyed by cell fingerprint, which any number
+of campaign specs treat as a shared cache.  The runner consults the
+pool before executing a cell and publishes every freshly computed
+record into it, so overlapping specs — two campaigns sharing (circuit,
+scale, sigma, solver, budget, replicate, seed, design_seed, baselines)
+cells — reuse each other's completed work instead of recomputing it.
+Per-spec stores remain the source of truth for reports; with a pool
+attached they become materialized views over it (pool hits are copied
+verbatim into the spec store, keeping reports byte-identical to a
+pool-less run).
 
 Note the overlap condition: per-cell seeds derive from the spec's
 master ``seed``, so two specs only share cells when their ``seed``
@@ -21,15 +22,14 @@ points.  Grow a campaign by *extending* its spec (more budgets, more
 circuits) rather than re-seeding it and the pool carries everything
 already computed across the spec change.
 
-Concurrency: appends go through the store's advisory lock, so
-concurrent shard writers never corrupt the file.  ``publish`` checks
-duplicates against the *cached* view (one pool read per runner
-invocation); two racing writers that both miss the same fingerprint
-each append their record and ``load`` keeps the first — benign,
-because results are deterministic per fingerprint (equal-content
-duplicates).  A record whose content *conflicts* with the pooled one
-raises — that can only mean corruption or a seed-discipline bug,
-never an honest race.
+Concurrency: :meth:`ResultPool.publish` runs its read-check-append
+inside the backend's transaction (advisory lock for JSONL,
+``BEGIN IMMEDIATE`` for SQLite), so two concurrent publishers cannot
+interleave between the duplicate check and the append — each
+fingerprint lands exactly once no matter how many workers race on it.
+A record whose content *conflicts* with the pooled one raises — that
+can only mean corruption or a seed-discipline bug, never an honest
+race (results are deterministic per fingerprint).
 """
 
 from __future__ import annotations
@@ -58,18 +58,29 @@ def default_pool_path(directory: str = ".") -> str:
 class ResultPool:
     """One global content-addressed store shared by many campaign specs.
 
-    Cheap to construct; the backing file is only read on first
+    Cheap to construct; the backing store is only read on first
     :meth:`lookup` / :meth:`records` and re-read by :meth:`refresh`
-    (which :meth:`publish` always does, to observe concurrent writers).
+    (which the runner does once per invocation, to observe concurrent
+    writers).  ``uri`` accepts a store URI (``jsonl:path`` /
+    ``sqlite:path``) or a bare path, which infers the JSONL driver.
     """
 
-    def __init__(self, path: str) -> None:
-        self.store = CampaignStore(path)
+    def __init__(self, uri: str) -> None:
+        self.store = CampaignStore.open(str(uri))
         self._cache: Optional[Dict[str, Dict[str, object]]] = None
+
+    @classmethod
+    def open(cls, uri: str) -> "ResultPool":
+        """Open the pool addressed by a store URI (alias of the constructor)."""
+        return cls(uri)
 
     @property
     def path(self) -> str:
         return self.store.path
+
+    @property
+    def uri(self) -> str:
+        return self.store.uri
 
     # ------------------------------------------------------------------
     def refresh(self) -> Dict[str, Dict[str, object]]:
@@ -100,26 +111,43 @@ class ResultPool:
         raises :class:`CampaignStoreError` — deterministic cells cannot
         honestly disagree, so the pool (or the publisher) is corrupt.
 
-        The duplicate check runs against the cached view (one pool read
-        per runner invocation, not one per published cell).  A record
-        another writer pooled *after* our last read is therefore
-        appended again — benign, because the duplicate carries identical
-        deterministic content and ``load`` keeps the first.
+        The check-then-append pair runs inside the backend's
+        transaction, re-reading the pooled record for this fingerprint
+        under the exclusive critical section — so a record another
+        writer pooled *after* our cached read is still seen, and no
+        fingerprint can ever be appended twice by racing publishers.
+        The cached view only short-circuits *known* duplicates (no lock
+        taken when the record is already pooled).
         """
         validate_record(record)
         fingerprint = str(record["fingerprint"])
-        existing = self.records().get(fingerprint)
-        if existing is not None:
-            if deterministic_content(existing) != deterministic_content(record):
-                raise CampaignStoreError(
-                    f"result pool {self.path!r} already holds a conflicting "
-                    f"record for cell fingerprint {fingerprint!r}"
-                )
+        cached = self._cache.get(fingerprint) if self._cache is not None else None
+        if cached is not None:
+            self._check_conflict(cached, record, fingerprint)
             return False
-        self.store.append(record)
+        with self.store.transaction() as txn:
+            existing = txn.get(fingerprint)
+            if existing is not None:
+                self._check_conflict(existing, record, fingerprint)
+                if self._cache is not None:
+                    self._cache[fingerprint] = existing
+                return False
+            txn.append(record)
         if self._cache is not None:
             self._cache[fingerprint] = record
         return True
+
+    def _check_conflict(
+        self,
+        existing: Dict[str, object],
+        record: Dict[str, object],
+        fingerprint: str,
+    ) -> None:
+        if deterministic_content(existing) != deterministic_content(record):
+            raise CampaignStoreError(
+                f"result pool {self.path!r} already holds a conflicting "
+                f"record for cell fingerprint {fingerprint!r}"
+            )
 
 
 __all__ = ["DEFAULT_POOL_NAME", "ResultPool", "default_pool_path"]

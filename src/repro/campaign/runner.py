@@ -13,8 +13,12 @@ replicate of that circuit — the campaign pays pool/compile start-up per
 
 Resume discipline: before anything runs, the store's completed
 fingerprints are loaded and matching cells are skipped outright.  Each
-finished cell is appended (and fsynced) immediately, so a kill at any
-point loses at most the in-flight cell.  ``max_cells`` bounds how many
+finished cell is appended durably the moment it completes, so a kill at
+any point loses at most the in-flight cell.  The runner is
+storage-agnostic: the store and pool it is handed are thin layers over
+any :mod:`repro.store` backend (``jsonl:`` or ``sqlite:`` URIs,
+resolved by the CLI), and resume/report semantics are identical across
+drivers.  ``max_cells`` bounds how many
 pending cells one invocation executes — useful for time-boxed CI legs
 and for deterministic interruption tests.
 

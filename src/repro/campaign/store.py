@@ -1,59 +1,47 @@
-"""Checkpointed JSONL campaign result store.
+"""Checkpointed campaign result store over a pluggable storage backend.
 
-One line per completed cell, appended **and fsynced** the moment the
-cell finishes, so a campaign killed at any point loses at most the cell
-that was in flight.  Records are content-addressed by the cell's
+One record per completed cell, durably appended the moment the cell
+finishes, so a campaign killed at any point loses at most the cell that
+was in flight.  Records are content-addressed by the cell's
 :meth:`~repro.campaign.spec.CampaignCell.fingerprint`; on resume the
 runner skips every fingerprint already present, which makes the resumed
 run bit-identical to an uninterrupted one (the flow itself is
 deterministic per seed and executor-independent).
 
-Robustness rules of :meth:`CampaignStore.load`:
+Since PR 7 the on-disk format is pluggable (:mod:`repro.store`):
+stores are addressed by URI — ``jsonl:path`` (the zero-dep default,
+preserving the PR 4/5 kill-mid-append tolerance, corruption rules and
+byte-identical merge semantics) or ``sqlite:path`` (WAL mode,
+transactional upserts, safe true-concurrent writers) — and opened with
+:meth:`CampaignStore.open`.  Bare paths infer ``jsonl``, so the old
+``CampaignStore(path)`` constructor keeps working (with a
+``DeprecationWarning`` pointing at the URI form).  Reports built over
+either driver are byte-identical: the storage layer round-trips records
+value-exactly and every report order derives from the cells, not the
+file.
 
-* a truncated **final** line is ignored silently *only* when the file
-  does not end with a newline (the classic kill-during-write artefact:
-  :meth:`~CampaignStore.append` writes every complete record and its
-  terminating ``\\n`` in one call, so an interrupted append can never
-  leave a newline behind its partial record);
-* a malformed line anywhere else — including a malformed final line in
-  a newline-terminated file — means the file was corrupted, not
-  interrupted, and raises :class:`CampaignStoreError` rather than
-  silently dropping results;
-* a duplicate fingerprint keeps the **first** record (completed cells
-  are never re-executed, so a duplicate can only come from concurrent
-  writers; keeping the first matches what a resume would have skipped).
-
-Concurrent shard writers sharing one store file are serialised by a
-best-effort advisory lock (``fcntl``/``msvcrt``) on a ``<store>.lock``
-sidecar around the truncate+append critical section, so two processes
-cannot interleave a tail truncation with another's in-flight append.
+Duplicate fingerprints keep the **first** record (completed cells are
+never re-executed, so a duplicate can only come from concurrent
+writers; keeping the first matches what a resume would have skipped).
 
 :meth:`CampaignStore.merge` unions N shard stores by cell fingerprint
 into one store — the distributed aggregation step that lets n CI jobs
 each run one ``--shard i/n`` into its own file.  Conflicting results
-for the same fingerprint (same cell, different deterministic payload)
+for the same fingerprint (same cell, different deterministic content)
 are an error; equal duplicates collapse to one record.
 """
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import ContextManager, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import ContextManager, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.campaign.spec import CampaignCell, CampaignError
-
-try:  # POSIX
-    import fcntl
-except ImportError:  # pragma: no cover - platform-dependent
-    fcntl = None  # type: ignore[assignment]
-try:  # Windows
-    import msvcrt
-except ImportError:
-    msvcrt = None  # type: ignore[assignment]
+from repro.store import StoreBackend, StoreError, StoreTransaction, open_store
 
 #: Version of the record schema; bump on breaking layout changes.
 STORE_SCHEMA_VERSION = 1
@@ -63,8 +51,8 @@ STORE_PREFIX = "CAMPAIGN_"
 STORE_SUFFIX = ".jsonl"
 
 
-class CampaignStoreError(CampaignError):
-    """A campaign store file is structurally invalid."""
+class CampaignStoreError(CampaignError, StoreError):
+    """A campaign store is structurally invalid or addressed incorrectly."""
 
 
 def default_store_path(name: str, directory: str = ".") -> str:
@@ -80,30 +68,6 @@ def default_store_path(name: str, directory: str = ".") -> str:
         digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
         safe = f"{safe}-{digest}"
     return os.path.join(directory, f"{STORE_PREFIX}{safe}{STORE_SUFFIX}")
-
-
-@contextlib.contextmanager
-def _advisory_lock(path: str) -> Iterator[None]:
-    """Best-effort exclusive advisory file lock (no-op without a backend)."""
-    if fcntl is None and msvcrt is None:  # pragma: no cover - exotic platform
-        yield
-        return
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "a+b") as handle:
-        if fcntl is not None:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-        else:  # pragma: no cover - Windows
-            handle.seek(0)
-            msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
-        try:
-            yield
-        finally:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-            else:  # pragma: no cover - Windows
-                handle.seek(0)
-                msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
 
 
 def validate_record(record: object) -> Dict[str, object]:
@@ -138,61 +102,72 @@ def validate_record(record: object) -> Dict[str, object]:
     return record
 
 
+def open_campaign_backend(uri: str) -> StoreBackend:
+    """Open a :mod:`repro.store` backend configured for campaign records."""
+    return open_store(uri, validator=validate_record, error=CampaignStoreError)
+
+
 class CampaignStore:
-    """Append-only JSONL store of completed campaign cells.
+    """Campaign result store: a thin domain layer over a store backend.
 
     The store is cheap to construct — nothing is read until
     :meth:`load` / :meth:`fingerprints` — and safe to point at a path
     that does not exist yet (an empty campaign).
+
+    Construct with :meth:`open` and a store URI (``jsonl:path``,
+    ``sqlite:path``, or a bare path inferring ``jsonl``).  The legacy
+    path-only constructor still works but is deprecated.
     """
 
-    def __init__(self, path: str) -> None:
-        self.path = str(path)
+    def __init__(self, path: Optional[str] = None, *, backend: Optional[StoreBackend] = None) -> None:
+        if backend is not None:
+            if path is not None:
+                raise TypeError("pass either a path or a backend, not both")
+            self.backend = backend
+            return
+        if path is None:
+            raise TypeError("CampaignStore needs a store URI (or a backend)")
+        warnings.warn(
+            "CampaignStore(path) is deprecated; use "
+            "CampaignStore.open('jsonl:<path>') (or another store URI)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.backend = open_campaign_backend(str(path))
+
+    @classmethod
+    def open(cls, uri: str) -> "CampaignStore":
+        """Open the campaign store addressed by a store URI."""
+        return cls(backend=open_campaign_backend(str(uri)))
 
     # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Filesystem path of the backing store file."""
+        return self.backend.path
+
+    @property
+    def uri(self) -> str:
+        """The ``driver:path`` URI addressing this store."""
+        return self.backend.uri
+
     def exists(self) -> bool:
-        return os.path.exists(self.path)
+        return self.backend.exists()
+
+    def close(self) -> None:
+        self.backend.close()
 
     def load(self) -> Dict[str, Dict[str, object]]:
-        """All records keyed by cell fingerprint (see module docstring)."""
-        if not self.exists():
-            return {}
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                text = handle.read()
-        except OSError as error:
-            raise CampaignStoreError(
-                f"cannot read campaign store {self.path!r}: {error}"
-            ) from error
-        lines = text.split("\n")
-        # Every *complete* record ends with a newline written in the same
-        # call as the record itself, so only a file NOT ending in "\n"
-        # can carry an interrupted-append artefact on its final line.
-        newline_terminated = text.endswith("\n")
-        records: Dict[str, Dict[str, object]] = {}
-        # Trailing empty strings come from the final newline; drop them so
-        # "the last line" below is the last line with content.
-        while lines and lines[-1] == "":
-            lines.pop()
-        for position, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = validate_record(json.loads(line))
-            except (json.JSONDecodeError, CampaignStoreError) as error:
-                if position == len(lines) - 1 and not newline_terminated:
-                    # Interrupted mid-append: the record was never
-                    # completed, so the cell simply re-runs on resume.
-                    break
-                raise CampaignStoreError(
-                    f"campaign store {self.path!r} line {position + 1} is corrupt: {error}"
-                ) from None
-            records.setdefault(str(record["fingerprint"]), record)
-        return records
+        """All records keyed by cell fingerprint (first write wins)."""
+        return self.backend.load()
+
+    def history(self) -> List[Dict[str, object]]:
+        """Every appended record in append order (duplicates included)."""
+        return self.backend.history()
 
     def fingerprints(self) -> Set[str]:
         """Fingerprints of all completed cells."""
-        return set(self.load())
+        return self.backend.fingerprints()
 
     def records_in_order(self) -> List[Dict[str, object]]:
         """Records sorted by their cells' deterministic expansion order."""
@@ -201,64 +176,38 @@ class CampaignStore:
         return records
 
     # ------------------------------------------------------------------
-    def lock(self) -> ContextManager[None]:
-        """Advisory exclusive lock on this store (``<path>.lock`` sidecar).
+    def transaction(self) -> ContextManager[StoreTransaction]:
+        """Exclusive read-check-append critical section on this store.
 
-        Best-effort: serialises the truncate+append critical section
-        between concurrent shard writers on platforms with ``fcntl`` or
-        ``msvcrt``; a no-op elsewhere.
+        Advisory ``<path>.lock`` sidecar for the JSONL driver,
+        ``BEGIN IMMEDIATE`` for SQLite — either way, two concurrent
+        publishers cannot interleave between checking a fingerprint and
+        appending its record.
         """
-        return _advisory_lock(self.path + ".lock")
+        return self.backend.transaction()
 
-    # ------------------------------------------------------------------
-    def _truncate_partial_tail(self) -> None:
-        """Drop a partial trailing record left by a kill mid-append.
-
-        Every complete record ends with a newline written in the same
-        call, so a file not ending in ``\\n`` carries an incomplete tail.
-        Truncating it *before* appending keeps the invariant that
-        corruption can only ever live on the final line — which
-        :meth:`load` tolerates — never in the middle of the file.
-        """
-        if not self.exists():
-            return
-        with open(self.path, "r+b") as handle:
-            handle.seek(0, os.SEEK_END)
-            size = handle.tell()
-            if size == 0:
-                return
-            handle.seek(size - 1)
-            if handle.read(1) == b"\n":
-                return
-            handle.seek(0)
-            content = handle.read()
-            keep = content.rfind(b"\n") + 1
-            handle.truncate(keep)
+    def lock(self) -> ContextManager[StoreTransaction]:
+        """Deprecated alias of :meth:`transaction`."""
+        return self.transaction()
 
     def append(self, record: Dict[str, object]) -> None:
-        """Durably append one completed-cell record (validate, write, fsync).
+        """Durably append one completed-cell record (validate, write, sync)."""
+        self.backend.append(record)
 
-        The truncate+append pair runs under the store's advisory lock so
-        two shard processes sharing one store cannot interleave a tail
-        truncation with another writer's in-flight record.
+    def ingest(self, record: Dict[str, object]) -> bool:
+        """Fold one record into the store's history (idempotent).
+
+        The bulk accumulation path for trend stores: re-ingesting an
+        identical record is a no-op.  Returns ``True`` when new.
         """
-        validate_record(record)
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        with self.lock():
-            self._truncate_partial_tail()
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+        return self.backend.ingest(record)
 
     # ------------------------------------------------------------------
     @classmethod
     def merge(
-        cls, output_path: str, input_paths: Sequence[str]
+        cls, output_uri: str, input_uris: Sequence[str]
     ) -> "MergeSummary":
-        """Union N shard stores into one store at ``output_path``.
+        """Union N shard stores into the store addressed by ``output_uri``.
 
         Records are keyed by cell fingerprint.  Two records for the same
         fingerprint with equal deterministic content (cell parameters +
@@ -268,25 +217,27 @@ class CampaignStore:
         produce two different results, so a conflict means one input is
         wrong and silently keeping either would corrupt the report.
 
-        The output is written atomically (temp file + rename) in the
-        cells' deterministic expansion order, so a report built from the
-        merged store is byte-identical to one built from a single
-        unsharded run of the same spec.
+        Inputs and output are store URIs and may mix drivers freely.
+        The output is written atomically (temp file + rename for JSONL,
+        one transaction for SQLite) in the cells' deterministic
+        expansion order, so a report built from the merged store is
+        byte-identical to one built from a single unsharded run of the
+        same spec.
         """
-        if not input_paths:
+        if not input_uris:
             raise CampaignStoreError("merge needs at least one input store")
         merged: Dict[str, Dict[str, object]] = {}
         origin: Dict[str, str] = {}
         n_duplicates = 0
         per_input: List[Tuple[str, int]] = []
-        for path in input_paths:
-            store = cls(path)
+        for uri in input_uris:
+            store = cls.open(uri)
             if not store.exists():
                 raise CampaignStoreError(
-                    f"campaign store {path!r} does not exist"
+                    f"campaign store {store.path!r} does not exist"
                 )
             records = store.load()
-            per_input.append((str(path), len(records)))
+            per_input.append((str(uri), len(records)))
             for fingerprint, record in records.items():
                 existing = merged.get(fingerprint)
                 if existing is not None:
@@ -294,26 +245,17 @@ class CampaignStore:
                         raise CampaignStoreError(
                             f"conflicting results for cell fingerprint "
                             f"{fingerprint!r}: {origin[fingerprint]!r} and "
-                            f"{path!r} disagree on its deterministic content"
+                            f"{uri!r} disagree on its deterministic content"
                         )
                     n_duplicates += 1
                     continue
                 merged[fingerprint] = record
-                origin[fingerprint] = str(path)
+                origin[fingerprint] = str(uri)
         ordered = sorted(merged.values(), key=_record_sort_key)
-        directory = os.path.dirname(os.path.abspath(output_path))
-        os.makedirs(directory, exist_ok=True)
-        temp_path = output_path + ".tmp"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            for record in ordered:
-                handle.write(
-                    json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-                )
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_path, output_path)
+        output = cls.open(output_uri)
+        output.backend.replace_all(ordered)
         return MergeSummary(
-            output=str(output_path),
+            output=output.path,
             n_records=len(ordered),
             n_duplicates=n_duplicates,
             per_input=per_input,
@@ -334,7 +276,7 @@ class MergeSummary:
         Records dropped because an earlier input already carried an
         identical record for the same fingerprint.
     per_input:
-        ``(path, n_records)`` of every input store, in argument order.
+        ``(uri, n_records)`` of every input store, in argument order.
     """
 
     output: str

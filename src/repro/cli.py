@@ -19,16 +19,27 @@ Installed as the ``repro`` console script, with four subcommands:
     diff two artifacts, or gate a candidate against a baseline with a
     configurable slowdown threshold (non-zero exit on regression).
 
-``repro campaign run|status|report|merge|compare``
+``repro campaign run|status|report|merge|compare|trend``
     The experiment-campaign subsystem (:mod:`repro.campaign`): run a
     declarative circuits x sigmas x budgets matrix into a checkpointed
-    ``CAMPAIGN_<name>.jsonl`` store (killing and re-running resumes
-    exactly where it stopped), inspect completion, render paper-style
-    result tables against the baseline strategies, union the stores of
-    n distributed ``--shard i/n`` jobs into one, and diff two stores
-    with an optional quality gate (exit 1 on regression).  ``run
-    --pool`` attaches a shared content-addressed result pool so
-    overlapping campaigns reuse each other's completed cells.
+    store (killing and re-running resumes exactly where it stopped),
+    inspect completion, render paper-style result tables against the
+    baseline strategies, union the stores of n distributed
+    ``--shard i/n`` jobs into one, diff two stores with an optional
+    quality gate (exit 1 on regression), and render cross-run per-cell
+    yield/runtime trends from a store's append history.  ``run --pool``
+    attaches a shared content-addressed result pool so overlapping
+    campaigns reuse each other's completed cells.
+
+    Every store argument is a **store URI** (:mod:`repro.store`):
+    ``jsonl:path`` (zero-dep default) or ``sqlite:path`` (WAL mode,
+    safe concurrent writers); bare paths infer ``jsonl``.  An unknown
+    driver or malformed URI exits 2.
+
+``repro pool gc``
+    Retention over any content-addressed store (by record age and/or
+    count).  Dry-run by default; ``--apply`` executes the plan as one
+    atomic rewrite.
 
 ``repro trace summary|top|export``
     The observability subsystem (:mod:`repro.obs`): render the per-cell/
@@ -124,8 +135,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_bench_parsers(subparsers)
     _add_campaign_parsers(subparsers)
+    _add_pool_parsers(subparsers)
     _add_trace_parsers(subparsers)
     return parser
+
+
+def _store_uri_parent() -> argparse.ArgumentParser:
+    """Shared ``--store URI`` parent parser for campaign subcommands.
+
+    One definition keeps the flag's name, metavar and help text
+    identical across every subcommand that reads or writes a store.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--store",
+        default=None,
+        metavar="URI",
+        help="store URI: jsonl:PATH or sqlite:PATH (bare paths infer jsonl; "
+        "default: CAMPAIGN_<name>.jsonl in the CWD)",
+    )
+    return parent
+
+
+def _pool_uri_parent(required_default: bool = False) -> argparse.ArgumentParser:
+    """Shared ``--pool URI`` parent parser (campaign run + pool commands).
+
+    ``required_default=True`` documents that an absent flag falls back
+    to the canonical ``CAMPAIGN_pool.jsonl`` (the pool subcommands);
+    for ``campaign run`` an absent flag means "no pool".
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    fallback = (
+        "default: CAMPAIGN_pool.jsonl in the CWD"
+        if required_default
+        else "bare --pool uses CAMPAIGN_pool.jsonl in the CWD"
+    )
+    parent.add_argument(
+        "--pool",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="URI",
+        help="shared content-addressed result pool as a store URI: jsonl:PATH or "
+        f"sqlite:PATH, bare paths infer jsonl ({fallback})",
+    )
+    return parent
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser, label: str) -> None:
@@ -199,6 +253,7 @@ def _add_campaign_parsers(subparsers) -> None:
         help="resumable multi-circuit experiment campaigns: run matrices, report tables",
     )
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    store_parent = _store_uri_parent()
 
     def add_spec_arguments(sub):
         group = sub.add_mutually_exclusive_group(required=True)
@@ -206,14 +261,11 @@ def _add_campaign_parsers(subparsers) -> None:
             "--name", choices=SPEC_NAMES, help="built-in campaign spec"
         )
         group.add_argument("--spec", help="path to a JSON campaign spec file")
-        sub.add_argument(
-            "--store",
-            default=None,
-            help="campaign result store (default: CAMPAIGN_<name>.jsonl in the CWD)",
-        )
 
     run = campaign_sub.add_parser(
-        "run", help="run (or resume) every pending cell of a campaign"
+        "run",
+        help="run (or resume) every pending cell of a campaign",
+        parents=[store_parent, _pool_uri_parent()],
     )
     add_spec_arguments(run)
     run.add_argument(
@@ -242,15 +294,6 @@ def _add_campaign_parsers(subparsers) -> None:
         help="execute at most this many pending cells, then stop (time-boxed CI legs)",
     )
     run.add_argument(
-        "--pool",
-        nargs="?",
-        const="",
-        default=None,
-        metavar="PATH",
-        help="shared content-addressed result pool: reuse completed cells from PATH "
-        "and publish new ones into it (bare --pool uses CAMPAIGN_pool.jsonl in the CWD)",
-    )
-    run.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell campaign and per-phase engine progress to stderr",
@@ -259,13 +302,17 @@ def _add_campaign_parsers(subparsers) -> None:
     _add_trace_argument(run, "campaign-run")
 
     status = campaign_sub.add_parser(
-        "status", help="show how much of a campaign is completed in its store"
+        "status",
+        help="show how much of a campaign is completed in its store",
+        parents=[store_parent],
     )
     add_spec_arguments(status)
     status.add_argument("--json", action="store_true", help="print the status as JSON")
 
     report = campaign_sub.add_parser(
-        "report", help="aggregate the store into paper-style result tables"
+        "report",
+        help="aggregate the store into paper-style result tables",
+        parents=[store_parent],
     )
     add_spec_arguments(report)
     report.add_argument(
@@ -282,8 +329,12 @@ def _add_campaign_parsers(subparsers) -> None:
         "merge",
         help="union N shard stores into one (conflicting results are an error)",
     )
-    merge.add_argument("output", help="merged store to write (atomically replaced)")
-    merge.add_argument("inputs", nargs="+", help="shard stores to union")
+    merge.add_argument(
+        "output", help="merged store to write (store URI; atomically replaced)"
+    )
+    merge.add_argument(
+        "inputs", nargs="+", help="shard stores to union (store URIs, drivers may mix)"
+    )
     merge.add_argument(
         "--json", action="store_true", help="print the merge summary as JSON"
     )
@@ -292,8 +343,8 @@ def _add_campaign_parsers(subparsers) -> None:
         "compare",
         help="per-cell yield/period/buffer deltas between two campaign stores",
     )
-    compare.add_argument("old", help="old (baseline) campaign store")
-    compare.add_argument("new", help="new (candidate) campaign store")
+    compare.add_argument("old", help="old (baseline) campaign store (store URI)")
+    compare.add_argument("new", help="new (candidate) campaign store (store URI)")
     compare.add_argument(
         "--gate",
         action="store_true",
@@ -316,6 +367,57 @@ def _add_campaign_parsers(subparsers) -> None:
     compare.add_argument(
         "--json", action="store_true", help="print the comparison/verdict as JSON"
     )
+
+    trend = campaign_sub.add_parser(
+        "trend",
+        help="cross-run per-cell yield/runtime series from a store's append history",
+        parents=[store_parent],
+    )
+    trend.add_argument(
+        "--ingest",
+        action="append",
+        default=None,
+        metavar="URI",
+        help="fold this store's records into --store first (idempotent; "
+        "repeatable — one flag per nightly artifact)",
+    )
+    trend.add_argument(
+        "--cell", default=None, metavar="CELL_ID", help="restrict the series to one cell"
+    )
+    trend.add_argument("--json", action="store_true", help="print the trend as JSON")
+
+
+def _add_pool_parsers(subparsers) -> None:
+    pool = subparsers.add_parser(
+        "pool",
+        help="shared result-pool maintenance: retention/garbage collection",
+    )
+    pool_sub = pool.add_subparsers(dest="pool_command", required=True)
+
+    gc = pool_sub.add_parser(
+        "gc",
+        help="apply a retention policy to a pool/store (dry-run unless --apply)",
+        parents=[_pool_uri_parent(required_default=True)],
+    )
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="drop records completed longer ago than this many days",
+    )
+    gc.add_argument(
+        "--keep",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="keep only the N most recently completed records",
+    )
+    gc.add_argument(
+        "--apply",
+        action="store_true",
+        help="execute the plan (default: dry-run that only prints it)",
+    )
+    gc.add_argument("--json", action="store_true", help="print the plan as JSON")
 
 
 def _add_bench_parsers(subparsers) -> None:
@@ -541,22 +643,35 @@ def _cmd_bench_gate(args: argparse.Namespace) -> int:
 
 
 def _resolve_campaign(args: argparse.Namespace):
-    """The (spec, store) pair a campaign subcommand operates on."""
+    """The (spec, store) pair a campaign subcommand operates on.
+
+    ``--store`` is a store URI (``jsonl:``/``sqlite:``; bare paths
+    infer jsonl); without it the campaign's canonical JSONL path is
+    used.  A malformed URI or unknown driver raises ``StoreError``
+    (a ``CampaignError``), which the campaign handler exits 2 on.
+    """
     from repro.campaign import CampaignStore, default_store_path, get_spec, load_spec
 
     spec = get_spec(args.name) if args.name else load_spec(args.spec)
-    store_path = args.store or default_store_path(spec.name)
-    return spec, CampaignStore(store_path)
+    store_uri = args.store or default_store_path(spec.name)
+    return spec, CampaignStore.open(store_uri)
+
+
+def _resolve_pool(uri: Optional[str]):
+    """A :class:`ResultPool` for ``--pool`` (``None``/empty: default path)."""
+    from repro.campaign import ResultPool, default_pool_path
+
+    return ResultPool(uri or default_pool_path())
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRunner, ResultPool, default_pool_path
+    from repro.campaign import CampaignRunner
 
     spec, store = _resolve_campaign(args)
     shard_index, shard_count = args.shard
     pool = None
     if args.pool is not None:
-        pool = ResultPool(args.pool or default_pool_path())
+        pool = _resolve_pool(args.pool)
     runner = CampaignRunner(
         spec,
         store,
@@ -611,7 +726,7 @@ def _cmd_campaign_compare(args: argparse.Namespace) -> int:
         gate_comparison,
     )
 
-    old, new = CampaignStore(args.old), CampaignStore(args.new)
+    old, new = CampaignStore.open(args.old), CampaignStore.open(args.new)
     for store in (old, new):
         if not store.exists():
             raise CampaignStoreError(f"campaign store {store.path!r} does not exist")
@@ -678,8 +793,58 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_trend(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignStore,
+        CampaignStoreError,
+        build_trend,
+        format_trend,
+        ingest_stores,
+    )
+
+    if not args.store:
+        raise CampaignStoreError("campaign trend needs --store URI (no spec to infer it from)")
+    store = CampaignStore.open(args.store)
+    if args.ingest:
+        n_new = ingest_stores(store, list(args.ingest))
+        print(
+            f"[campaign] ingested {n_new} new record(s) from "
+            f"{len(args.ingest)} store(s) into {store.uri}",
+            file=sys.stderr,
+            flush=True,
+        )
+    trend = build_trend(store, cell_id=args.cell)
+    if args.json:
+        print(json.dumps(trend.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(format_trend(trend), end="")
+    return 0
+
+
+def _cmd_pool_gc(args: argparse.Namespace) -> int:
+    from repro.campaign import apply_gc, format_gc_plan, plan_gc
+    from repro.campaign.store import open_campaign_backend
+    from repro.campaign.pool import default_pool_path
+
+    backend = open_campaign_backend(args.pool or default_pool_path())
+    plan = plan_gc(backend, max_age_days=args.max_age_days, keep_newest=args.keep)
+    applied = False
+    if args.apply:
+        apply_gc(backend, plan)
+        applied = True
+    if args.json:
+        payload = dict(plan.as_dict())
+        payload["applied"] = applied
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_gc_plan(plan, applied=applied))
+    if not applied and plan.n_dropped:
+        print("dry run   : pass --apply to execute this plan")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignError
+    from repro.campaign import CampaignError, StoreError
 
     try:
         if args.campaign_command == "run":
@@ -692,7 +857,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return _cmd_campaign_merge(args)
         if args.campaign_command == "compare":
             return _cmd_campaign_compare(args)
-    except (CampaignError, ValueError, OSError) as error:
+        if args.campaign_command == "trend":
+            return _cmd_campaign_trend(args)
+    except (CampaignError, StoreError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_pool(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError, StoreError
+
+    try:
+        if args.pool_command == "gc":
+            return _cmd_pool_gc(args)
+    except (CampaignError, StoreError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return 2  # pragma: no cover - argparse enforces the choices
@@ -759,6 +938,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_bench(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "pool":
+        return _cmd_pool(args)
     if args.command == "trace":
         return _cmd_trace(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,67 @@
+"""Store URIs: ``<driver>:<path>`` addressing of result stores.
+
+A store URI names both *where* a store lives and *which driver* speaks
+its format::
+
+    jsonl:results/CAMPAIGN_smoke.jsonl    append-only JSONL (the default)
+    sqlite:results/CAMPAIGN_smoke.sqlite  SQLite in WAL mode
+
+Bare paths (no ``driver:`` prefix) infer the ``jsonl`` driver, so every
+pre-URI invocation — ``--store shard1.jsonl`` — keeps working unchanged.
+A single-letter prefix is treated as a Windows drive, not a driver, so
+``C:\\stores\\a.jsonl`` stays a bare path.  Unknown drivers raise
+:class:`~repro.store.base.StoreError` (the CLI's exit-2 path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.store.base import StoreError
+
+#: Drivers shipped with :mod:`repro.store`, in preference order.
+DRIVERS = ("jsonl", "sqlite")
+
+#: Driver inferred for bare paths (backward compatibility with the
+#: pre-URI, path-only store arguments).
+DEFAULT_DRIVER = "jsonl"
+
+
+@dataclass(frozen=True)
+class StoreURI:
+    """A parsed store address: driver name plus filesystem path."""
+
+    driver: str
+    path: str
+
+    def __str__(self) -> str:
+        return f"{self.driver}:{self.path}"
+
+
+def parse_store_uri(uri: str, default_driver: str = DEFAULT_DRIVER) -> StoreURI:
+    """Parse ``driver:path`` (or a bare path) into a :class:`StoreURI`.
+
+    Raises :class:`StoreError` on an empty URI, an empty path, or an
+    unknown driver — never silently falls back, so a typo like
+    ``sqlit:out.db`` cannot quietly create a JSONL file.
+    """
+    if not isinstance(uri, str) or not uri.strip():
+        raise StoreError("store URI must be a non-empty string")
+    uri = uri.strip()
+    head, sep, tail = uri.partition(":")
+    if not sep or len(head) <= 1:
+        # No prefix at all, or a single letter — i.e. a Windows drive
+        # like "C:\..." — both mean "bare path, default driver".
+        return StoreURI(driver=default_driver, path=uri)
+    driver = head.lower()
+    if driver not in DRIVERS:
+        raise StoreError(
+            f"unknown store driver {head!r} in URI {uri!r}; "
+            f"available drivers: {', '.join(DRIVERS)}"
+        )
+    if not tail:
+        raise StoreError(f"store URI {uri!r} has an empty path")
+    return StoreURI(driver=driver, path=tail)
+
+
+__all__ = ["DEFAULT_DRIVER", "DRIVERS", "StoreURI", "parse_store_uri"]

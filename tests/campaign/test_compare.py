@@ -52,7 +52,7 @@ def record_for(cell, improved_yield=0.9, n_buffers=4, target_period=10.0, mu_per
 
 
 def store_with(tmp_path, name, records):
-    store = CampaignStore(str(tmp_path / f"{name}.jsonl"))
+    store = CampaignStore.open(str(tmp_path / f"{name}.jsonl"))
     for record in records:
         store.append(record)
     return store

@@ -45,7 +45,7 @@ def fake_record(cell, value=1.0):
 def unsharded(tmp_path_factory):
     """One unsharded serial run of the merge spec plus its report forms."""
     spec = merge_spec()
-    store = CampaignStore(str(tmp_path_factory.mktemp("full") / "store.jsonl"))
+    store = CampaignStore.open(str(tmp_path_factory.mktemp("full") / "store.jsonl"))
     summary = CampaignRunner(spec, store, executor="serial").run()
     assert summary.n_run == spec.n_cells
     report = build_report(spec, store)
@@ -80,7 +80,7 @@ class TestMergeRoundTrip:
         spec, full_json, full_markdown = unsharded
         shard_paths = []
         for index in range(n):
-            store = CampaignStore(str(tmp_path / f"shard{index}.jsonl"))
+            store = CampaignStore.open(str(tmp_path / f"shard{index}.jsonl"))
             CampaignRunner(
                 spec, store, executor=executor, jobs=jobs,
                 shard_index=index, shard_count=n,
@@ -90,7 +90,7 @@ class TestMergeRoundTrip:
         summary = CampaignStore.merge(merged_path, shard_paths)
         assert summary.n_records == spec.n_cells
         assert summary.n_duplicates == 0
-        report = build_report(spec, CampaignStore(merged_path))
+        report = build_report(spec, CampaignStore.open(merged_path))
         assert report.complete
         assert report.to_json() == full_json
         assert format_report_markdown(report) == full_markdown
@@ -99,7 +99,7 @@ class TestMergeRoundTrip:
         spec, _, _ = unsharded
         shard_paths = []
         for index in range(2):
-            store = CampaignStore(str(tmp_path / f"s{index}.jsonl"))
+            store = CampaignStore.open(str(tmp_path / f"s{index}.jsonl"))
             CampaignRunner(spec, store, executor="serial",
                            shard_index=index, shard_count=2).run()
             shard_paths.append(store.path)
@@ -116,16 +116,16 @@ class TestMergeValidation:
         return merge_spec().cells()
 
     def test_conflicting_results_raise(self, tmp_path, cells):
-        a = CampaignStore(str(tmp_path / "a.jsonl"))
-        b = CampaignStore(str(tmp_path / "b.jsonl"))
+        a = CampaignStore.open(str(tmp_path / "a.jsonl"))
+        b = CampaignStore.open(str(tmp_path / "b.jsonl"))
         a.append(fake_record(cells[0], value=0.5))
         b.append(fake_record(cells[0], value=0.9))
         with pytest.raises(CampaignStoreError, match="conflicting results"):
             CampaignStore.merge(str(tmp_path / "m.jsonl"), [a.path, b.path])
 
     def test_identical_duplicates_collapse(self, tmp_path, cells):
-        a = CampaignStore(str(tmp_path / "a.jsonl"))
-        b = CampaignStore(str(tmp_path / "b.jsonl"))
+        a = CampaignStore.open(str(tmp_path / "a.jsonl"))
+        b = CampaignStore.open(str(tmp_path / "b.jsonl"))
         a.append(fake_record(cells[0]))
         # Same deterministic content, different wall-clock envelope.
         duplicate = fake_record(cells[0])
@@ -134,12 +134,12 @@ class TestMergeValidation:
         b.append(fake_record(cells[1]))
         summary = CampaignStore.merge(str(tmp_path / "m.jsonl"), [a.path, b.path])
         assert (summary.n_records, summary.n_duplicates) == (2, 1)
-        merged = CampaignStore(str(tmp_path / "m.jsonl")).load()
+        merged = CampaignStore.open(str(tmp_path / "m.jsonl")).load()
         # First occurrence wins, envelope included.
         assert merged[cells[0].fingerprint()]["runtime_seconds"] == 0.1
 
     def test_missing_input_raises(self, tmp_path, cells):
-        a = CampaignStore(str(tmp_path / "a.jsonl"))
+        a = CampaignStore.open(str(tmp_path / "a.jsonl"))
         a.append(fake_record(cells[0]))
         with pytest.raises(CampaignStoreError, match="does not exist"):
             CampaignStore.merge(
@@ -151,7 +151,7 @@ class TestMergeValidation:
             CampaignStore.merge(str(tmp_path / "m.jsonl"), [])
 
     def test_corrupt_input_raises(self, tmp_path, cells):
-        a = CampaignStore(str(tmp_path / "a.jsonl"))
+        a = CampaignStore.open(str(tmp_path / "a.jsonl"))
         a.append(fake_record(cells[0]))
         with open(a.path, "a", encoding="utf-8") as handle:
             handle.write('{"not": "a record"}\n')
@@ -159,22 +159,22 @@ class TestMergeValidation:
             CampaignStore.merge(str(tmp_path / "m.jsonl"), [a.path])
 
     def test_merge_replaces_output_atomically(self, tmp_path, cells):
-        a = CampaignStore(str(tmp_path / "a.jsonl"))
+        a = CampaignStore.open(str(tmp_path / "a.jsonl"))
         a.append(fake_record(cells[0]))
         out = str(tmp_path / "m.jsonl")
         with open(out, "w", encoding="utf-8") as handle:
             handle.write("stale content\n")
         CampaignStore.merge(out, [a.path])
-        assert set(CampaignStore(out).load()) == {cells[0].fingerprint()}
+        assert set(CampaignStore.open(out).load()) == {cells[0].fingerprint()}
 
     def test_merged_store_records_survive_validation(self, tmp_path, cells):
         stores = []
         for index, cell in enumerate(cells[:3]):
-            store = CampaignStore(str(tmp_path / f"s{index}.jsonl"))
+            store = CampaignStore.open(str(tmp_path / f"s{index}.jsonl"))
             store.append(fake_record(cell, value=0.1 * (index + 1)))
             stores.append(store.path)
         CampaignStore.merge(str(tmp_path / "m.jsonl"), stores)
-        merged = CampaignStore(str(tmp_path / "m.jsonl"))
+        merged = CampaignStore.open(str(tmp_path / "m.jsonl"))
         ordered = merged.records_in_order()
         assert [r["fingerprint"] for r in ordered] == [
             c.fingerprint() for c in cells[:3]

@@ -77,6 +77,71 @@ class TestPoolBasics:
         assert reader.lookup(cells[0].fingerprint()) is not None
 
 
+class TestConcurrentPublish:
+    """The publish critical section: no torn read-check-append windows."""
+
+    @pytest.mark.parametrize("uri_prefix", ["jsonl:", "sqlite:"])
+    def test_four_thread_hammer_single_winner_per_fingerprint(
+        self, tmp_path, uri_prefix
+    ):
+        # 4 publishers x all cells, every publisher offering every
+        # record: each fingerprint must land exactly once, exactly one
+        # publish() call returning True for it.
+        import threading
+
+        cells = base_spec(replicates=4).cells()
+        records = [fake_record(cell) for cell in cells]
+        uri = f"{uri_prefix}{tmp_path / 'pool.bin'}"
+        wins = {record["fingerprint"]: 0 for record in records}
+        wins_lock = threading.Lock()
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def publisher():
+            pool = ResultPool(uri)  # own cache, shared file
+            try:
+                barrier.wait()
+                for record in records:
+                    if pool.publish(record):
+                        with wins_lock:
+                            wins[record["fingerprint"]] += 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=publisher) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(count == 1 for count in wins.values()), wins
+        check = ResultPool(uri)
+        assert len(check) == len(records)
+        # Exactly one append per fingerprint ever hit the store.
+        assert len(check.store.history()) == len(records)
+
+    def test_sqlite_pool_uses_no_lock_sidecar(self, tmp_path):
+        import os
+
+        cells = base_spec().cells()
+        uri = f"sqlite:{tmp_path / 'pool.sqlite'}"
+        pool = ResultPool(uri)
+        pool.publish(fake_record(cells[0]))
+        assert not os.path.exists(str(tmp_path / "pool.sqlite") + ".lock")
+
+    def test_publish_sees_record_pooled_after_cached_read(self, tmp_path):
+        # A writer that pooled a record AFTER our cache was warmed must
+        # still be observed inside the transaction (no double-append).
+        cells = base_spec().cells()
+        path = str(tmp_path / "pool.jsonl")
+        late, early = ResultPool(path), ResultPool(path)
+        late.refresh()  # warm (empty) cache
+        record = fake_record(cells[0])
+        assert early.publish(record) is True
+        assert late.publish(record) is False
+        assert len(late.store.history()) == 1
+
+
 class TestRunnerIntegration:
     def _count_executed(self, monkeypatch):
         executed = []
@@ -92,7 +157,7 @@ class TestRunnerIntegration:
     def test_run_publishes_every_cell(self, tmp_path):
         spec = base_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         summary = CampaignRunner(spec, store, executor="serial", pool=pool).run()
         assert (summary.n_run, summary.n_pool_reused) == (spec.n_cells, 0)
         pool.refresh()
@@ -102,11 +167,11 @@ class TestRunnerIntegration:
         first, second = base_spec(), superset_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
-            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+            first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
         ).run()
 
         executed = self._count_executed(monkeypatch)
-        store = CampaignStore(str(tmp_path / "b.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         summary = CampaignRunner(second, store, executor="serial", pool=pool).run()
         shared = set(c.fingerprint() for c in first.cells()) & set(
             c.fingerprint() for c in second.cells()
@@ -122,15 +187,15 @@ class TestRunnerIntegration:
     def test_pooled_report_is_byte_identical_to_poolless_run(self, tmp_path):
         first, second = base_spec(), superset_spec()
         # Reference: the superset spec run without any pool.
-        plain_store = CampaignStore(str(tmp_path / "plain.jsonl"))
+        plain_store = CampaignStore.open(str(tmp_path / "plain.jsonl"))
         CampaignRunner(second, plain_store, executor="serial").run()
         plain_json = build_report(second, plain_store).to_json()
 
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
-            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+            first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
         ).run()
-        pooled_store = CampaignStore(str(tmp_path / "b.jsonl"))
+        pooled_store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         summary = CampaignRunner(
             second, pooled_store, executor="serial", pool=pool
         ).run()
@@ -141,11 +206,11 @@ class TestRunnerIntegration:
         first, second = base_spec(), superset_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
-            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+            first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
         ).run()
 
         executed = self._count_executed(monkeypatch)
-        store = CampaignStore(str(tmp_path / "b.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         summary = CampaignRunner(
             second, store, executor="serial", pool=pool, max_cells=1
         ).run()
@@ -158,9 +223,9 @@ class TestRunnerIntegration:
         first, second = base_spec(), superset_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
-            first, CampaignStore(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+            first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
         ).run()
-        store = CampaignStore(str(tmp_path / "b.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         CampaignRunner(second, store, executor="serial", pool=pool).run()
         executed = self._count_executed(monkeypatch)
         again = CampaignRunner(second, store, executor="serial", pool=pool).run()
@@ -170,6 +235,6 @@ class TestRunnerIntegration:
     def test_summary_dict_includes_pool_reuse(self, tmp_path):
         spec = base_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         summary = CampaignRunner(spec, store, executor="serial", pool=pool).run()
         assert summary.as_dict()["n_pool_reused"] == 0

@@ -29,7 +29,7 @@ def ran_campaign(tmp_path_factory):
         budgets=((24, 48),),
         baselines=("every_ff", "random"),
     )
-    store = CampaignStore(str(tmp_path_factory.mktemp("rep") / "store.jsonl"))
+    store = CampaignStore.open(str(tmp_path_factory.mktemp("rep") / "store.jsonl"))
     CampaignRunner(spec, store, executor="serial").run()
     return spec, store
 
@@ -48,14 +48,14 @@ class TestBuildReport:
 
     def test_empty_store_reports_all_missing(self, ran_campaign, tmp_path):
         spec, _ = ran_campaign
-        report = build_report(spec, CampaignStore(str(tmp_path / "empty.jsonl")))
+        report = build_report(spec, CampaignStore.open(str(tmp_path / "empty.jsonl")))
         assert not report.complete
         assert report.n_completed == 0
         assert len(report.missing_cell_ids) == spec.n_cells
 
     def test_partial_store_reports_missing_cells(self, ran_campaign, tmp_path):
         spec, _ = ran_campaign
-        store = CampaignStore(str(tmp_path / "partial.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "partial.jsonl"))
         CampaignRunner(spec, store, executor="serial", max_cells=1).run()
         report = build_report(spec, store)
         assert report.n_completed == 1

@@ -56,7 +56,7 @@ def tiny_spec(**overrides) -> CampaignSpec:
 def uninterrupted(tmp_path_factory):
     """One full serial run of the 12-cell spec plus its two report forms."""
     spec = spec_12_cells()
-    store = CampaignStore(str(tmp_path_factory.mktemp("full") / "store.jsonl"))
+    store = CampaignStore.open(str(tmp_path_factory.mktemp("full") / "store.jsonl"))
     summary = CampaignRunner(spec, store, executor="serial").run()
     assert summary.n_run == spec.n_cells >= 12
     report = build_report(spec, store)
@@ -66,7 +66,7 @@ def uninterrupted(tmp_path_factory):
 class TestRunBasics:
     def test_full_run_completes_and_is_resumable_noop(self, tmp_path):
         spec = tiny_spec()
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         first = CampaignRunner(spec, store, executor="serial").run()
         assert (first.n_run, first.n_remaining) == (spec.n_cells, 0)
         again = CampaignRunner(spec, store, executor="serial").run()
@@ -76,14 +76,14 @@ class TestRunBasics:
 
     def test_max_cells_bounds_one_invocation(self, tmp_path):
         spec = tiny_spec()
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         partial = CampaignRunner(spec, store, executor="serial", max_cells=1).run()
         assert (partial.n_run, partial.n_remaining) == (1, spec.n_cells - 1)
         assert campaign_status(spec, store).n_completed == 1
 
     def test_record_content_is_deterministic_fields(self, tmp_path):
         spec = tiny_spec(baselines=("every_ff",))
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         CampaignRunner(spec, store, executor="serial").run()
         for record in store.load().values():
             result = record["result"]
@@ -94,7 +94,7 @@ class TestRunBasics:
 
     def test_sharded_runs_cover_the_matrix(self, tmp_path):
         spec = tiny_spec(sigmas=(0.0, 1.0))
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         for index in range(2):
             CampaignRunner(
                 spec, store, executor="serial", shard_index=index, shard_count=2
@@ -103,7 +103,7 @@ class TestRunBasics:
 
     def test_progress_lines_go_to_stderr(self, tmp_path, capsys):
         spec = tiny_spec(sigmas=(0.0,), replicates=1)
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         CampaignRunner(spec, store, executor="serial", progress=True).run()
         captured = capsys.readouterr()
         assert "[campaign]" in captured.err
@@ -113,7 +113,7 @@ class TestRunBasics:
     def test_bad_max_cells_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="max_cells"):
             CampaignRunner(
-                tiny_spec(), CampaignStore(str(tmp_path / "s.jsonl")), max_cells=0
+                tiny_spec(), CampaignStore.open(str(tmp_path / "s.jsonl")), max_cells=0
             )
 
 
@@ -122,7 +122,7 @@ class TestResume:
 
     def _interrupt_and_resume(self, spec, store_path, resume_executor, jobs=None):
         """Run KILL_AFTER cells, fake a kill mid-append, then resume."""
-        store = CampaignStore(store_path)
+        store = CampaignStore.open(store_path)
         interrupted = CampaignRunner(
             spec, store, executor="serial", max_cells=self.KILL_AFTER
         ).run()

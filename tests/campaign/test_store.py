@@ -54,12 +54,12 @@ class TestBasics:
         )
 
     def test_missing_file_is_empty(self, tmp_path):
-        store = CampaignStore(str(tmp_path / "none.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "none.jsonl"))
         assert store.load() == {}
         assert store.fingerprints() == set()
 
     def test_append_and_load_round_trip(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         for cell in cells:
             store.append(fake_record(cell))
         records = store.load()
@@ -70,14 +70,14 @@ class TestBasics:
             assert record["cell"] == cell.as_dict()
 
     def test_records_in_order_follows_cell_sort(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         for cell in reversed(cells):
             store.append(fake_record(cell))
         ordered = store.records_in_order()
         assert [r["fingerprint"] for r in ordered] == [c.fingerprint() for c in cells]
 
     def test_append_validates(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         record = fake_record(cells[0])
         record["fingerprint"] = "deadbeefdeadbeef"
         with pytest.raises(CampaignStoreError, match="does not match"):
@@ -86,7 +86,7 @@ class TestBasics:
 
 class TestCorruption:
     def test_truncated_final_line_is_ignored(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         complete = json.dumps(fake_record(cells[1]))
         with open(store.path, "a", encoding="utf-8") as handle:
@@ -97,7 +97,7 @@ class TestCorruption:
     def test_append_after_truncated_tail_keeps_store_loadable(self, tmp_path, cells):
         # The kill-mid-append artefact must not become a corrupt middle
         # line once the campaign resumes and appends more records.
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         with open(store.path, "a", encoding="utf-8") as handle:
             handle.write('{"partial": tru')
@@ -106,7 +106,7 @@ class TestCorruption:
         assert set(records) == {cells[0].fingerprint(), cells[1].fingerprint()}
 
     def test_corrupt_middle_line_raises(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         store.append(fake_record(cells[1]))
         lines = open(store.path).read().splitlines()
@@ -120,7 +120,7 @@ class TestCorruption:
         # A cell dict missing a required field must surface as the
         # CampaignStoreError the loader and the CLI handle — not as a
         # raw TypeError escaping the final-line tolerance.
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         record = fake_record(cells[0])
         del record["cell"]["circuit"]
         with open(store.path, "a", encoding="utf-8") as handle:
@@ -134,7 +134,7 @@ class TestCorruption:
         # so a malformed final line in a newline-terminated file is
         # corruption — not an interrupted append — and must not be
         # silently dropped.
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         record = fake_record(cells[1])
         record["cell"]["circuit"] = "nope"
@@ -144,7 +144,7 @@ class TestCorruption:
             store.load()
 
     def test_newline_terminated_truncated_final_line_raises(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         partial = json.dumps(fake_record(cells[1]))
         with open(store.path, "a", encoding="utf-8") as handle:
@@ -155,7 +155,7 @@ class TestCorruption:
     def test_invalid_cell_on_unterminated_final_line_is_tolerated(self, tmp_path, cells):
         # Without the trailing newline this *is* the kill-mid-append
         # artefact, even when the partial happens to be valid JSON.
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0]))
         record = fake_record(cells[1])
         record["cell"]["circuit"] = "nope"
@@ -164,14 +164,14 @@ class TestCorruption:
         assert set(store.load()) == {cells[0].fingerprint()}
 
     def test_duplicate_fingerprint_keeps_first(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         store.append(fake_record(cells[0], value=0.5))
         store.append(fake_record(cells[0], value=0.9))
         records = store.load()
         assert records[cells[0].fingerprint()]["result"]["improved_yield"] == 0.5
 
     def test_newer_schema_version_rejected(self, tmp_path, cells):
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         record = fake_record(cells[0])
         record["schema_version"] = STORE_SCHEMA_VERSION + 1
         store.append(fake_record(cells[1]))
@@ -183,10 +183,76 @@ class TestCorruption:
             store.load()
 
 
+class TestUriAddressing:
+    def test_legacy_path_constructor_warns_but_works(self, tmp_path, cells):
+        with pytest.warns(DeprecationWarning, match="CampaignStore.open"):
+            store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append(fake_record(cells[0]))
+        assert set(store.load()) == {cells[0].fingerprint()}
+
+    def test_open_bare_path_infers_jsonl(self, tmp_path):
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
+        assert store.uri.startswith("jsonl:")
+
+    def test_open_sqlite_uri(self, tmp_path, cells):
+        store = CampaignStore.open(f"sqlite:{tmp_path / 's.sqlite'}")
+        store.append(fake_record(cells[0]))
+        assert store.uri.startswith("sqlite:")
+        assert set(store.load()) == {cells[0].fingerprint()}
+
+    def test_open_unknown_driver_raises(self, tmp_path):
+        with pytest.raises(CampaignStoreError, match="unknown store driver"):
+            CampaignStore.open(f"bogus:{tmp_path / 's.bin'}")
+
+    def test_backend_and_path_are_mutually_exclusive(self, tmp_path):
+        backend = CampaignStore.open(str(tmp_path / "s.jsonl")).backend
+        with pytest.raises(TypeError, match="not both"):
+            CampaignStore("x", backend=backend)
+        with pytest.raises(TypeError, match="store URI"):
+            CampaignStore()
+
+
+class TestSqliteParity:
+    """The sqlite driver honours the exact campaign-store semantics."""
+
+    def test_duplicate_fingerprint_keeps_first(self, tmp_path, cells):
+        store = CampaignStore.open(f"sqlite:{tmp_path / 's.sqlite'}")
+        store.append(fake_record(cells[0], value=0.5))
+        store.append(fake_record(cells[0], value=0.9))
+        assert store.load()[cells[0].fingerprint()]["result"]["improved_yield"] == 0.5
+
+    def test_append_validates(self, tmp_path, cells):
+        store = CampaignStore.open(f"sqlite:{tmp_path / 's.sqlite'}")
+        record = fake_record(cells[0])
+        record["fingerprint"] = "deadbeefdeadbeef"
+        with pytest.raises(CampaignStoreError, match="does not match"):
+            store.append(record)
+
+    def test_records_round_trip_value_exactly(self, tmp_path, cells):
+        jsonl = CampaignStore.open(f"jsonl:{tmp_path / 's.jsonl'}")
+        sqlite = CampaignStore.open(f"sqlite:{tmp_path / 's.sqlite'}")
+        for cell in cells:
+            jsonl.append(fake_record(cell))
+            sqlite.append(fake_record(cell))
+        assert jsonl.load() == sqlite.load()
+        assert jsonl.records_in_order() == sqlite.records_in_order()
+
+    def test_merge_mixes_drivers(self, tmp_path, cells):
+        a = CampaignStore.open(f"jsonl:{tmp_path / 'a.jsonl'}")
+        b = CampaignStore.open(f"sqlite:{tmp_path / 'b.sqlite'}")
+        a.append(fake_record(cells[0]))
+        b.append(fake_record(cells[1]))
+        out_uri = f"sqlite:{tmp_path / 'm.sqlite'}"
+        summary = CampaignStore.merge(out_uri, [a.uri, b.uri])
+        assert summary.n_records == 2
+        merged = CampaignStore.open(out_uri)
+        assert set(merged.load()) == {c.fingerprint() for c in cells[:2]}
+
+
 class TestAdvisoryLock:
     def test_lock_is_exclusive_while_held(self, tmp_path, cells):
         fcntl = pytest.importorskip("fcntl")
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         with store.lock():
             with open(store.path + ".lock", "a+b") as probe:
                 with pytest.raises(OSError):
@@ -203,7 +269,7 @@ class TestAdvisoryLock:
         # serialised by the advisory lock.
         from concurrent.futures import ThreadPoolExecutor
 
-        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         records = [fake_record(cell) for cell in cells]
         with ThreadPoolExecutor(max_workers=2) as pool:
             list(pool.map(store.append, records))

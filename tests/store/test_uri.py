@@ -1,0 +1,63 @@
+"""Store URI parsing: drivers, bare paths, malformed inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import (
+    DEFAULT_DRIVER,
+    DRIVERS,
+    StoreError,
+    StoreURI,
+    parse_store_uri,
+)
+
+
+class TestParse:
+    def test_explicit_jsonl(self):
+        assert parse_store_uri("jsonl:a/b.jsonl") == StoreURI("jsonl", "a/b.jsonl")
+
+    def test_explicit_sqlite(self):
+        assert parse_store_uri("sqlite:/tmp/s.db") == StoreURI("sqlite", "/tmp/s.db")
+
+    def test_driver_is_case_insensitive(self):
+        assert parse_store_uri("SQLite:s.db").driver == "sqlite"
+
+    def test_bare_path_infers_default_driver(self):
+        parsed = parse_store_uri("CAMPAIGN_smoke.jsonl")
+        assert parsed == StoreURI(DEFAULT_DRIVER, "CAMPAIGN_smoke.jsonl")
+
+    def test_bare_absolute_path(self):
+        assert parse_store_uri("/var/data/s.jsonl").driver == DEFAULT_DRIVER
+
+    def test_windows_drive_letter_is_a_bare_path(self):
+        # "C:\\store.jsonl" must not be parsed as driver "c".
+        parsed = parse_store_uri(r"C:\store.jsonl")
+        assert parsed == StoreURI(DEFAULT_DRIVER, r"C:\store.jsonl")
+
+    def test_default_driver_override(self):
+        assert parse_store_uri("s.db", default_driver="sqlite").driver == "sqlite"
+
+    def test_str_round_trip(self):
+        assert str(parse_store_uri("sqlite:s.db")) == "sqlite:s.db"
+
+    def test_path_may_contain_colons(self):
+        assert parse_store_uri("jsonl:odd:name.jsonl").path == "odd:name.jsonl"
+
+
+class TestErrors:
+    def test_unknown_driver_raises(self):
+        with pytest.raises(StoreError, match="unknown store driver 'bogus'"):
+            parse_store_uri("bogus:path")
+
+    def test_unknown_driver_lists_available(self):
+        with pytest.raises(StoreError, match="jsonl, sqlite"):
+            parse_store_uri("postgres:host/db")
+
+    def test_empty_path_raises(self):
+        with pytest.raises(StoreError, match="empty path"):
+            parse_store_uri("jsonl:")
+
+    def test_driver_registry_matches_parser(self):
+        for driver in DRIVERS:
+            assert parse_store_uri(f"{driver}:x").driver == driver

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import time
 
 import pytest
 
@@ -505,7 +506,7 @@ class TestCampaignMergeCompare:
         cells = get_spec("smoke").cells()
         paths = []
         for index, value in enumerate((0.5, 0.9)):
-            store = CampaignStore(str(tmp_path / f"c{index}.jsonl"))
+            store = CampaignStore.open(str(tmp_path / f"c{index}.jsonl"))
             store.append(
                 make_record(cells[0], {"improved_yield": value, "n_buffers": 1},
                             runtime_seconds=0.1, completed_unix=1.0)
@@ -520,7 +521,7 @@ class TestCampaignMergeCompare:
         cells = get_spec("smoke").cells()
 
         def build(path, improved_yield):
-            store = CampaignStore(str(tmp_path / path))
+            store = CampaignStore.open(str(tmp_path / path))
             store.append(
                 make_record(cells[0], {
                     "n_flip_flops": 10, "n_gates": 50, "target_period": 10.0,
@@ -564,7 +565,7 @@ class TestCampaignMergeCompare:
         from repro.campaign import CampaignStore, get_spec, make_record
 
         cells = get_spec("smoke").cells()
-        store = CampaignStore(str(tmp_path / "partial.jsonl"))
+        store = CampaignStore.open(str(tmp_path / "partial.jsonl"))
         store.append(
             make_record(cells[0], {"improved_yield": 0.9, "n_buffers": 1},
                         runtime_seconds=0.1, completed_unix=1.0)
@@ -572,6 +573,157 @@ class TestCampaignMergeCompare:
         assert main(["campaign", "compare", store.path, store.path, "--gate"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "missing result field" in err
+
+
+class TestStoreUris:
+    """--store/--pool URI addressing: drivers, parity, failure exits."""
+
+    def _run(self, store, extra=()):
+        return main(["campaign", "run", "--name", "smoke", "--executor", "serial",
+                     "--store", store, *extra])
+
+    def test_sqlite_run_report_matches_jsonl_byte_for_byte(self, tmp_path, capsys):
+        jsonl_store = f"jsonl:{tmp_path / 's.jsonl'}"
+        sqlite_store = f"sqlite:{tmp_path / 's.sqlite'}"
+        reports = {}
+        for store in (jsonl_store, sqlite_store):
+            assert self._run(store) == 0
+            capsys.readouterr()
+            assert main(["campaign", "report", "--name", "smoke",
+                         "--store", store, "--format", "json"]) == 0
+            reports[store] = capsys.readouterr().out
+        assert reports[jsonl_store] == reports[sqlite_store]
+
+    def test_sqlite_run_survives_interrupt_and_resume(self, tmp_path, capsys):
+        store = f"sqlite:{tmp_path / 's.sqlite'}"
+        # "Interrupt": stop after 2 of the 4 smoke cells.
+        assert self._run(store, ["--max-cells", "2", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert (first["n_run"], first["n_remaining"]) == (2, 2)
+        assert self._run(store, ["--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert (second["n_completed_before"], second["n_remaining"]) == (2, 0)
+        assert main(["campaign", "status", "--name", "smoke", "--store", store,
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["complete"] is True
+
+    def test_sqlite_pool_round_trip(self, tmp_path, capsys):
+        pool = f"sqlite:{tmp_path / 'pool.sqlite'}"
+        assert self._run(f"jsonl:{tmp_path / 'a.jsonl'}", ["--pool", pool]) == 0
+        capsys.readouterr()
+        assert self._run(f"jsonl:{tmp_path / 'b.jsonl'}",
+                         ["--pool", pool, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_run"] == 0
+        assert summary["n_pool_reused"] == summary["n_cells"]
+
+    def test_unknown_driver_exits_2(self, tmp_path, capsys):
+        assert self._run(f"bogus:{tmp_path / 's.bin'}") == 2
+        assert "unknown store driver" in capsys.readouterr().err
+
+    def test_empty_uri_path_exits_2(self, capsys):
+        assert self._run("sqlite:") == 2
+        assert "empty path" in capsys.readouterr().err
+
+    def test_merge_mixes_drivers(self, tmp_path, capsys):
+        for store, shard in ((f"jsonl:{tmp_path / 'a.jsonl'}", "1/2"),
+                             (f"sqlite:{tmp_path / 'b.sqlite'}", "2/2")):
+            assert self._run(store, ["--shard", shard]) == 0
+        capsys.readouterr()
+        merged = f"sqlite:{tmp_path / 'm.sqlite'}"
+        assert main(["campaign", "merge", merged,
+                     f"jsonl:{tmp_path / 'a.jsonl'}",
+                     f"sqlite:{tmp_path / 'b.sqlite'}", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["n_records"] == 4
+
+
+class TestCampaignTrend:
+    def _seed_night(self, tmp_path, night):
+        store = f"jsonl:{tmp_path / f'night{night}.jsonl'}"
+        assert main(["campaign", "run", "--name", "smoke", "--executor", "serial",
+                     "--store", store]) == 0
+        return store
+
+    def test_trend_ingests_and_reports_series(self, tmp_path, capsys):
+        nights = [self._seed_night(tmp_path, n) for n in range(2)]
+        capsys.readouterr()
+        trend_store = f"sqlite:{tmp_path / 'trend.sqlite'}"
+        args = ["campaign", "trend", "--store", trend_store]
+        for night in nights:
+            args += ["--ingest", night]
+        assert main(args + ["--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["n_cells"] == 4
+        # Deterministic cells: both nights carry identical deterministic
+        # content, so the histories collapse per cell (envelope differs
+        # only when wall-clock differs, which reruns usually do).
+        assert payload["n_points"] >= 4
+        assert "ingested" in captured.err
+
+    def test_trend_text_output(self, tmp_path, capsys):
+        night = self._seed_night(tmp_path, 0)
+        capsys.readouterr()
+        assert main(["campaign", "trend", "--store", night]) == 0
+        out = capsys.readouterr().out
+        assert "cells     : 4" in out and "run(s)" in out
+
+    def test_trend_without_store_exits_2(self, capsys):
+        assert main(["campaign", "trend"]) == 2
+        assert "needs --store" in capsys.readouterr().err
+
+
+class TestPoolGc:
+    def _seed_pool(self, tmp_path, ages):
+        from repro.campaign import CampaignStore, get_spec, make_record
+
+        cells = get_spec("smoke").cells()
+        uri = f"sqlite:{tmp_path / 'pool.sqlite'}"
+        store = CampaignStore.open(uri)
+        for cell, age_days in zip(cells, ages):
+            store.append(
+                make_record(cell, {"improved_yield": 0.9, "n_buffers": 1},
+                            runtime_seconds=0.1,
+                            completed_unix=time.time() - age_days * 86_400.0)
+            )
+        return uri, store
+
+    def test_gc_is_dry_run_by_default(self, tmp_path, capsys):
+        uri, store = self._seed_pool(tmp_path, ages=(0.0, 0.0, 40.0, 50.0))
+        assert main(["pool", "gc", "--pool", uri, "--max-age-days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "would drop" in out and "--apply" in out
+        assert len(store.load()) == 4  # untouched
+
+    def test_gc_apply_rewrites_store(self, tmp_path, capsys):
+        uri, store = self._seed_pool(tmp_path, ages=(0.0, 0.0, 40.0, 50.0))
+        assert main(["pool", "gc", "--pool", uri, "--max-age-days", "7",
+                     "--apply", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["applied"] is True and payload["n_dropped"] == 2
+        assert len(store.load()) == 2
+
+    def test_gc_keep_newest(self, tmp_path, capsys):
+        uri, store = self._seed_pool(tmp_path, ages=(1.0, 2.0, 3.0, 4.0))
+        assert main(["pool", "gc", "--pool", uri, "--keep", "1", "--apply"]) == 0
+        capsys.readouterr()
+        assert len(store.load()) == 1
+
+    def test_gc_defaults_to_canonical_pool_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["pool", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "CAMPAIGN_pool.jsonl" in out and "0 total" in out
+
+    def test_gc_bad_uri_exits_2(self, capsys):
+        assert main(["pool", "gc", "--pool", "bogus:x"]) == 2
+        assert "unknown store driver" in capsys.readouterr().err
+
+    def test_gc_corrupt_store_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "pool.jsonl"
+        bad.write_text('{"not": "a record"}\n')
+        assert main(["pool", "gc", "--pool", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestTraceLifecycle:
