@@ -1,0 +1,39 @@
+"""Swappable array backends for the statistical timing kernels.
+
+See :mod:`repro.backend.core` for the namespace contract and selection
+semantics (``--backend`` flag / ``REPRO_BACKEND`` environment variable).
+"""
+
+from repro.backend.core import (
+    BACKEND_CHOICES,
+    ENV_VAR,
+    ArrayBackend,
+    BackendError,
+    CupyBackend,
+    NumpyBackend,
+    TorchBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    numpy_backend,
+    resolve_backend,
+    set_active_backend,
+    use_backend,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "ENV_VAR",
+    "ArrayBackend",
+    "BackendError",
+    "CupyBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "numpy_backend",
+    "resolve_backend",
+    "set_active_backend",
+    "use_backend",
+]

@@ -1,0 +1,497 @@
+"""Array-backend abstraction for the statistical timing kernels.
+
+The Clark-kernel hot path (:mod:`repro.variation.arrayforms`,
+:mod:`repro.timing.propagate`) and the batched ``means + sens @ samples``
+Monte-Carlo evaluation are expressed against a small *array namespace*
+(:class:`ArrayBackend`) instead of hard-wired numpy calls.  Three
+backends implement the namespace:
+
+* :class:`NumpyBackend` — the default.  Every method is a direct
+  delegation to the very numpy/scipy function the kernels called before
+  the abstraction existed, so results stay **bit-identical** to the
+  pre-backend code path.
+* :class:`TorchBackend` — optional, auto-detected.  float64 torch
+  tensors (CPU by default, ``torch:<device>`` selects a device); erf via
+  ``torch.erf``.
+* :class:`CupyBackend` — optional, auto-detected.  CUDA arrays via
+  cupy; erf via ``cupyx.scipy.special.erf``.
+
+Selection
+---------
+``resolve_backend(name)`` with an explicit name is **strict**: an
+unavailable backend raises :class:`BackendError` (the CLI maps this to
+exit code 2).  Without a name the ``REPRO_BACKEND`` environment variable
+is consulted as a *soft* preference: an unavailable value degrades to
+numpy with a single stderr notice per process.  ``active_backend()``
+memoises the resolved default; ``set_active_backend`` / ``use_backend``
+switch it (the CLI's ``--backend`` flag calls the former).
+
+Optional backends only need to agree with the scalar oracle to
+``1e-12`` (pinned by ``tests/backend/test_conformance.py``); the numpy
+backend is pinned bit-for-bit by the existing engine identity tests.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Environment variable holding the soft backend preference.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Names `get_backend` understands, in documentation order.
+BACKEND_CHOICES: Tuple[str, ...] = ("numpy", "torch", "cupy")
+
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+try:  # pragma: no cover - exercised indirectly on every import
+    from scipy.special import erf as _np_erf
+except Exception:  # pragma: no cover - scipy genuinely absent
+    _erf_obj = np.frompyfunc(math.erf, 1, 1)
+
+    def _np_erf(x: np.ndarray) -> np.ndarray:
+        return _erf_obj(x).astype(float)
+
+
+class BackendError(RuntimeError):
+    """A requested array backend cannot be provided."""
+
+
+class ArrayBackend:
+    """Minimal array namespace the Clark kernels are written against.
+
+    Subclasses bind every method to their library's float64 routine; the
+    kernels only ever call these plus the arrays' native operators
+    (``+ - * / @``, comparisons, boolean ``& ~``, indexing/assignment).
+    """
+
+    #: Selection name ("numpy", "torch", "cupy").
+    name: str = "base"
+
+    # -- conversion ----------------------------------------------------
+    def asarray(self, x: Any):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def to_numpy(self, x: Any) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- creation ------------------------------------------------------
+    def zeros(self, shape):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def empty(self, shape):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def empty_like(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def copy(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- shape ---------------------------------------------------------
+    def stack(self, arrays, axis: int = 0):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def concatenate(self, arrays, axis: int = 0):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def broadcast_to(self, x, shape):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- elementwise ---------------------------------------------------
+    def where(self, cond, a, b):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def maximum(self, a, b):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sqrt(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def exp(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def abs(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def hypot(self, a, b):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def erf(self, x):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- reductions ----------------------------------------------------
+    def einsum(self, subscripts: str, *operands):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def any(self, x) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- derived helpers (shared implementations) ----------------------
+    def phi(self, x):
+        """Standard normal pdf, elementwise."""
+        return _INV_SQRT_2PI * self.exp(-0.5 * x * x)
+
+    def Phi(self, x):
+        """Standard normal cdf, elementwise."""
+        return 0.5 * (1.0 + self.erf(x / math.sqrt(2.0)))
+
+    def row_dot(self, a, b):
+        """Row-wise inner product over the last axis.
+
+        Leading dimensions are flattened through the exact 2-D
+        ``einsum("ij,ij->i")`` reduction the kernels have always used,
+        so 2-D inputs keep their historical bit pattern and batched
+        inputs reduce each row identically.
+        """
+        if a.ndim == 2:
+            return self.einsum("ij,ij->i", a, b)
+        lead = a.shape[:-1]
+        flat = self.einsum(
+            "ij,ij->i", a.reshape(-1, a.shape[-1]), b.reshape(-1, b.shape[-1])
+        )
+        return flat.reshape(lead)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArrayBackend {self.name}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """Direct delegation to numpy/scipy (the bit-identical default)."""
+
+    name = "numpy"
+
+    def asarray(self, x):
+        return np.asarray(x, dtype=float)
+
+    def to_numpy(self, x):
+        return np.asarray(x, dtype=float)
+
+    def zeros(self, shape):
+        return np.zeros(shape)
+
+    def empty(self, shape):
+        return np.empty(shape)
+
+    def empty_like(self, x):
+        return np.empty_like(x)
+
+    def copy(self, x):
+        return x.copy()
+
+    def stack(self, arrays, axis: int = 0):
+        return np.stack(arrays, axis=axis)
+
+    def concatenate(self, arrays, axis: int = 0):
+        return np.concatenate(arrays, axis=axis)
+
+    def broadcast_to(self, x, shape):
+        return np.broadcast_to(x, shape)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def maximum(self, a, b):
+        return np.maximum(a, b)
+
+    def sqrt(self, x):
+        return np.sqrt(x)
+
+    def exp(self, x):
+        return np.exp(x)
+
+    def abs(self, x):
+        return np.abs(x)
+
+    def hypot(self, a, b):
+        return np.hypot(a, b)
+
+    def erf(self, x):
+        return _np_erf(x)
+
+    def einsum(self, subscripts, *operands):
+        return np.einsum(subscripts, *operands)
+
+    def any(self, x) -> bool:
+        return bool(np.any(x))
+
+
+class TorchBackend(ArrayBackend):
+    """float64 torch tensors; CPU unless a device is requested."""
+
+    name = "torch"
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        import torch
+
+        self._torch = torch
+        self.device = torch.device(device) if device else torch.device("cpu")
+        self._dtype = torch.float64
+
+    def _tensor(self, x):
+        torch = self._torch
+        if isinstance(x, torch.Tensor):
+            return x.to(dtype=self._dtype, device=self.device)
+        return torch.as_tensor(
+            np.asarray(x, dtype=float), dtype=self._dtype, device=self.device
+        )
+
+    def asarray(self, x):
+        return self._tensor(x)
+
+    def to_numpy(self, x):
+        torch = self._torch
+        if isinstance(x, torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x, dtype=float)
+
+    def zeros(self, shape):
+        return self._torch.zeros(shape, dtype=self._dtype, device=self.device)
+
+    def empty(self, shape):
+        return self._torch.empty(shape, dtype=self._dtype, device=self.device)
+
+    def empty_like(self, x):
+        return self._torch.empty_like(x)
+
+    def copy(self, x):
+        return x.clone()
+
+    def stack(self, arrays, axis: int = 0):
+        return self._torch.stack([self._tensor(a) for a in arrays], dim=axis)
+
+    def concatenate(self, arrays, axis: int = 0):
+        return self._torch.cat([self._tensor(a) for a in arrays], dim=axis)
+
+    def broadcast_to(self, x, shape):
+        return self._torch.broadcast_to(self._tensor(x), shape)
+
+    def where(self, cond, a, b):
+        return self._torch.where(cond, self._tensor(a), self._tensor(b))
+
+    def maximum(self, a, b):
+        return self._torch.maximum(self._tensor(a), self._tensor(b))
+
+    def sqrt(self, x):
+        return self._torch.sqrt(x)
+
+    def exp(self, x):
+        return self._torch.exp(x)
+
+    def abs(self, x):
+        return self._torch.abs(x)
+
+    def hypot(self, a, b):
+        return self._torch.hypot(self._tensor(a), self._tensor(b))
+
+    def erf(self, x):
+        return self._torch.erf(x)
+
+    def einsum(self, subscripts, *operands):
+        return self._torch.einsum(subscripts, *operands)
+
+    def any(self, x) -> bool:
+        return bool(self._torch.any(x))
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA arrays via cupy; erf from cupyx.scipy.special."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        import cupy
+        from cupyx.scipy.special import erf as cupy_erf
+
+        self._cp = cupy
+        self._erf = cupy_erf
+
+    def asarray(self, x):
+        return self._cp.asarray(x, dtype=self._cp.float64)
+
+    def to_numpy(self, x):
+        if isinstance(x, self._cp.ndarray):
+            return self._cp.asnumpy(x)
+        return np.asarray(x, dtype=float)
+
+    def zeros(self, shape):
+        return self._cp.zeros(shape)
+
+    def empty(self, shape):
+        return self._cp.empty(shape)
+
+    def empty_like(self, x):
+        return self._cp.empty_like(x)
+
+    def copy(self, x):
+        return x.copy()
+
+    def stack(self, arrays, axis: int = 0):
+        return self._cp.stack([self.asarray(a) for a in arrays], axis=axis)
+
+    def concatenate(self, arrays, axis: int = 0):
+        return self._cp.concatenate([self.asarray(a) for a in arrays], axis=axis)
+
+    def broadcast_to(self, x, shape):
+        return self._cp.broadcast_to(x, shape)
+
+    def where(self, cond, a, b):
+        return self._cp.where(cond, a, b)
+
+    def maximum(self, a, b):
+        return self._cp.maximum(a, b)
+
+    def sqrt(self, x):
+        return self._cp.sqrt(x)
+
+    def exp(self, x):
+        return self._cp.exp(x)
+
+    def abs(self, x):
+        return self._cp.abs(x)
+
+    def hypot(self, a, b):
+        return self._cp.hypot(a, b)
+
+    def erf(self, x):
+        return self._erf(x)
+
+    def einsum(self, subscripts, *operands):
+        return self._cp.einsum(subscripts, *operands)
+
+    def any(self, x) -> bool:
+        return bool(self._cp.any(x))
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+_NUMPY = NumpyBackend()
+_instances: Dict[str, ArrayBackend] = {"numpy": _NUMPY}
+_active: Optional[ArrayBackend] = None
+_notified: set = set()
+
+
+def numpy_backend() -> NumpyBackend:
+    """The always-available default backend (singleton)."""
+    return _NUMPY
+
+
+def _parse(name: str) -> Tuple[str, Optional[str]]:
+    """Split ``"torch:cuda:0"`` into base name and optional device."""
+    base, _, device = name.partition(":")
+    return base.strip().lower(), (device.strip() or None)
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Instantiate (and memoise) the named backend.
+
+    Raises :class:`BackendError` when the name is unknown or the
+    library is not importable in this environment.
+    """
+    key = name.strip().lower()
+    cached = _instances.get(key)
+    if cached is not None:
+        return cached
+    base, device = _parse(key)
+    if base not in BACKEND_CHOICES:
+        raise BackendError(
+            f"unknown array backend {name!r} (choices: {', '.join(BACKEND_CHOICES)})"
+        )
+    try:
+        if base == "numpy":
+            backend: ArrayBackend = _NUMPY
+        elif base == "torch":
+            backend = TorchBackend(device)
+        else:
+            backend = CupyBackend()
+    except Exception as exc:
+        raise BackendError(f"array backend {name!r} is not available: {exc}") from exc
+    _instances[key] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends importable in this environment."""
+    names = ["numpy"]
+    for name in ("torch", "cupy"):
+        try:
+            get_backend(name)
+        except BackendError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def resolve_backend(
+    name: Optional[str] = None, env: Optional[Dict[str, str]] = None
+) -> ArrayBackend:
+    """Resolve a backend request to an instance.
+
+    An explicit ``name`` is strict: unavailability raises
+    :class:`BackendError`.  With ``name=None`` the ``REPRO_BACKEND``
+    environment variable is a soft preference — an unavailable value
+    falls back to numpy and prints one stderr notice per process.
+    """
+    if name:
+        return get_backend(name)
+    environ = env if env is not None else os.environ
+    wanted = (environ.get(ENV_VAR) or "").strip()
+    if not wanted or wanted.lower() == "numpy":
+        return _NUMPY
+    try:
+        return get_backend(wanted)
+    except BackendError as exc:
+        if wanted not in _notified:
+            _notified.add(wanted)
+            print(
+                f"repro: {exc}; falling back to numpy (set {ENV_VAR}= to silence)",
+                file=sys.stderr,
+            )
+        return _NUMPY
+
+
+def active_backend() -> ArrayBackend:
+    """The process-wide backend the kernels use (memoised)."""
+    global _active
+    if _active is None:
+        _active = resolve_backend(None)
+    return _active
+
+
+def set_active_backend(backend) -> ArrayBackend:
+    """Install the process-wide backend (name or instance); returns it."""
+    global _active
+    if backend is None:
+        _active = None
+        return active_backend()
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(f"expected backend name or ArrayBackend, got {type(backend)!r}")
+    _active = backend
+    return backend
+
+
+@contextmanager
+def use_backend(backend) -> Iterator[ArrayBackend]:
+    """Temporarily switch the active backend (tests, scoped runs)."""
+    global _active
+    previous = _active
+    installed = set_active_backend(backend)
+    try:
+        yield installed
+    finally:
+        _active = previous
+
+
+def _reset_for_tests() -> None:
+    """Forget the memoised active backend and fallback notices."""
+    global _active
+    _active = None
+    _notified.clear()

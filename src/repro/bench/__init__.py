@@ -13,9 +13,12 @@ credible if it is measured and gated.  This subsystem provides:
 * :mod:`repro.bench.artifact` — the versioned ``BENCH_<label>.json``
   artifact schema (:data:`SCHEMA_VERSION`) with structural validation;
 * :mod:`repro.bench.compare` — artifact diffing and the regression
-  :func:`gate` that fails CI on configurable slowdown thresholds.
+  :func:`gate` that fails CI on configurable slowdown thresholds;
+* :mod:`repro.bench.trend` — cross-run per-scenario series accumulated
+  out of nightly artifacts into a :mod:`repro.store` backend (the same
+  idempotent-ingest machinery the campaign trend view uses).
 
-On the CLI this is ``repro bench run | compare | gate``.
+On the CLI this is ``repro bench run | compare | gate | trend``.
 """
 
 from repro.bench.artifact import (
@@ -39,8 +42,31 @@ from repro.bench.compare import (
     format_comparison,
     gate,
 )
-from repro.bench.runner import BenchRunner, plan_fingerprint, result_metrics
+from repro.bench.runner import (
+    CAMPAIGN_REPLICATES,
+    BenchRunner,
+    campaign_fingerprint,
+    campaign_metrics,
+    campaign_spec_for,
+    plan_fingerprint,
+    result_metrics,
+)
+from repro.bench.trend import (
+    TREND_SCHEMA_VERSION,
+    BenchTrend,
+    BenchTrendError,
+    BenchTrendPoint,
+    ScenarioTrend,
+    build_bench_trend,
+    format_bench_trend,
+    ingest_artifacts,
+    open_trend_store,
+    point_record,
+    validate_trend_record,
+)
 from repro.bench.scenarios import (
+    DISPATCH_CHOICES,
+    KIND_CHOICES,
     PARAM_FIELDS,
     SUITE_NAMES,
     Scenario,
@@ -55,27 +81,44 @@ __all__ = [
     "ArtifactError",
     "BenchArtifact",
     "BenchRunner",
+    "BenchTrend",
+    "BenchTrendError",
+    "BenchTrendPoint",
+    "CAMPAIGN_REPLICATES",
     "Comparison",
     "DEFAULT_MIN_SECONDS",
     "DEFAULT_THRESHOLD",
+    "DISPATCH_CHOICES",
     "GateResult",
+    "KIND_CHOICES",
     "PARAM_FIELDS",
     "SCHEMA_VERSION",
     "SUITE_NAMES",
     "Scenario",
     "ScenarioDelta",
     "ScenarioRecord",
+    "ScenarioTrend",
+    "TREND_SCHEMA_VERSION",
+    "build_bench_trend",
+    "campaign_fingerprint",
+    "campaign_metrics",
+    "campaign_spec_for",
     "collect_environment",
     "compare_artifacts",
     "default_artifact_path",
+    "format_bench_trend",
     "format_comparison",
     "gate",
     "get_suite",
+    "ingest_artifacts",
     "load_artifact",
+    "open_trend_store",
     "override_execution",
     "plan_fingerprint",
+    "point_record",
     "result_metrics",
     "scenario_matrix",
     "sort_scenarios",
     "validate_artifact_dict",
+    "validate_trend_record",
 ]

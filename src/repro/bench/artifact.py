@@ -26,7 +26,10 @@ from repro._version import __version__
 from repro.bench.scenarios import Scenario
 
 #: Version of the artifact schema; bump on breaking layout changes.
-SCHEMA_VERSION = 1
+#: Version 2 added the optional ``kind``/``dispatch`` scenario params
+#: (campaign-dispatch benchmarks); version-1 artifacts still load — the
+#: missing params take their schema-1-equivalent defaults.
+SCHEMA_VERSION = 2
 
 #: Prefix/suffix of artifact file names (``BENCH_<label>.json``).
 ARTIFACT_PREFIX = "BENCH_"
@@ -230,6 +233,12 @@ def validate_artifact_dict(data: object) -> None:
         "n_eval_samples": int,
         "seed": int,
     }
+    # Schema-2 additions: optional so schema-1 artifacts keep validating
+    # (Scenario.from_dict fills in the schema-1-equivalent defaults).
+    optional_param_types = {
+        "kind": str,
+        "dispatch": str,
+    }
     seen = set()
     for position, entry in enumerate(scenarios):
         if not isinstance(entry, dict):
@@ -244,6 +253,11 @@ def validate_artifact_dict(data: object) -> None:
             if not isinstance(value, expected) or isinstance(value, bool):
                 raise ArtifactError(
                     f"scenario #{position} param {name!r} has invalid value {value!r}"
+                )
+        for name, expected in optional_param_types.items():
+            if name in params and not isinstance(params[name], expected):
+                raise ArtifactError(
+                    f"scenario #{position} param {name!r} has invalid value {params[name]!r}"
                 )
         totals = entry.get("total_seconds")
         if (

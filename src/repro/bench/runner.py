@@ -21,6 +21,9 @@ benchmarks the flow, not the netlist generator.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import tempfile
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -32,6 +35,11 @@ from repro.obs.metrics import MANIFEST_SCHEMA_VERSION, get_registry
 from repro.obs.trace import get_tracer
 from repro.obs.trace import span as trace_span
 
+#: Replicates of a campaign scenario's single matrix point: enough cells
+#: in one compiled-system group that the batched gang has something to
+#: overlap, small enough for the quick suite.
+CAMPAIGN_REPLICATES = 8
+
 
 def plan_fingerprint(result: FlowResult) -> str:
     """Hex digest over the buffer plan (executor-independent)."""
@@ -41,6 +49,60 @@ def plan_fingerprint(result: FlowResult) -> str:
     )
     payload += f"|{result.improved_yield:.9g}|{result.original_yield:.9g}"
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def campaign_spec_for(scenario: Scenario):
+    """The campaign matrix a ``kind="campaign"`` scenario runs.
+
+    One matrix point replicated :data:`CAMPAIGN_REPLICATES` times: all
+    cells share one compiled-system fingerprint, so the batched runner
+    dispatches them as a single gang.  The spec is identical for every
+    dispatch strategy — the two quick-suite rows differ only in how the
+    same cells are driven, which is what makes their plan fingerprints
+    comparable.
+    """
+    from repro.campaign import CampaignSpec
+
+    return CampaignSpec(
+        name="bench",
+        seed=scenario.seed,
+        circuits=((scenario.circuit, scenario.scale),),
+        sigmas=(scenario.sigma,),
+        solvers=(scenario.solver,),
+        budgets=((scenario.n_samples, scenario.n_eval_samples),),
+        replicates=CAMPAIGN_REPLICATES,
+    )
+
+
+def campaign_fingerprint(records: Dict[str, Dict[str, object]]) -> str:
+    """Hex digest over every cell's deterministic result payload.
+
+    The campaign analogue of :func:`plan_fingerprint`: identical inputs
+    must produce identical digests regardless of executor *and* dispatch
+    strategy, so the batched and sequential quick-suite rows double as a
+    bit-identity guard.
+    """
+    payload = json.dumps(
+        {
+            fingerprint: {"cell": record["cell"], "result": record["result"]}
+            for fingerprint, record in records.items()
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def campaign_metrics(records: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """Scalar metrics over the campaign's cells (means guard results)."""
+    results = [record["result"] for record in records.values()]
+    n = max(1, len(results))
+    return {
+        "n_cells": float(len(results)),
+        "n_buffers_mean": float(sum(r["n_buffers"] for r in results)) / n,
+        "improved_yield_mean": float(sum(r["improved_yield"] for r in results)) / n,
+        "yield_improvement_mean": float(sum(r["yield_improvement"] for r in results)) / n,
+    }
 
 
 def result_metrics(result: FlowResult) -> Dict[str, float]:
@@ -107,16 +169,66 @@ class BenchRunner:
         solver settings), so after the warmup the repeats reuse the same
         worker pool instead of paying a process-pool start per run —
         exactly how a long-lived service would run the flow.
+
+        Campaign scenarios (``kind="campaign"``) instead time a whole
+        :class:`~repro.campaign.runner.CampaignRunner` invocation into a
+        throwaway store; the runner owns its executor, so every repeat
+        of every dispatch strategy pays the same pool start-up and the
+        comparison isolates the dispatch path itself.
         """
         from repro.engine import create_executor
 
-        design = self._design_for(scenario)
-        executor = create_executor(scenario.executor, scenario.jobs)
-        try:
-            with trace_span("bench.scenario", scenario=scenario.scenario_id):
+        with trace_span("bench.scenario", scenario=scenario.scenario_id):
+            if scenario.kind == "campaign":
+                return self._timed_campaign_runs(scenario)
+            design = self._design_for(scenario)
+            executor = create_executor(scenario.executor, scenario.jobs)
+            try:
                 return self._timed_runs(design, scenario, executor)
-        finally:
-            executor.close()
+            finally:
+                executor.close()
+
+    # ------------------------------------------------------------------
+    def _run_campaign(self, scenario: Scenario) -> Tuple[float, Dict[str, Dict[str, object]]]:
+        """One full campaign run into a fresh throwaway store."""
+        from repro.campaign import CampaignRunner
+        from repro.campaign.store import CampaignStore
+
+        spec = campaign_spec_for(scenario)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmp:
+            store = CampaignStore.open("jsonl:" + os.path.join(tmp, "store.jsonl"))
+            runner = CampaignRunner(
+                spec,
+                store,
+                executor=scenario.executor,
+                jobs=scenario.jobs,
+                dispatch=scenario.dispatch,
+            )
+            start = time.perf_counter()
+            runner.run()
+            seconds = time.perf_counter() - start
+            return seconds, store.load()
+
+    def _timed_campaign_runs(self, scenario: Scenario) -> ScenarioRecord:
+        for _ in range(self.warmup):
+            self._run_campaign(scenario)
+
+        totals: List[float] = []
+        best: Optional[Tuple[float, Dict[str, Dict[str, object]]]] = None
+        for _ in range(self.repeat):
+            seconds, records = self._run_campaign(scenario)
+            totals.append(seconds)
+            if best is None or seconds < best[0]:
+                best = (seconds, records)
+        assert best is not None
+        _, best_records = best
+        return ScenarioRecord(
+            scenario=scenario,
+            total_seconds=totals,
+            phase_seconds={},
+            metrics=campaign_metrics(best_records),
+            plan_fingerprint=campaign_fingerprint(best_records),
+        )
 
     def _timed_runs(self, design, scenario: Scenario, executor) -> ScenarioRecord:
         for _ in range(self.warmup):

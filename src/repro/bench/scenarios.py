@@ -24,6 +24,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.config import FlowConfig
 
 #: Artifact/scenario fields that identify one scenario (serialisation order).
+#: ``kind``/``dispatch`` arrived with artifact schema 2; their defaults
+#: reproduce the schema-1 semantics so old artifacts keep loading.
 PARAM_FIELDS = (
     "circuit",
     "scale",
@@ -34,12 +36,30 @@ PARAM_FIELDS = (
     "n_samples",
     "n_eval_samples",
     "seed",
+    "kind",
+    "dispatch",
 )
+
+#: What one scenario times: a single flow run, or a whole multi-cell
+#: campaign exercising the runner's dispatch strategy.
+KIND_CHOICES = ("flow", "campaign")
+
+#: Campaign dispatch strategies (mirrors ``repro.campaign.DISPATCH_CHOICES``
+#: without importing the campaign subsystem at scenario-definition time).
+DISPATCH_CHOICES = ("batched", "sequential")
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One cell of the benchmark matrix (everything that affects runtime)."""
+    """One cell of the benchmark matrix (everything that affects runtime).
+
+    ``kind`` selects what is timed: ``"flow"`` (one
+    :class:`~repro.core.flow.BufferInsertionFlow` run — the historical
+    meaning) or ``"campaign"`` (a small multi-cell
+    :class:`~repro.campaign.runner.CampaignRunner` matrix exercising the
+    hot dispatch path).  ``dispatch`` only matters for campaign
+    scenarios; flow scenarios ignore it and keep their schema-1 ids.
+    """
 
     circuit: str
     scale: float
@@ -50,18 +70,36 @@ class Scenario:
     n_samples: int = 60
     n_eval_samples: int = 100
     seed: int = 3
+    kind: str = "flow"
+    dispatch: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_CHOICES:
+            raise ValueError(f"kind must be one of {KIND_CHOICES}, got {self.kind!r}")
+        if self.dispatch not in DISPATCH_CHOICES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_CHOICES}, got {self.dispatch!r}"
+            )
 
     @property
     def scenario_id(self) -> str:
-        """Stable identifier; the join key of artifact comparisons."""
+        """Stable identifier; the join key of artifact comparisons.
+
+        Flow scenarios keep their schema-1 id verbatim, so artifacts
+        written before ``kind`` existed still join against new baselines;
+        campaign scenarios append a ``/campaign-<dispatch>`` segment.
+        """
         jobs = "auto" if self.jobs is None else str(self.jobs)
-        return (
+        base = (
             f"{self.circuit}@{self.scale:g}"
             f"/sigma{self.sigma:g}"
             f"/{self.solver}"
             f"/{self.executor}x{jobs}"
             f"/n{self.n_samples}e{self.n_eval_samples}s{self.seed}"
         )
+        if self.kind == "campaign":
+            base += f"/campaign-{self.dispatch}"
+        return base
 
     def sort_key(self) -> Tuple:
         """Deterministic ordering key (suite order is always this)."""
@@ -75,6 +113,8 @@ class Scenario:
             self.n_samples,
             self.n_eval_samples,
             self.seed,
+            self.kind,
+            self.dispatch,
         )
 
     def flow_config(self) -> FlowConfig:
@@ -170,6 +210,23 @@ def _quick_suite() -> List[Scenario]:
                 n_samples=60,
                 n_eval_samples=100,
             )
+        ]
+        # The campaign hot path, both dispatch strategies over the same
+        # multi-cell matrix: the pair measures the batched-gang speedup
+        # and its identical plan fingerprints guard bit-identity.
+        + [
+            Scenario(
+                circuit="s9234",
+                scale=0.05,
+                sigma=1.0,
+                executor="processes",
+                jobs=2,
+                n_samples=40,
+                n_eval_samples=80,
+                kind="campaign",
+                dispatch=dispatch,
+            )
+            for dispatch in DISPATCH_CHOICES
         ]
     )
 

@@ -1,0 +1,261 @@
+"""Cross-run benchmark trends: nightly ``BENCH_*.json`` into series.
+
+The campaign layer already grows night-over-night series out of a
+store's append history (:mod:`repro.campaign.trend`).  This module is
+the bench-side twin, built on the *same* storage machinery one level
+down: a trend store is any :mod:`repro.store` backend (``jsonl:`` /
+``sqlite:`` URI) opened with a bench-point validator, and accumulation
+reuses the backends' idempotent :meth:`~repro.store.StoreBackend.ingest`
+— re-ingesting an artifact adds nothing, so a cron job can feed every
+downloaded nightly artifact without bookkeeping which ones are new.
+
+Each ingested point is one scenario of one artifact: fingerprinted over
+``(label, created_unix, scenario_id)`` — the identity of a measurement,
+not its values — and carrying the best repeat, the full repeat list and
+the plan fingerprint.  The series view groups points by scenario id
+across runs, ordered by artifact creation time, so it answers the two
+trajectory questions directly: *is this scenario drifting slower night
+over night* and *did its plan fingerprint ever change* (a fingerprint
+flip without a code change is a determinism bug, not a perf story).
+
+CLI surface: ``repro bench trend --store URI [--ingest BENCH_*.json ...]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.artifact import BenchArtifact, ScenarioRecord, load_artifact
+from repro.bench.scenarios import Scenario
+from repro.store import StoreBackend, StoreError, open_store
+
+#: Version of the bench trend-point record envelope.
+TREND_SCHEMA_VERSION = 1
+
+
+class BenchTrendError(StoreError):
+    """A bench trend store or trend-point record is structurally invalid."""
+
+
+def validate_trend_record(record: object) -> Dict[str, object]:
+    """Structural validation of one trend-point record."""
+    if not isinstance(record, dict):
+        raise BenchTrendError("trend record must be a JSON object")
+    for key, expected in (
+        ("fingerprint", str),
+        ("scenario_id", str),
+        ("label", str),
+        ("suite", str),
+        ("params", dict),
+        ("created_unix", (int, float)),
+        ("best_seconds", (int, float)),
+        ("total_seconds", list),
+        ("plan_fingerprint", str),
+    ):
+        value = record.get(key)
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise BenchTrendError(f"trend record field {key!r} has invalid value {value!r}")
+    if not record["fingerprint"]:
+        raise BenchTrendError("trend record is missing its 'fingerprint'")
+    return record
+
+
+def open_trend_store(uri: str) -> StoreBackend:
+    """Open a bench trend store (any :mod:`repro.store` driver URI)."""
+    return open_store(uri, validator=validate_trend_record, error=BenchTrendError)
+
+
+def point_record(artifact: BenchArtifact, record: ScenarioRecord) -> Dict[str, object]:
+    """One scenario of one artifact as an ingestable trend point.
+
+    The fingerprint hashes the *identity* of the measurement — which
+    run, which scenario — not its values: the same artifact re-ingested
+    is a no-op, while a re-run of the same scenario (fresh
+    ``created_unix``) is a new point.
+    """
+    identity = json.dumps(
+        {
+            "label": artifact.label,
+            "created_unix": float(artifact.created_unix),
+            "scenario_id": record.scenario.scenario_id,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return {
+        "schema_version": TREND_SCHEMA_VERSION,
+        "fingerprint": hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16],
+        "scenario_id": record.scenario.scenario_id,
+        "label": artifact.label,
+        "suite": artifact.suite,
+        "params": record.scenario.as_dict(),
+        "created_unix": float(artifact.created_unix),
+        "best_seconds": record.best_seconds,
+        "total_seconds": [float(s) for s in record.total_seconds],
+        "plan_fingerprint": record.plan_fingerprint,
+    }
+
+
+def ingest_artifacts(store: StoreBackend, paths: List[str]) -> int:
+    """Fold ``BENCH_*.json`` files into the trend store (idempotent).
+
+    Returns the number of points that were actually new.  Artifacts are
+    validated on load, so a truncated nightly download fails loudly
+    instead of polluting the series.
+    """
+    n_new = 0
+    for path in paths:
+        artifact = load_artifact(path)
+        for record in artifact.records:
+            if store.ingest(point_record(artifact, record)):
+                n_new += 1
+    return n_new
+
+
+@dataclass
+class BenchTrendPoint:
+    """One measured run of one scenario (one artifact's record of it)."""
+
+    created_unix: float
+    label: str
+    best_seconds: float
+    plan_fingerprint: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "created_unix": self.created_unix,
+            "label": self.label,
+            "best_seconds": self.best_seconds,
+            "plan_fingerprint": self.plan_fingerprint,
+        }
+
+
+@dataclass
+class ScenarioTrend:
+    """The run-over-run series of one benchmark scenario."""
+
+    scenario_id: str
+    points: List[BenchTrendPoint] = field(default_factory=list)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    def best_seconds(self) -> List[float]:
+        return [point.best_seconds for point in self.points]
+
+    def plan_fingerprints(self) -> List[str]:
+        return [point.plan_fingerprint for point in self.points if point.plan_fingerprint]
+
+    @property
+    def plan_is_stable(self) -> bool:
+        """Whether every recorded run produced the same plan fingerprint."""
+        return len(set(self.plan_fingerprints())) <= 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario_id": self.scenario_id,
+            "n_points": self.n_points,
+            "plan_is_stable": self.plan_is_stable,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+@dataclass
+class BenchTrend:
+    """Per-scenario series over one trend store's accumulated points."""
+
+    store: str
+    scenarios: List[ScenarioTrend] = field(default_factory=list)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def n_points(self) -> int:
+        return sum(scenario.n_points for scenario in self.scenarios)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "store": self.store,
+            "n_scenarios": self.n_scenarios,
+            "n_points": self.n_points,
+            "scenarios": [scenario.as_dict() for scenario in self.scenarios],
+        }
+
+
+def build_bench_trend(
+    store: StoreBackend, scenario_id: Optional[str] = None
+) -> BenchTrend:
+    """Assemble per-scenario series from the trend store's history.
+
+    Scenarios appear in their deterministic suite order (the same
+    :meth:`~repro.bench.scenarios.Scenario.sort_key` every artifact
+    uses); each scenario's points are ordered by artifact creation time,
+    ingest order breaking ties.  ``scenario_id`` restricts the view.
+    """
+    series: Dict[str, ScenarioTrend] = {}
+    order: Dict[str, Tuple] = {}
+    for record in store.history():
+        identifier = str(record["scenario_id"])
+        if scenario_id is not None and identifier != scenario_id:
+            continue
+        trend = series.get(identifier)
+        if trend is None:
+            trend = ScenarioTrend(scenario_id=identifier)
+            series[identifier] = trend
+            order[identifier] = Scenario.from_dict(dict(record["params"])).sort_key()
+        trend.points.append(
+            BenchTrendPoint(
+                created_unix=float(record["created_unix"]),
+                label=str(record["label"]),
+                best_seconds=float(record["best_seconds"]),
+                plan_fingerprint=str(record["plan_fingerprint"]),
+            )
+        )
+    for trend in series.values():
+        indexed = list(enumerate(trend.points))
+        indexed.sort(key=lambda pair: (pair[1].created_unix, pair[0]))
+        trend.points = [point for _, point in indexed]
+    scenarios = sorted(series.values(), key=lambda trend: order[trend.scenario_id])
+    return BenchTrend(store=store.uri, scenarios=scenarios)
+
+
+def format_bench_trend(trend: BenchTrend) -> str:
+    """Plain-text rendering: one line per scenario, series summarised."""
+    lines = [
+        f"store     : {trend.store}",
+        f"scenarios : {trend.n_scenarios} with {trend.n_points} recorded run(s)",
+    ]
+    for scenario in trend.scenarios:
+        seconds = scenario.best_seconds()
+        first, last = seconds[0], seconds[-1]
+        if first > 0:
+            delta = 100.0 * (last - first) / first
+            timing = f"best {first:.3f}s -> {last:.3f}s ({delta:+.1f}%)"
+        else:
+            timing = f"best {first:.3f}s -> {last:.3f}s"
+        plan = "plan stable" if scenario.plan_is_stable else "plan DRIFTED"
+        lines.append(
+            f"  {scenario.scenario_id}: {scenario.n_points} run(s), {timing}, {plan}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "BenchTrend",
+    "BenchTrendError",
+    "BenchTrendPoint",
+    "ScenarioTrend",
+    "TREND_SCHEMA_VERSION",
+    "build_bench_trend",
+    "format_bench_trend",
+    "ingest_artifacts",
+    "open_trend_store",
+    "point_record",
+    "validate_trend_record",
+]

@@ -67,6 +67,7 @@ from repro.campaign.report import (
     save_report,
 )
 from repro.campaign.runner import (
+    DISPATCH_CHOICES,
     CampaignRunner,
     CampaignRunSummary,
     CampaignStatus,
@@ -125,6 +126,7 @@ __all__ = [
     "CampaignReport",
     "CampaignRunSummary",
     "CampaignRunner",
+    "DISPATCH_CHOICES",
     "CampaignSpec",
     "CampaignStatus",
     "CampaignStore",

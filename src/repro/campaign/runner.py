@@ -35,17 +35,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.baselines.harness import build_baseline_plan
 from repro.campaign.pool import ResultPool
 from repro.campaign.spec import CampaignCell, CampaignSpec, shard_cells
 from repro.campaign.store import CampaignStore, make_record
 from repro.core.flow import BufferInsertionFlow
 from repro.core.results import FlowResult
-from repro.engine import LogProgress, create_executor
+from repro.engine import LogProgress, create_executor, gang_dispatch
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span as trace_span
 from repro.obs.trace import trace_context
 from repro.yieldsim.estimator import YieldEstimator
+
+#: Dispatch strategies of :class:`CampaignRunner` (CLI ``--dispatch``).
+DISPATCH_CHOICES = ("batched", "sequential")
 
 
 @dataclass
@@ -181,6 +186,16 @@ class CampaignRunner:
     progress:
         ``True`` streams per-cell campaign lines (and per-phase engine
         lines, labelled with the cell id) to stderr.
+    dispatch:
+        ``"batched"`` (default) groups runnable cells by compiled-system
+        fingerprint and advances each group's flows in lockstep waves:
+        every wave's engine phases are submitted together
+        (:func:`repro.engine.gang_dispatch`) so one warm worker pool
+        serves all cells of a design at once — including the baseline
+        sweeps, which ship only ``(plan, step)`` pairs.
+        ``"sequential"`` runs cells one after the other (the historical
+        behaviour).  Results are bit-identical between the two; only
+        the wall clock differs.
     """
 
     def __init__(
@@ -194,9 +209,14 @@ class CampaignRunner:
         max_cells: Optional[int] = None,
         pool: Optional[ResultPool] = None,
         progress: bool = False,
+        dispatch: str = "batched",
     ) -> None:
         if max_cells is not None and max_cells < 1:
             raise ValueError(f"max_cells must be >= 1, got {max_cells}")
+        if dispatch not in DISPATCH_CHOICES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_CHOICES}, got {dispatch!r}"
+            )
         self.spec = spec
         self.store = store
         self.executor_name = executor
@@ -206,6 +226,7 @@ class CampaignRunner:
         self.max_cells = max_cells
         self.pool = pool
         self.progress = bool(progress)
+        self.dispatch = dispatch
         self._design_cache: Dict[Tuple[str, float, int], object] = {}
 
     # ------------------------------------------------------------------
@@ -225,8 +246,20 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def shard(self) -> List[CampaignCell]:
-        """The cells this runner is responsible for."""
-        return shard_cells(self.spec.cells(), self.shard_index, self.shard_count)
+        """The cells this runner is responsible for.
+
+        With a pool attached the partition is pool-aware: cells already
+        pooled are round-robined separately from the cells that need a
+        real flow run, so multi-job shards balance actual work (see
+        :func:`~repro.campaign.spec.shard_cells`).
+        """
+        pooled = set(self.pool.records()) if self.pool is not None else None
+        return shard_cells(
+            self.spec.cells(),
+            self.shard_index,
+            self.shard_count,
+            pooled_fingerprints=pooled,
+        )
 
     def run(self) -> CampaignRunSummary:
         """Execute every pending cell of the shard (resuming from the store)."""
@@ -247,36 +280,38 @@ class CampaignRunner:
         )
 
         run_ids: List[str] = []
+        to_run = pending[:budget]
         executor = create_executor(self.executor_name, self.jobs)
         try:
             registry = get_registry()
-            for cell in pending[:budget]:
-                cell_start = time.perf_counter()
-                # The span carries the cell's resume fingerprint; the
-                # trace_context makes every span opened underneath (flow
-                # stages, engine phases, worker-side chunks via payload
-                # labels) attributable to this cell.
-                with trace_span(
-                    "campaign.cell",
-                    cell=cell.cell_id,
-                    fingerprint=cell.fingerprint(),
-                    circuit=cell.circuit,
-                ), trace_context(cell=cell.cell_id):
-                    record = self._run_cell(cell, executor)
-                registry.counter("campaign.cells.executed").inc()
-                registry.histogram("campaign.cell.seconds").observe(
-                    time.perf_counter() - cell_start
-                )
-                self.store.append(record)
-                if self.pool is not None:
-                    self.pool.publish(record)
-                run_ids.append(cell.cell_id)
-                self._log(
-                    f"cell {len(run_ids)}/{budget} {cell.cell_id}: "
-                    f"Y {100 * record['result']['improved_yield']:.2f} % "
-                    f"(Nb {record['result']['n_buffers']}) "
-                    f"in {time.perf_counter() - cell_start:.2f} s"
-                )
+            if self.dispatch == "batched" and len(to_run) > 1:
+                run_ids = self._run_batched(to_run, executor)
+            else:
+                for cell in to_run:
+                    cell_start = time.perf_counter()
+                    # The span carries the cell's resume fingerprint; the
+                    # trace_context makes every span opened underneath (flow
+                    # stages, engine phases, worker-side chunks via payload
+                    # labels) attributable to this cell.
+                    with trace_span(
+                        "campaign.cell",
+                        cell=cell.cell_id,
+                        fingerprint=cell.fingerprint(),
+                        circuit=cell.circuit,
+                    ), trace_context(cell=cell.cell_id):
+                        record = self._run_cell(cell, executor)
+                    registry.counter("campaign.cells.executed").inc()
+                    registry.histogram("campaign.cell.seconds").observe(
+                        time.perf_counter() - cell_start
+                    )
+                    self._commit_record(
+                        cell,
+                        record,
+                        len(run_ids) + 1,
+                        budget,
+                        time.perf_counter() - cell_start,
+                    )
+                    run_ids.append(cell.cell_id)
         finally:
             executor.close()
         return CampaignRunSummary(
@@ -311,23 +346,211 @@ class CampaignRunner:
         registry.counter("campaign.pool.misses").inc(len(pending) - len(hits))
         return hits
 
-    # ------------------------------------------------------------------
-    def _run_cell(self, cell: CampaignCell, executor) -> Dict[str, object]:
-        """Run one cell (flow + baselines) and assemble its store record."""
-        design = self._design_for(cell)
-        engine_progress = (
-            LogProgress(prefix=cell.cell_id) if self.progress else None
+    def _commit_record(
+        self,
+        cell: CampaignCell,
+        record: Dict[str, object],
+        position: int,
+        budget: int,
+        seconds: float,
+    ) -> None:
+        """Durably append one finished cell and log its headline numbers."""
+        self.store.append(record)
+        if self.pool is not None:
+            self.pool.publish(record)
+        self._log(
+            f"cell {position}/{budget} {cell.cell_id}: "
+            f"Y {100 * record['result']['improved_yield']:.2f} % "
+            f"(Nb {record['result']['n_buffers']}) "
+            f"in {seconds:.2f} s"
         )
+
+    # ------------------------------------------------------------------
+    # Batched (gang) dispatch
+    # ------------------------------------------------------------------
+    def _group_key(self, cell: CampaignCell) -> Tuple[str, str]:
+        """Cells sharing this key share warm engine worker state: same
+        compiled constraint system, same per-sample solver backend."""
+        from repro.core.compiled import ensure_compiled_system
+
+        design = self._design_for(cell)
+        return (ensure_compiled_system(design).fingerprint(), cell.solver)
+
+    def _run_batched(self, cells: List[CampaignCell], executor) -> List[str]:
+        """Run the pending cells as fingerprint-grouped gangs.
+
+        Cells of one group advance in lockstep waves: each wave collects
+        every cell's next prepared engine phase and dispatches them as
+        one submission burst over the shared warm pool
+        (:func:`repro.engine.gang_dispatch`).  Results are bit-identical
+        to sequential dispatch — phase inputs are purely per-cell and
+        every phase merges by sample index — so only the wall clock
+        changes.  Finished records are committed per group in cell
+        order, keeping resume semantics (a kill loses at most the
+        in-flight group).
+        """
+        order: List[Tuple[str, str]] = []
+        groups: Dict[Tuple[str, str], List[Tuple[int, CampaignCell]]] = {}
+        for index, cell in enumerate(cells):
+            key = self._group_key(cell)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((index, cell))
+        self._log(
+            f"batched dispatch: {len(cells)} cells in {len(groups)} "
+            f"compiled-system group(s) on {executor.name}"
+        )
+
+        run_ids: List[str] = []
+        committed = 0
+        for key in order:
+            members = groups[key]
+            records = self._run_group(members, executor)
+            for index, cell in members:
+                committed += 1
+                record, seconds = records[index]
+                self._commit_record(cell, record, committed, len(cells), seconds)
+                run_ids.append(cell.cell_id)
+        return run_ids
+
+    def _run_group(
+        self, members: List[Tuple[int, CampaignCell]], executor
+    ) -> Dict[int, Tuple[Dict[str, object], float]]:
+        """Advance one gang of same-fingerprint cells in lockstep waves."""
+        registry = get_registry()
+        drivers = []
+        for index, cell in members:
+            drivers.append(
+                {
+                    "index": index,
+                    "cell": cell,
+                    "gen": self._drive_cell(cell, executor, gang_width=len(members)),
+                    "value": None,
+                    "started": False,
+                    "t0": time.perf_counter(),
+                }
+            )
+        records: Dict[int, Tuple[Dict[str, object], float]] = {}
+        active = drivers
+        while active:
+            wave = []
+            for driver in active:
+                cell = driver["cell"]
+                # Context (not a span): spans must not stay open across
+                # a generator suspension when several cells interleave
+                # on this thread.  Every span and chunk label produced
+                # while this cell's generator runs inherits the cell id.
+                with trace_context(cell=cell.cell_id):
+                    try:
+                        if driver["started"]:
+                            driver["pending"] = driver["gen"].send(driver["value"])
+                        else:
+                            driver["pending"] = next(driver["gen"])
+                            driver["started"] = True
+                        driver["value"] = None
+                        wave.append(driver)
+                    except StopIteration as stop:
+                        seconds = time.perf_counter() - driver["t0"]
+                        # Completion marker (near-zero duration — the
+                        # cell's wall clock, inflated by interleaved
+                        # peers, rides in the attrs instead).
+                        with trace_span(
+                            "campaign.cell",
+                            cell=cell.cell_id,
+                            fingerprint=cell.fingerprint(),
+                            circuit=cell.circuit,
+                            seconds=round(seconds, 6),
+                        ):
+                            pass
+                        registry.counter("campaign.cells.executed").inc()
+                        registry.histogram("campaign.cell.seconds").observe(seconds)
+                        records[driver["index"]] = (stop.value, seconds)
+            results = gang_dispatch([driver["pending"] for driver in wave], executor)
+            for driver, value in zip(wave, results):
+                driver["value"] = value
+                driver["pending"] = None
+            active = wave
+        return records
+
+    def _drive_cell(self, cell: CampaignCell, executor, gang_width: int):
+        """Generator running one cell cooperatively (flow + baselines).
+
+        Yields :class:`~repro.engine.PendingPhase` objects and returns
+        the finished store record; the wave loop supplies each phase's
+        result via ``send``.
+        """
+        design = self._design_for(cell)
+        engine_progress = LogProgress(prefix=cell.cell_id) if self.progress else None
         cell_start = time.perf_counter()
         flow = BufferInsertionFlow(
-            design, cell.flow_config(), executor=executor, progress=engine_progress
+            design,
+            cell.flow_config(),
+            executor=executor,
+            progress=engine_progress,
+            gang_width=gang_width,
         )
-        result = flow.run()
-        baselines = self._evaluate_baselines(cell, design, result, executor)
+        result = yield from flow.drive(executor)
+        baselines = yield from self._drive_baselines(cell, design, result, flow.last_scheduler)
         runtime = time.perf_counter() - cell_start
+        return make_record(
+            cell,
+            self._cell_payload(design, result, baselines),
+            runtime_seconds=runtime,
+        )
 
+    def _drive_baselines(self, cell: CampaignCell, design, result: FlowResult, scheduler):
+        """Cooperative twin of :meth:`_evaluate_baselines`.
+
+        Bit-identical numbers, different transport: instead of shipping
+        a configurator per plan (which restarts a warm process pool),
+        every baseline sweep is prepared on the *flow's* scheduler and
+        dispatched under its solver key — only the small ``(plan,
+        step)`` pairs cross the process boundary, so a whole gang's
+        baselines run on one warm pool.
+        """
+        if not cell.baselines:
+            return {}
+        from repro.campaign.spec import _derive_seed
+
+        eval_seed = _derive_seed(cell.seed, "baseline-eval")
+        estimator = YieldEstimator(design, n_samples=cell.n_eval_samples, rng=eval_seed)
+        samples = estimator.draw_samples()
+        analysis = estimator.period_analysis(samples)
+        period = float(result.target_period)
+        original = float(analysis.yield_at(period))
+        setup_bounds = samples.setup_bounds(period)
+        hold_bounds = samples.hold_bounds()
+        reports: Dict[str, Dict[str, float]] = {}
+        for name in cell.baselines:
+            plan = build_baseline_plan(
+                name,
+                design,
+                result.target_period,
+                n_buffers=result.plan.n_buffers,
+                rng=_derive_seed(cell.seed, "baseline-plan", name),
+            )
+            step = plan.buffers[0].step if plan.buffers else 0.0
+            passed, _ = yield scheduler.prepare_evaluate_plan(
+                setup_bounds, hold_bounds, plan, float(step), phase="baseline_eval"
+            )
+            tuned = float(np.mean(passed)) if passed.size else 1.0
+            reports[name] = {
+                "n_buffers": int(plan.n_buffers),
+                "original_yield": original,
+                "tuned_yield": tuned,
+                "yield_improvement": tuned - original,
+            }
+        return reports
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cell_payload(
+        design, result: FlowResult, baselines: Dict[str, Dict[str, float]]
+    ) -> Dict[str, object]:
+        """The deterministic result payload of one finished cell."""
         stats = design.netlist.stats()
-        payload: Dict[str, object] = {
+        return {
             "n_flip_flops": int(stats["flip_flops"]),
             "n_gates": int(stats["gates"]),
             "target_period": float(result.target_period),
@@ -342,7 +565,25 @@ class CampaignRunner:
             "plan": result.plan.as_dict(),
             "baselines": baselines,
         }
-        return make_record(cell, payload, runtime_seconds=runtime)
+
+    def _run_cell(self, cell: CampaignCell, executor) -> Dict[str, object]:
+        """Run one cell (flow + baselines) and assemble its store record."""
+        design = self._design_for(cell)
+        engine_progress = (
+            LogProgress(prefix=cell.cell_id) if self.progress else None
+        )
+        cell_start = time.perf_counter()
+        flow = BufferInsertionFlow(
+            design, cell.flow_config(), executor=executor, progress=engine_progress
+        )
+        result = flow.run()
+        baselines = self._evaluate_baselines(cell, design, result, executor)
+        runtime = time.perf_counter() - cell_start
+        return make_record(
+            cell,
+            self._cell_payload(design, result, baselines),
+            runtime_seconds=runtime,
+        )
 
     def _evaluate_baselines(
         self, cell: CampaignCell, design, result: FlowResult, executor

@@ -27,7 +27,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.harness import BASELINE_CHOICES
 from repro.core.config import FlowConfig
@@ -384,13 +384,35 @@ def load_spec(path: str) -> CampaignSpec:
 
 
 def shard_cells(
-    cells: Sequence[CampaignCell], shard_index: int = 0, shard_count: int = 1
+    cells: Sequence[CampaignCell],
+    shard_index: int = 0,
+    shard_count: int = 1,
+    pooled_fingerprints: Optional[Collection[str]] = None,
 ) -> List[CampaignCell]:
     """Round-robin partition of the expanded cell list for multi-job runs.
 
     Shards are disjoint and their union over ``0..shard_count-1`` is the
     full list; the round-robin interleaving balances circuits across
     shards even when the matrix is sorted by circuit.
+
+    ``pooled_fingerprints`` makes the partition pool-aware: cells whose
+    results are already in the shared result pool cost a shard only a
+    cheap record materialisation, not a flow run, so counting them in
+    one round-robin with the real work skews shards by whole flow runs.
+    With the pre-pass, the cells *missing* from the pool are
+    round-robined first (every shard gets an equal share of actual
+    work) and the pooled cells are round-robined separately.  Each
+    shard's cells keep their deterministic expansion order, and the
+    disjoint/union invariant holds as long as every shard job is handed
+    the same pool snapshot (hand concurrent CI jobs one downloaded pool
+    artifact, not a live store another job is appending to).
+
+    Shards partitioned from *different* snapshots of a growing pool may
+    leave a cell unclaimed for one pass (its rank among the missing
+    cells shifted between snapshots).  The gap is visible in
+    ``campaign status`` / ``report`` completeness and closes on re-run:
+    once the stragglers are the only missing cells, some shard claims
+    each of them.
     """
     if shard_count < 1:
         raise CampaignError(f"shard_count must be >= 1, got {shard_count}")
@@ -398,7 +420,18 @@ def shard_cells(
         raise CampaignError(
             f"shard_index must be in [0, {shard_count}), got {shard_index}"
         )
-    return [cell for i, cell in enumerate(cells) if i % shard_count == shard_index]
+    if not pooled_fingerprints:
+        return [cell for i, cell in enumerate(cells) if i % shard_count == shard_index]
+    pooled = frozenset(pooled_fingerprints)
+    missing = [i for i, cell in enumerate(cells) if cell.fingerprint() not in pooled]
+    hits = [i for i, cell in enumerate(cells) if cell.fingerprint() in pooled]
+    chosen = {
+        index
+        for subset in (missing, hits)
+        for position, index in enumerate(subset)
+        if position % shard_count == shard_index
+    }
+    return [cell for i, cell in enumerate(cells) if i in chosen]
 
 
 # ----------------------------------------------------------------------

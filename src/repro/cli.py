@@ -13,11 +13,13 @@ Installed as the ``repro`` console script, with four subcommands:
     Run the full sampling-based buffer insertion and print (or dump as
     JSON) the buffer plan and the yield improvement.
 
-``repro bench run|compare|gate``
+``repro bench run|compare|gate|trend``
     The performance benchmarking subsystem (:mod:`repro.bench`): run a
     scenario suite into a versioned ``BENCH_<label>.json`` artifact,
-    diff two artifacts, or gate a candidate against a baseline with a
-    configurable slowdown threshold (non-zero exit on regression).
+    diff two artifacts, gate a candidate against a baseline with a
+    configurable slowdown threshold (non-zero exit on regression), or
+    accumulate nightly artifacts into a cross-run per-scenario timing
+    series (``trend --store URI --ingest BENCH_*.json``).
 
 ``repro campaign run|status|report|merge|compare|trend``
     The experiment-campaign subsystem (:mod:`repro.campaign`): run a
@@ -131,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
     )
     insert.add_argument("--json", action="store_true", help="print the result as JSON")
+    _add_backend_argument(insert)
     _add_trace_argument(insert, "insert")
 
     _add_bench_parsers(subparsers)
@@ -180,6 +183,18 @@ def _pool_uri_parent(required_default: bool = False) -> argparse.ArgumentParser:
         f"sqlite:PATH, bare paths infer jsonl ({fallback})",
     )
     return parent
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="array backend for the timing kernels: numpy (default), torch[:device] "
+        "or cupy when installed; an explicit unavailable backend exits 2, the "
+        "REPRO_BACKEND environment variable is a soft preference that falls "
+        "back to numpy with a notice",
+    )
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser, label: str) -> None:
@@ -245,7 +260,7 @@ def _shard(text: str) -> tuple:
 
 
 def _add_campaign_parsers(subparsers) -> None:
-    from repro.campaign import SPEC_NAMES
+    from repro.campaign import DISPATCH_CHOICES, SPEC_NAMES
     from repro.engine import EXECUTOR_CHOICES
 
     campaign = subparsers.add_parser(
@@ -294,11 +309,20 @@ def _add_campaign_parsers(subparsers) -> None:
         help="execute at most this many pending cells, then stop (time-boxed CI legs)",
     )
     run.add_argument(
+        "--dispatch",
+        choices=DISPATCH_CHOICES,
+        default="batched",
+        help="cell dispatch strategy: 'batched' gangs same-design cells over one "
+        "warm worker pool, 'sequential' runs them one by one (results are "
+        "bit-identical; only wall clock differs)",
+    )
+    run.add_argument(
         "--progress",
         action="store_true",
         help="print per-cell campaign and per-phase engine progress to stderr",
     )
     run.add_argument("--json", action="store_true", help="print the run summary as JSON")
+    _add_backend_argument(run)
     _add_trace_argument(run, "campaign-run")
 
     status = campaign_sub.add_parser(
@@ -450,6 +474,7 @@ def _add_bench_parsers(subparsers) -> None:
         "--progress", action="store_true", help="print per-phase sample progress to stderr"
     )
     run.add_argument("--json", action="store_true", help="print the artifact JSON to stdout")
+    _add_backend_argument(run)
     _add_trace_argument(run, "bench-run")
 
     compare = bench_sub.add_parser("compare", help="diff two benchmark artifacts")
@@ -482,6 +507,32 @@ def _add_bench_parsers(subparsers) -> None:
         "(raise for cross-machine gating of sub-second scenarios)",
     )
     gate.add_argument("--json", action="store_true", help="print the verdict as JSON")
+
+    trend = bench_sub.add_parser(
+        "trend",
+        help="cross-run per-scenario timing series accumulated from BENCH_*.json artifacts",
+    )
+    trend.add_argument(
+        "--store",
+        required=True,
+        metavar="URI",
+        help="trend store URI (jsonl:path or sqlite:path; bare paths infer jsonl)",
+    )
+    trend.add_argument(
+        "--ingest",
+        action="append",
+        default=None,
+        metavar="BENCH_JSON",
+        help="fold this artifact's scenarios into --store first (idempotent; "
+        "repeatable — one flag per nightly artifact)",
+    )
+    trend.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SCENARIO_ID",
+        help="restrict the series to one scenario id",
+    )
+    trend.add_argument("--json", action="store_true", help="print the trend as JSON")
 
 
 def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
@@ -642,6 +693,31 @@ def _cmd_bench_gate(args: argparse.Namespace) -> int:
     return 0 if verdict.passed else 1
 
 
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        build_bench_trend,
+        format_bench_trend,
+        ingest_artifacts,
+        open_trend_store,
+    )
+
+    store = open_trend_store(args.store)
+    if args.ingest:
+        n_new = ingest_artifacts(store, list(args.ingest))
+        print(
+            f"[bench] ingested {n_new} new point(s) from "
+            f"{len(args.ingest)} artifact(s) into {store.uri}",
+            file=sys.stderr,
+            flush=True,
+        )
+    trend = build_bench_trend(store, scenario_id=args.scenario)
+    if args.json:
+        print(json.dumps(trend.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(format_bench_trend(trend), end="")
+    return 0
+
+
 def _resolve_campaign(args: argparse.Namespace):
     """The (spec, store) pair a campaign subcommand operates on.
 
@@ -682,6 +758,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         max_cells=args.max_cells,
         pool=pool,
         progress=args.progress,
+        dispatch=args.dispatch,
     )
     summary = runner.run()
     if args.json:
@@ -921,6 +998,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return _cmd_bench_compare(args)
         if args.bench_command == "gate":
             return _cmd_bench_gate(args)
+        if args.bench_command == "trend":
+            return _cmd_bench_trend(args)
     except (ArtifactError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -979,6 +1058,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    backend_name = getattr(args, "backend", None)
+    if backend_name:
+        from repro.backend import BackendError, set_active_backend
+
+        try:
+            set_active_backend(backend_name)
+        except BackendError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
     trace_path = _requested_trace_path(args)
     if trace_path is None:
         return _dispatch(parser, args)

@@ -83,6 +83,7 @@ from repro.engine import (
     ResultCache,
     SampleScheduler,
     create_executor,
+    drive_pending_generator,
 )
 from repro.obs.trace import span as trace_span
 from repro.timing.period import sample_min_periods
@@ -92,12 +93,23 @@ from repro.variation.sampling import MonteCarloSampler
 
 
 @contextmanager
-def _stage(stopwatch: Stopwatch, name: str) -> Iterator[None]:
+def _stage(stopwatch: Stopwatch, name: str, traced: bool = True) -> Iterator[None]:
     """Measure one flow stage on the stopwatch and as a ``flow.stage``
     span, so trace timelines and :attr:`FlowResult.runtime_seconds` tell
-    the same story under the same stage names."""
-    with trace_span("flow.stage", stage=name), stopwatch.measure(name):
-        yield
+    the same story under the same stage names.
+
+    ``traced=False`` keeps the stopwatch but skips the span: stages that
+    suspend at a gang-dispatch yield point must not hold a span open
+    across the suspension — with several cells interleaving on one
+    thread, the tracer's per-thread span stack would misattribute
+    parents.  (Sequentially driven flows keep their spans.)
+    """
+    if traced:
+        with trace_span("flow.stage", stage=name), stopwatch.measure(name):
+            yield
+    else:
+        with stopwatch.measure(name):
+            yield
 
 
 class BufferInsertionFlow:
@@ -119,6 +131,10 @@ class BufferInsertionFlow:
     progress:
         Optional :class:`repro.engine.ProgressReporter` receiving
         per-phase sample progress.
+    gang_width:
+        Number of peer flows expected to dispatch alongside this one in
+        gang mode (see :mod:`repro.engine.gang`); affects only chunk
+        sizing, never results.
     """
 
     def __init__(
@@ -127,6 +143,7 @@ class BufferInsertionFlow:
         config: Optional[FlowConfig] = None,
         executor=None,
         progress=None,
+        gang_width: int = 1,
     ) -> None:
         self.design = design
         self.config = config or FlowConfig()
@@ -134,6 +151,12 @@ class BufferInsertionFlow:
         self.topology = self.compiled.topology
         self._executor = executor
         self._progress = progress
+        self.gang_width = max(1, int(gang_width))
+        #: The scheduler of the most recent (or in-flight) run — exposed
+        #: so callers ganging several flows can dispatch follow-up
+        #: evaluations (e.g. campaign baselines) on the same warm
+        #: worker-state key.
+        self.last_scheduler = None
 
     # ------------------------------------------------------------------
     def run(self) -> FlowResult:
@@ -147,12 +170,26 @@ class BufferInsertionFlow:
             with trace_span(
                 "flow.run", n_samples=cfg.n_samples, n_eval_samples=cfg.n_eval_samples
             ):
-                return self._run(executor)
+                return drive_pending_generator(self._drive(executor), executor)
         finally:
             if owns_executor:
                 executor.close()
 
-    def _run(self, executor) -> FlowResult:
+    def drive(self, executor) -> "Iterator[object]":
+        """Cooperative form of :meth:`run` for gang dispatch.
+
+        Returns a generator that yields
+        :class:`~repro.engine.PendingPhase` objects at every engine
+        dispatch point and expects the phase's result to be sent back;
+        its return value is the :class:`FlowResult`.  Driving it with
+        :func:`repro.engine.drive_pending_generator` reproduces
+        :meth:`run` bit for bit; interleaving several flows' generators
+        (the campaign runner's batched mode) changes only the wall
+        clock.  The caller owns ``executor``.
+        """
+        return self._drive(executor)
+
+    def _drive(self, executor):
         cfg = self.config
         stopwatch = Stopwatch()
         train_rng, eval_rng, solver_rng = spawn_rngs(cfg.seed, 3)
@@ -215,7 +252,12 @@ class BufferInsertionFlow:
             stats=engine_stats,
             progress=self._progress,
             chunk_size=cfg.chunk_size,
+            gang_width=self.gang_width,
         )
+        self.last_scheduler = scheduler
+        # Stages that suspend at a dispatch point drop their trace span
+        # when several flows interleave on one thread (see _stage).
+        seq = self.gang_width == 1
 
         # ------------------------------------------------------------------
         # Step 1: floating lower bounds
@@ -223,14 +265,14 @@ class BufferInsertionFlow:
         float_lower = np.full(n_ffs, -float(spec.n_steps) if spec.discrete else -max_range)
         float_upper = np.full(n_ffs, float(spec.n_steps) if spec.discrete else max_range)
 
-        with _stage(stopwatch, "step1_sampling"):
+        with _stage(stopwatch, "step1_sampling", traced=seq):
             candidates = np.ones(n_ffs, dtype=bool)
-            step1_solutions = scheduler.solve_batch(
+            step1_solutions = yield scheduler.prepare_solve(
                 train_problem, float_lower, float_upper, candidates, None, phase=PHASE_STEP1_TRAIN
             )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
 
-        with _stage(stopwatch, "step1_pruning"):
+        with _stage(stopwatch, "step1_pruning", traced=seq):
             pruning = prune_buffers(
                 self.topology,
                 usage1,
@@ -257,7 +299,7 @@ class BufferInsertionFlow:
                     and all(candidates[ff] for ff in solution.tunings)
                 },
             )
-            step1_solutions = scheduler.solve_batch(
+            step1_solutions = yield scheduler.prepare_solve(
                 train_problem, float_lower, float_upper, candidates, None, phase=PHASE_PRUNE_RESOLVE
             )
             usage1 = self._usage_counts(step1_solutions, n_ffs)
@@ -297,11 +339,11 @@ class BufferInsertionFlow:
         outside_fraction = outside_window_fraction(step1.tuning_values, windows, n_samples)
 
         averages = np.zeros(n_ffs)
-        with _stage(stopwatch, "step2_sampling"):
+        with _stage(stopwatch, "step2_sampling", traced=seq):
             if outside_fraction >= cfg.skip_step2_threshold:
                 # Re-run the count-minimisation with the fixed windows first
                 # (Sec. III-B1), then compute the averages from its values.
-                interim = scheduler.solve_batch(
+                interim = yield scheduler.prepare_solve(
                     train_problem,
                     fixed_lower,
                     fixed_upper,
@@ -313,7 +355,7 @@ class BufferInsertionFlow:
             else:
                 averages = self._average_tunings(step1_solutions, n_ffs, fixed_lower, fixed_upper)
 
-            step2_solutions = scheduler.solve_batch(
+            step2_solutions = yield scheduler.prepare_solve(
                 train_problem,
                 fixed_lower,
                 fixed_upper,
@@ -376,7 +418,7 @@ class BufferInsertionFlow:
         # ------------------------------------------------------------------
         # Yield evaluation on fresh samples
         # ------------------------------------------------------------------
-        with _stage(stopwatch, "evaluation"):
+        with _stage(stopwatch, "evaluation", traced=seq):
             eval_sampler = MonteCarloSampler(self.design.variation_model, rng=eval_rng)
             eval_batch = eval_sampler.sample(cfg.n_eval_samples)
             eval_samples = self.compiled.sample(eval_batch, sampler=eval_sampler)
@@ -386,7 +428,7 @@ class BufferInsertionFlow:
             original_yield = float(np.mean(original_ok))
             # The sweep runs on the scheduler's warm worker state: only
             # the plan and the per-chunk bound slices are shipped.
-            passed, _ = scheduler.evaluate_plan(eval_setup, eval_hold, plan, step)
+            passed, _ = yield scheduler.prepare_evaluate_plan(eval_setup, eval_hold, plan, step)
             improved_yield = float(np.mean(passed)) if passed.size else 1.0
 
         lower_bounds = {

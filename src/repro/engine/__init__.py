@@ -37,6 +37,13 @@ from repro.engine.executor import (
     resolve_jobs,
     spawn_task_seeds,
 )
+from repro.engine.gang import (
+    PendingPhase,
+    drive_pending_generator,
+    gang_dispatch,
+    record_dispatch_metrics,
+    run_pending,
+)
 from repro.engine.progress import (
     PHASE_ORDER,
     PHASE_PRUNE_RESOLVE,
@@ -57,6 +64,14 @@ from repro.engine.scheduler import (
     run_yield_evaluation,
     solve_chunk,
 )
+from repro.engine.shm import (
+    SharedArrayRef,
+    SharedColumns,
+    SharedMatrixStore,
+    get_shared_store,
+    shm_enabled,
+    use_shm_for,
+)
 
 __all__ = [
     "BatchProblem",
@@ -73,22 +88,33 @@ __all__ = [
     "PHASE_STEP2_INTERIM",
     "PHASE_STEP2_TRAIN",
     "PHASE_YIELD_EVAL",
+    "PendingPhase",
     "PhaseStats",
     "ProcessPoolExecutor",
     "ProgressReporter",
     "ResultCache",
     "SampleScheduler",
     "SerialExecutor",
+    "SharedArrayRef",
+    "SharedColumns",
+    "SharedMatrixStore",
     "ThreadPoolExecutor",
     "configure_chunk",
     "create_executor",
+    "drive_pending_generator",
     "evaluate_plan_chunk",
     "default_chunk_size",
+    "gang_dispatch",
     "fingerprint_array",
     "fingerprint_arrays",
+    "get_shared_store",
     "make_chunks",
+    "record_dispatch_metrics",
     "resolve_jobs",
+    "run_pending",
     "run_yield_evaluation",
+    "shm_enabled",
     "solve_chunk",
     "spawn_task_seeds",
+    "use_shm_for",
 ]

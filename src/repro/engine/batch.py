@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.engine.cache import fingerprint_arrays
+from repro.engine.shm import SharedArrayRef, SharedColumns
 
 _TOL = 1e-9
 
@@ -89,8 +90,8 @@ class ChunkPayload:
     """
 
     indices: np.ndarray
-    setup_bounds: np.ndarray
-    hold_bounds: np.ndarray
+    setup_bounds: Any
+    hold_bounds: Any
     lower: np.ndarray
     upper: np.ndarray
     candidates: Optional[np.ndarray] = None
@@ -103,6 +104,21 @@ class ChunkPayload:
     def n_tasks(self) -> int:
         """Number of samples in this chunk."""
         return int(len(self.indices))
+
+    def resolve(self) -> "ChunkPayload":
+        """Materialise shared-memory bound columns in place (idempotent).
+
+        When the bounds travelled as :class:`~repro.engine.shm.
+        SharedColumns` handles, the first consumer (the worker-side chunk
+        function) turns them into the exact arrays an inline payload
+        would have carried.  Payloads with inline arrays pass through
+        untouched.
+        """
+        if isinstance(self.setup_bounds, SharedColumns):
+            self.setup_bounds = self.setup_bounds.load()
+        if isinstance(self.hold_bounds, SharedColumns):
+            self.hold_bounds = self.hold_bounds.load()
+        return self
 
 
 def default_chunk_size(n_tasks: int, jobs: int) -> int:
@@ -128,6 +144,8 @@ def make_chunks(
     chunk_size: int = 16,
     extra: Any = None,
     extra_key: Optional[str] = None,
+    setup_ref: Optional[SharedArrayRef] = None,
+    hold_ref: Optional[SharedArrayRef] = None,
 ) -> List[ChunkPayload]:
     """Slice ``indices`` into :class:`ChunkPayload` units of ``chunk_size``.
 
@@ -137,6 +155,12 @@ def make_chunks(
     randomness should derive it from ``payload.indices`` with
     :func:`repro.engine.executor.spawn_task_seeds`, so seeds depend on
     the sample index and never on the chunk layout.
+
+    When ``setup_ref``/``hold_ref`` name shared-memory copies of the
+    bound matrices, payloads carry :class:`~repro.engine.shm.
+    SharedColumns` handles instead of sliced arrays — the worker
+    materialises identical columns from the segment
+    (:meth:`ChunkPayload.resolve`), and no bound bytes are pickled.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -147,8 +171,16 @@ def make_chunks(
         chunks.append(
             ChunkPayload(
                 indices=part,
-                setup_bounds=setup_bounds[:, part],
-                hold_bounds=hold_bounds[:, part],
+                setup_bounds=(
+                    SharedColumns(setup_ref, part)
+                    if setup_ref is not None
+                    else setup_bounds[:, part]
+                ),
+                hold_bounds=(
+                    SharedColumns(hold_ref, part)
+                    if hold_ref is not None
+                    else hold_bounds[:, part]
+                ),
                 lower=lower,
                 upper=upper,
                 candidates=candidates,

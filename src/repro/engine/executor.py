@@ -105,6 +105,12 @@ class Executor(ABC):
 
     name: str = "abstract"
 
+    #: Whether the executor keeps warm worker state keyed by
+    #: ``shared_key`` (a dispatch with a *different* key tears the state
+    #: down).  Gang dispatch uses this to decide whether a wave of
+    #: differently-keyed phases must be drained group by group.
+    keyed_state: bool = False
+
     def __init__(self, jobs: Optional[int] = None) -> None:
         self.jobs = resolve_jobs(jobs)
 
@@ -227,6 +233,7 @@ class ProcessPoolExecutor(Executor):
     """
 
     name = "processes"
+    keyed_state = True
 
     def __init__(self, jobs: Optional[int] = None, mp_context: Optional[str] = None) -> None:
         super().__init__(jobs)

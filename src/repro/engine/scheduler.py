@@ -38,7 +38,9 @@ import numpy as np
 from repro.engine.batch import BatchProblem, ChunkPayload, default_chunk_size, make_chunks
 from repro.engine.cache import CacheKey, ResultCache, fingerprint_array, fingerprint_arrays
 from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.gang import PendingPhase, record_dispatch_metrics, run_pending
 from repro.engine.progress import PHASE_YIELD_EVAL, EngineStats, NullProgress, ProgressReporter
+from repro.engine.shm import get_shared_store, use_shm_for
 from repro.obs.metrics import get_registry
 from repro.obs.trace import current_context
 from repro.obs.trace import span as trace_span
@@ -69,22 +71,32 @@ def _label_chunks(chunks: List[ChunkPayload], phase: str) -> None:
         chunk.label = label
 
 
-def _record_dispatch_metrics(
-    executor: Executor, shared_key: str, chunks: List[ChunkPayload]
-) -> None:
-    """Count warm-pool reuse vs. cold dispatch and observe chunk sizes."""
-    if not chunks:
-        return
-    registry = get_registry()
-    # warm_key must be read BEFORE map_chunks: dispatch itself warms
-    # the pool, which would make every dispatch look like a reuse.
-    if getattr(executor, "warm_key", None) == shared_key:
-        registry.counter("engine.pool.warm_reuses").inc()
-    else:
-        registry.counter("engine.pool.cold_dispatches").inc()
-    sizes = registry.histogram("engine.chunk.size")
-    for chunk in chunks:
-        sizes.observe(chunk.n_tasks)
+def _share_bounds(executor, setup_bounds, hold_bounds, fingerprint: str):
+    """Publish the phase's bound matrices to shared memory when worth it.
+
+    Returns ``(setup_ref, hold_ref, release)``: the refs are ``None``
+    (and ``release`` a no-op) when inline pickling is the better
+    transport (serial/thread executors, small matrices, ``REPRO_NO_SHM``).
+    ``release`` must be called exactly once, after the phase's result
+    stream has fully drained — it drops the store references so the
+    segments can retire; calling it earlier could unlink a segment with
+    chunks still in flight.
+    """
+    if not use_shm_for(executor, setup_bounds, hold_bounds):
+        return None, None, lambda: None
+    store = get_shared_store()
+    setup_key, hold_key = f"{fingerprint}:setup", f"{fingerprint}:hold"
+    setup_ref = store.checkout(setup_key, setup_bounds)
+    hold_ref = store.checkout(hold_key, hold_bounds)
+    released = []
+
+    def release() -> None:
+        if not released:
+            released.append(True)
+            store.checkin(setup_key)
+            store.checkin(hold_key)
+
+    return setup_ref, hold_ref, release
 
 
 # ----------------------------------------------------------------------
@@ -99,6 +111,7 @@ def solve_chunk(solver: "PerSampleSolver", payload: ChunkPayload) -> List[Tuple[
     """
     from repro.core.sample_solver import SampleProblem  # deferred: keeps the engine a leaf
 
+    payload.resolve()
     with trace_span("engine.chunk", n_samples=payload.n_tasks, **(payload.label or {})):
         solve = solver.solve_with_milp if solver.backend == "milp" else solver.solve
         results: List[Tuple[int, SampleSolution]] = []
@@ -121,6 +134,7 @@ def configure_chunk(configurator: Any, payload: ChunkPayload) -> List[Tuple[int,
     ``configure_sample(setup_bound, hold_bound) -> (ok, assignment)``
     contract of :class:`repro.tuning.configurator.PostSiliconConfigurator`.
     """
+    payload.resolve()
     with trace_span("engine.chunk", n_samples=payload.n_tasks, **(payload.label or {})):
         results: List[Tuple[int, bool]] = []
         for position, index in enumerate(payload.indices):
@@ -188,6 +202,12 @@ class SampleScheduler:
         (:meth:`~repro.core.sample_solver.PerSampleSolver.state_fingerprint`),
         so consecutive schedulers over the same compiled system reuse an
         executor's warm worker pool instead of re-shipping state.
+    gang_width:
+        Number of peer schedulers expected to dispatch alongside this
+        one in gang mode (see :mod:`repro.engine.gang`).  Only chunk
+        *sizing* is affected: with N peers filling the pool, each peer
+        needs ~1/N of the usual chunk count, so chunks grow and round
+        trips shrink.  Chunk layout never changes results.
     """
 
     def __init__(
@@ -200,6 +220,7 @@ class SampleScheduler:
         chunk_size: Optional[int] = None,
         cache_size: Optional[int] = None,
         shared_key: Optional[str] = None,
+        gang_width: int = 1,
     ) -> None:
         self.solver = solver
         self.executor = executor if executor is not None else SerialExecutor()
@@ -209,12 +230,26 @@ class SampleScheduler:
         self.stats = stats if stats is not None else EngineStats()
         self.progress = progress if progress is not None else NullProgress()
         self.chunk_size = chunk_size
+        self.gang_width = max(1, int(gang_width))
         if shared_key is None:
             fingerprint = getattr(solver, "state_fingerprint", None)
             shared_key = (
                 f"solver-{fingerprint()}" if callable(fingerprint) else _next_shared_key("solver")
             )
         self._shared_key = shared_key
+
+    @property
+    def shared_key(self) -> str:
+        """The warm worker-state key this scheduler dispatches under."""
+        return self._shared_key
+
+    def _chunk_size_for(self, n_tasks: int) -> int:
+        """Effective chunk size: explicit override, or the balanced
+        heuristic over this scheduler's share of the worker pool."""
+        if self.chunk_size:
+            return self.chunk_size
+        jobs = max(1, -(-self.executor.jobs // self.gang_width))
+        return default_chunk_size(n_tasks, jobs)
 
     # ------------------------------------------------------------------
     def _keys_for(
@@ -251,80 +286,124 @@ class SampleScheduler:
         loop).  Results are merged by sample index, so the output is
         independent of the executor and chunk layout.
         """
-        with trace_span("engine.phase", phase=phase) as span_attrs:
-            start = time.perf_counter()
-            registry = get_registry()
-            n_samples = batch.n_samples
-            solutions: List[Optional[SampleSolution]] = [None] * n_samples
-            needed = [int(i) for i in batch.violated_indices()]
-            self.progress.start(phase, len(needed))
+        return run_pending(
+            self.prepare_solve(batch, lower, upper, candidates, targets, phase=phase),
+            self.executor,
+        )
 
-            # Cache lookups first; only misses are dispatched.
-            to_solve: List[int] = needed
-            key_of: Dict[int, CacheKey] = {}
-            n_hits = 0
-            if self.cache is not None and needed:
-                keys = self._keys_for(batch, lower, upper, candidates, targets, needed)
-                key_of = dict(zip(needed, keys))
-                to_solve = []
-                for index, key in zip(needed, keys):
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        solutions[index] = hit
-                        n_hits += 1
-                    else:
-                        to_solve.append(index)
-            registry.counter("engine.cache.hits").inc(n_hits)
-            registry.counter("engine.cache.misses").inc(len(to_solve))
+    def prepare_solve(
+        self,
+        batch: BatchProblem,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        candidates: Optional[np.ndarray] = None,
+        targets: Optional[np.ndarray] = None,
+        phase: str = "solve",
+    ) -> PendingPhase:
+        """Prepare :meth:`solve_batch` as a dispatchable pending phase.
 
-            chunk_size = self.chunk_size or default_chunk_size(len(to_solve), self.executor.jobs)
-            chunks = make_chunks(
-                to_solve,
-                batch.setup_bounds,
-                batch.hold_bounds,
-                lower,
-                upper,
-                candidates=candidates,
-                targets=targets,
-                chunk_size=chunk_size,
+        Everything up to chunk submission happens here (clean-sample
+        skipping, cache lookups, chunking, labelling); the returned
+        pending's ``finish`` drains the chunk stream, merges by sample
+        index, feeds the cache and records stats — identical to the
+        blocking method, which is implemented on top of this.
+        """
+        start = time.perf_counter()
+        registry = get_registry()
+        n_samples = batch.n_samples
+        solutions: List[Optional[SampleSolution]] = [None] * n_samples
+        needed = [int(i) for i in batch.violated_indices()]
+        self.progress.start(phase, len(needed))
+
+        # Cache lookups first; only misses are dispatched.
+        to_solve: List[int] = needed
+        key_of: Dict[int, CacheKey] = {}
+        n_hits = 0
+        if self.cache is not None and needed:
+            keys = self._keys_for(batch, lower, upper, candidates, targets, needed)
+            key_of = dict(zip(needed, keys))
+            to_solve = []
+            for index, key in zip(needed, keys):
+                hit = self.cache.get(key)
+                if hit is not None:
+                    solutions[index] = hit
+                    n_hits += 1
+                else:
+                    to_solve.append(index)
+        registry.counter("engine.cache.hits").inc(n_hits)
+        registry.counter("engine.cache.misses").inc(len(to_solve))
+
+        setup_ref = hold_ref = None
+        release_shared = lambda: None
+        if to_solve:
+            setup_ref, hold_ref, release_shared = _share_bounds(
+                self.executor, batch.setup_bounds, batch.hold_bounds, batch.fingerprint()
             )
-            _label_chunks(chunks, phase)
-            _record_dispatch_metrics(self.executor, self._shared_key, chunks)
-            latency = registry.histogram("engine.chunk.latency_seconds")
-            done = n_hits
-            last_arrival = time.perf_counter()
-            for chunk_result in self.executor.map_chunks(
-                solve_chunk, chunks, shared=self.solver, shared_key=self._shared_key
-            ):
-                arrival = time.perf_counter()
-                latency.observe(arrival - last_arrival)
-                last_arrival = arrival
-                for index, solution in chunk_result:
-                    solutions[index] = solution
-                    done += 1
-                self.progress.advance(phase, done, len(needed))
+        chunks = make_chunks(
+            to_solve,
+            batch.setup_bounds,
+            batch.hold_bounds,
+            lower,
+            upper,
+            candidates=candidates,
+            targets=targets,
+            chunk_size=self._chunk_size_for(len(to_solve)),
+            setup_ref=setup_ref,
+            hold_ref=hold_ref,
+        )
+        _label_chunks(chunks, phase)
 
-            if self.cache is not None and to_solve:
-                for index in to_solve:
-                    self.cache.put(key_of[index], solutions[index])
+        def finish(stream):
+            # Backdated to `start`: the span must cover the preparation
+            # (cache lookups, shared-memory publish, chunking) exactly
+            # like the stats seconds recorded below do.
+            with trace_span("engine.phase", start_perf=start, phase=phase) as span_attrs:
+                latency = registry.histogram("engine.chunk.latency_seconds")
+                done = n_hits
+                last_arrival = time.perf_counter()
+                try:
+                    for chunk_result in stream:
+                        arrival = time.perf_counter()
+                        latency.observe(arrival - last_arrival)
+                        last_arrival = arrival
+                        for index, solution in chunk_result:
+                            solutions[index] = solution
+                            done += 1
+                        self.progress.advance(phase, done, len(needed))
+                finally:
+                    release_shared()
 
-            seconds = time.perf_counter() - start
-            self.progress.finish(phase, len(needed), seconds)
-            self.stats.record(
-                phase,
-                n_tasks=len(needed),
-                n_dispatched=len(to_solve),
-                n_cache_hits=n_hits,
-                n_chunks=len(chunks),
-                seconds=seconds,
-            )
-            span_attrs.update(
-                n_tasks=len(needed),
-                n_dispatched=len(to_solve),
-                n_cache_hits=n_hits,
-                n_chunks=len(chunks),
-            )
+                if self.cache is not None and to_solve:
+                    for index in to_solve:
+                        self.cache.put(key_of[index], solutions[index])
+
+                seconds = time.perf_counter() - start
+                self.progress.finish(phase, len(needed), seconds)
+                self.stats.record(
+                    phase,
+                    n_tasks=len(needed),
+                    n_dispatched=len(to_solve),
+                    n_cache_hits=n_hits,
+                    n_chunks=len(chunks),
+                    seconds=seconds,
+                )
+                span_attrs.update(
+                    n_tasks=len(needed),
+                    n_dispatched=len(to_solve),
+                    n_cache_hits=n_hits,
+                    n_chunks=len(chunks),
+                )
             return solutions
+
+        return PendingPhase(
+            solve_chunk,
+            chunks,
+            self.solver,
+            self._shared_key,
+            finish,
+            phase=phase,
+            context=current_context(),
+        )
 
     # ------------------------------------------------------------------
     def evaluate_plan(
@@ -347,60 +426,106 @@ class SampleScheduler:
 
         Returns ``(passed, needed_tuning)`` boolean per-sample arrays.
         """
-        with trace_span("engine.phase", phase=phase) as span_attrs:
-            start = time.perf_counter()
-            registry = get_registry()
-            clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
-            passed = clean.copy()
-            needed = ~clean
-            indices = [int(i) for i in np.where(needed)[0]]
-            self.progress.start(phase, len(indices))
+        return run_pending(
+            self.prepare_evaluate_plan(
+                setup_bounds, hold_bounds, plan, step, phase=phase, tol=tol
+            ),
+            self.executor,
+        )
 
-            empty = np.zeros(0)
-            chunk_size = self.chunk_size or default_chunk_size(len(indices), self.executor.jobs)
-            plan_key = fingerprint_arrays(
-                np.frombuffer(repr(plan).encode("utf-8"), dtype=np.uint8),
-                np.asarray([float(step)]),
-            )
-            chunks = make_chunks(
-                indices,
+    def prepare_evaluate_plan(
+        self,
+        setup_bounds: np.ndarray,
+        hold_bounds: np.ndarray,
+        plan: Any,
+        step: float,
+        phase: str = PHASE_YIELD_EVAL,
+        tol: float = _TOL,
+    ) -> PendingPhase:
+        """Prepare :meth:`evaluate_plan` as a dispatchable pending phase.
+
+        The pending dispatches under the scheduler's solver key, so a
+        gang of cells sharing one compiled system evaluates *any number
+        of plans* (flow plans, baseline plans) on one warm worker pool —
+        only the small ``(plan, step)`` pairs cross the process boundary.
+        """
+        start = time.perf_counter()
+        registry = get_registry()
+        clean = np.all(setup_bounds >= -tol, axis=0) & np.all(hold_bounds >= -tol, axis=0)
+        passed = clean.copy()
+        needed = ~clean
+        indices = [int(i) for i in np.where(needed)[0]]
+        self.progress.start(phase, len(indices))
+
+        empty = np.zeros(0)
+        plan_key = fingerprint_arrays(
+            np.frombuffer(repr(plan).encode("utf-8"), dtype=np.uint8),
+            np.asarray([float(step)]),
+        )
+        setup_ref = hold_ref = None
+        release_shared = lambda: None
+        if indices:
+            setup_ref, hold_ref, release_shared = _share_bounds(
+                self.executor,
                 setup_bounds,
                 hold_bounds,
-                empty,
-                empty,
-                chunk_size=chunk_size,
-                extra=(plan, float(step)),
-                extra_key=plan_key,
+                fingerprint_arrays(setup_bounds, hold_bounds),
             )
-            _label_chunks(chunks, phase)
-            _record_dispatch_metrics(self.executor, self._shared_key, chunks)
-            latency = registry.histogram("engine.chunk.latency_seconds")
-            done = 0
-            last_arrival = time.perf_counter()
-            for chunk_result in self.executor.map_chunks(
-                evaluate_plan_chunk, chunks, shared=self.solver, shared_key=self._shared_key
-            ):
-                arrival = time.perf_counter()
-                latency.observe(arrival - last_arrival)
-                last_arrival = arrival
-                for index, ok in chunk_result:
-                    passed[index] = ok
-                    done += 1
-                self.progress.advance(phase, done, len(indices))
+        chunks = make_chunks(
+            indices,
+            setup_bounds,
+            hold_bounds,
+            empty,
+            empty,
+            chunk_size=self._chunk_size_for(len(indices)),
+            extra=(plan, float(step)),
+            extra_key=plan_key,
+            setup_ref=setup_ref,
+            hold_ref=hold_ref,
+        )
+        _label_chunks(chunks, phase)
 
-            seconds = time.perf_counter() - start
-            self.progress.finish(phase, len(indices), seconds)
-            self.stats.record(
-                phase,
-                n_tasks=len(indices),
-                n_dispatched=len(indices),
-                n_chunks=len(chunks),
-                seconds=seconds,
-            )
-            span_attrs.update(
-                n_tasks=len(indices), n_dispatched=len(indices), n_chunks=len(chunks)
-            )
+        def finish(stream):
+            # Backdated like prepare_solve's: span dur == stats seconds.
+            with trace_span("engine.phase", start_perf=start, phase=phase) as span_attrs:
+                latency = registry.histogram("engine.chunk.latency_seconds")
+                done = 0
+                last_arrival = time.perf_counter()
+                try:
+                    for chunk_result in stream:
+                        arrival = time.perf_counter()
+                        latency.observe(arrival - last_arrival)
+                        last_arrival = arrival
+                        for index, ok in chunk_result:
+                            passed[index] = ok
+                            done += 1
+                        self.progress.advance(phase, done, len(indices))
+                finally:
+                    release_shared()
+
+                seconds = time.perf_counter() - start
+                self.progress.finish(phase, len(indices), seconds)
+                self.stats.record(
+                    phase,
+                    n_tasks=len(indices),
+                    n_dispatched=len(indices),
+                    n_chunks=len(chunks),
+                    seconds=seconds,
+                )
+                span_attrs.update(
+                    n_tasks=len(indices), n_dispatched=len(indices), n_chunks=len(chunks)
+                )
             return passed, needed
+
+        return PendingPhase(
+            evaluate_plan_chunk,
+            chunks,
+            self.solver,
+            self._shared_key,
+            finish,
+            phase=phase,
+            context=current_context(),
+        )
 
     # ------------------------------------------------------------------
     def adopt(
@@ -472,6 +597,15 @@ def run_yield_evaluation(
 
         n_ffs_dummy = np.zeros(0)
         size = chunk_size or default_chunk_size(len(indices), executor.jobs)
+        setup_ref = hold_ref = None
+        release_shared = lambda: None
+        if indices:
+            setup_ref, hold_ref, release_shared = _share_bounds(
+                executor,
+                setup_bounds,
+                hold_bounds,
+                fingerprint_arrays(setup_bounds, hold_bounds),
+            )
         chunks = make_chunks(
             indices,
             setup_bounds,
@@ -479,6 +613,8 @@ def run_yield_evaluation(
             n_ffs_dummy,
             n_ffs_dummy,
             chunk_size=size,
+            setup_ref=setup_ref,
+            hold_ref=hold_ref,
         )
         shared_key = getattr(configurator, "_engine_shared_key", None)
         if shared_key is None:
@@ -488,15 +624,18 @@ def run_yield_evaluation(
             except AttributeError:  # pragma: no cover - exotic configurator types
                 pass
         _label_chunks(chunks, phase)
-        _record_dispatch_metrics(executor, shared_key, chunks)
+        record_dispatch_metrics(executor, shared_key, chunks)
         done = 0
-        for chunk_result in executor.map_chunks(
-            configure_chunk, chunks, shared=configurator, shared_key=shared_key
-        ):
-            for index, ok in chunk_result:
-                passed[index] = ok
-                done += 1
-            progress.advance(phase, done, len(indices))
+        try:
+            for chunk_result in executor.map_chunks(
+                configure_chunk, chunks, shared=configurator, shared_key=shared_key
+            ):
+                for index, ok in chunk_result:
+                    passed[index] = ok
+                    done += 1
+                progress.advance(phase, done, len(indices))
+        finally:
+            release_shared()
 
         seconds = time.perf_counter() - start
         progress.finish(phase, len(indices), seconds)

@@ -170,20 +170,28 @@ class Tracer:
                 self._flush_locked()
 
     @contextmanager
-    def span(self, name: str, **attrs: Any) -> Iterator[Dict[str, Any]]:
+    def span(
+        self, name: str, start_perf: Optional[float] = None, **attrs: Any
+    ) -> Iterator[Dict[str, Any]]:
         """Measure one span; yields its mutable ``attrs`` dict.
 
         The yielded dict starts as the ambient :func:`trace_context`
         merged under the explicit keyword attrs; callers may add
         attributes discovered during the span (task counts, cache hits).
+
+        ``start_perf`` backdates the span to an earlier
+        :func:`time.perf_counter` reading: the span's timestamp and
+        duration then cover work that happened *before* the context
+        manager was entered (e.g. a phase prepared eagerly but drained
+        later), without holding a span open across interleaved phases.
         """
         stack = self._stack()
         span_id = f"{self._pid}-{next(self._ids)}"
         parent = stack[-1] if stack else None
         merged = dict(_CONTEXT)
         merged.update(attrs)
-        ts = self._now()
-        start = time.perf_counter()
+        start = time.perf_counter() if start_perf is None else float(start_perf)
+        ts = self._now() - max(0.0, time.perf_counter() - start)
         stack.append(span_id)
         try:
             yield merged
@@ -337,17 +345,20 @@ def _current_tracer() -> Optional[Tracer]:
 
 
 @contextmanager
-def span(name: str, **attrs: Any) -> Iterator[Dict[str, Any]]:
+def span(
+    name: str, start_perf: Optional[float] = None, **attrs: Any
+) -> Iterator[Dict[str, Any]]:
     """Record a span on the active tracer; a cheap no-op when disabled.
 
     Always yields a mutable dict so call sites can unconditionally
     attach attributes; without a tracer the dict is discarded.
+    ``start_perf`` backdates the span (see :meth:`Tracer.span`).
     """
     tracer = _current_tracer()
     if tracer is None:
         yield dict(attrs)
         return
-    with tracer.span(name, **attrs) as merged:
+    with tracer.span(name, start_perf=start_perf, **attrs) as merged:
         yield merged
 
 

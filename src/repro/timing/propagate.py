@@ -27,11 +27,12 @@ with the scalar path to well below ``1e-12``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
+from repro.backend import ArrayBackend, active_backend
 from repro.timing.graph import TimingGraph
 from repro.variation.arrayforms import clark_max_coeffs
 from repro.variation.canonical import CanonicalForm
@@ -130,6 +131,7 @@ def all_ff_pair_delay_forms(
     timing_graph: TimingGraph,
     launch_ffs: Optional[List[str]] = None,
     method: str = "array",
+    backend: Optional[ArrayBackend] = None,
 ) -> Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]]:
     """Canonical max/min delay forms for every connected flip-flop pair.
 
@@ -142,6 +144,9 @@ def all_ff_pair_delay_forms(
         ``"array"`` (default) runs the level-ordered whole-graph sweep
         with vectorised Clark max across launch flip-flops; ``"scalar"``
         runs the per-launch reference propagation.
+    backend:
+        Array backend the sweep's kernels run on (default: the
+        process-wide active backend, numpy unless selected otherwise).
 
     Returns
     -------
@@ -158,7 +163,7 @@ def all_ff_pair_delay_forms(
         return pairs
     if method != "array":
         raise ValueError(f"unknown propagation method {method!r}")
-    return _all_pairs_array(timing_graph, launch_ffs)
+    return _all_pairs_array(timing_graph, launch_ffs, backend=backend)
 
 
 def _form_row(form: CanonicalForm, width: int, negate: bool = False) -> np.ndarray:
@@ -181,13 +186,13 @@ _ABSENT_MEAN = -1e30
 
 
 def _extend_block(
-    ids: Tuple[int, ...], block: np.ndarray, union: Tuple[int, ...], width: int
-) -> np.ndarray:
+    ids: Tuple[int, ...], block, union: Tuple[int, ...], width: int, xp: ArrayBackend
+):
     """Expand a compact block onto a larger id union with sentinel rows."""
     if ids == union:
         return block
     position = {launch: row for row, launch in enumerate(union)}
-    out = np.zeros((2, len(union), width))
+    out = xp.zeros((2, len(union), width))
     out[:, :, 0] = _ABSENT_MEAN
     out[:, [position[i] for i in ids]] = block
     return out
@@ -196,6 +201,7 @@ def _extend_block(
 def _all_pairs_array(
     timing_graph: TimingGraph,
     launch_ffs: List[str],
+    backend: Optional[ArrayBackend] = None,
 ) -> Dict[Tuple[str, str], Tuple[CanonicalForm, CanonicalForm]]:
     """Level-ordered array sweep carrying all launch flip-flops at once.
 
@@ -216,6 +222,7 @@ def _all_pairs_array(
     freed once every successor has consumed them, bounding live memory
     by the level frontier.
     """
+    xp = backend if backend is not None else active_backend()
     graph = timing_graph.graph
     for launch in launch_ffs:
         if launch not in graph:
@@ -223,14 +230,20 @@ def _all_pairs_array(
     launch_index = {ff: i for i, ff in enumerate(launch_ffs)}
     width = timing_graph.design.variation_model.n_shared_sources + 2
 
-    # node -> (sorted launch-id tuple, (2, k, width) coefficient block)
-    arrivals: Dict[Hashable, Tuple[Tuple[int, ...], np.ndarray]] = {}
-    for ff in launch_ffs:
-        ann = timing_graph.annotation(ff)
+    def _node_block(ann) -> np.ndarray:
+        """One node's (2, 1, width) max/negated-min coefficient block."""
         block = np.empty((2, 1, width))
         block[0, 0] = _form_row(ann.form_max, width)
         block[1, 0] = _form_row(ann.form_min, width, negate=True)
-        arrivals[ff] = ((launch_index[ff],), block)
+        return block
+
+    # node -> (sorted launch-id tuple, (2, k, width) coefficient block)
+    arrivals: Dict[Hashable, Tuple[Tuple[int, ...], Any]] = {}
+    for ff in launch_ffs:
+        arrivals[ff] = (
+            (launch_index[ff],),
+            xp.asarray(_node_block(timing_graph.annotation(ff))),
+        )
 
     # Level schedule over the reachable subgraph: a node's level is one
     # past its deepest reached predecessor, so all nodes of a level have
@@ -256,7 +269,7 @@ def _all_pairs_array(
 
     remaining: Dict[Hashable, int] = {}
 
-    def consume(pred: Hashable) -> Tuple[Tuple[int, ...], np.ndarray]:
+    def consume(pred: Hashable) -> Tuple[Tuple[int, ...], Any]:
         """Fetch a predecessor's block, freeing it after its last use."""
         reached = arrivals[pred]
         left = remaining.get(pred)
@@ -269,10 +282,10 @@ def _all_pairs_array(
             remaining[pred] = left - 1
         return reached
 
-    captured: Dict[str, Tuple[Tuple[int, ...], np.ndarray]] = {}
+    captured: Dict[str, Tuple[Tuple[int, ...], Any]] = {}
     for level_nodes in schedule:
         # Fold round 0: adopt the first predecessor (by reference).
-        state: Dict[Hashable, Tuple[Tuple[int, ...], np.ndarray]] = {
+        state: Dict[Hashable, Tuple[Tuple[int, ...], Any]] = {
             node: consume(pred_lists[node][0]) for node in level_nodes
         }
         # Fold rounds r >= 1: one batched kernel call per round merges
@@ -283,8 +296,8 @@ def _all_pairs_array(
             if not active:
                 break
             segments: List[Tuple[Hashable, Tuple[int, ...], int]] = []
-            rows_a: List[np.ndarray] = []
-            rows_b: List[np.ndarray] = []
+            rows_a: List[Any] = []
+            rows_b: List[Any] = []
             offset = 0
             for node in active:
                 ids_a, block_a = state[node]
@@ -293,11 +306,17 @@ def _all_pairs_array(
                     union = ids_a
                 else:
                     union = tuple(sorted(set(ids_a) | set(ids_b)))
-                rows_a.append(_extend_block(ids_a, block_a, union, width).reshape(-1, width))
-                rows_b.append(_extend_block(ids_b, block_b, union, width).reshape(-1, width))
+                rows_a.append(
+                    _extend_block(ids_a, block_a, union, width, xp).reshape(-1, width)
+                )
+                rows_b.append(
+                    _extend_block(ids_b, block_b, union, width, xp).reshape(-1, width)
+                )
                 segments.append((node, union, offset))
                 offset += 2 * len(union)
-            merged = clark_max_coeffs(np.concatenate(rows_a), np.concatenate(rows_b))
+            merged = clark_max_coeffs(
+                xp.concatenate(rows_a), xp.concatenate(rows_b), backend=xp
+            )
             for node, union, start in segments:
                 k = len(union)
                 state[node] = (union, merged[start : start + 2 * k].reshape(2, k, width))
@@ -309,13 +328,10 @@ def _all_pairs_array(
             if isinstance(node, tuple) and node[0] == "sink":
                 captured[node[1]] = (ids, block)
                 continue
-            ann = timing_graph.annotation(node)
-            delay = np.empty((2, 1, width))
-            delay[0, 0] = _form_row(ann.form_max, width)
-            delay[1, 0] = _form_row(ann.form_min, width, negate=True)
-            out = np.empty_like(block)
+            delay = xp.asarray(_node_block(timing_graph.annotation(node)))
+            out = xp.empty_like(block)
             out[..., :-1] = block[..., :-1] + delay[..., :-1]
-            out[..., -1] = np.hypot(block[..., -1], delay[..., -1])
+            out[..., -1] = xp.hypot(block[..., -1], delay[..., -1])
             arrivals[node] = (ids, out)
 
     # Emit pairs launch-major, captures in topological discovery order
@@ -326,13 +342,16 @@ def _all_pairs_array(
         capture: {launch: row for row, launch in enumerate(captured[capture][0])}
         for capture in ordered_captures
     }
+    blocks_np: Dict[str, np.ndarray] = {
+        capture: xp.to_numpy(captured[capture][1]) for capture in ordered_captures
+    }
     for launch in launch_ffs:
         idx = launch_index[launch]
         for capture in ordered_captures:
             row = rows_of[capture].get(idx)
             if row is None:
                 continue
-            block = captured[capture][1]
+            block = blocks_np[capture]
             max_row = block[0, row]
             min_row = block[1, row]
             pairs[(launch, capture)] = (

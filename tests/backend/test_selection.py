@@ -1,0 +1,161 @@
+"""Backend selection and fallback semantics.
+
+Two contracts, pinned exactly as the CLI documents them:
+
+* the ``REPRO_BACKEND`` environment variable is a *soft* preference —
+  an unavailable backend degrades cleanly to numpy with a **single**
+  stderr notice per process;
+* an explicit ``--backend`` request is *strict* — an unavailable
+  backend raises :class:`~repro.backend.BackendError` and the CLI exits
+  with code 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_CHOICES,
+    BackendError,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    numpy_backend,
+    resolve_backend,
+    set_active_backend,
+    use_backend,
+)
+from repro.backend import core as backend_core
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend_state():
+    backend_core._reset_for_tests()
+    yield
+    backend_core._reset_for_tests()
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        assert get_backend("numpy") is numpy_backend()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendError, match="unknown array backend"):
+            get_backend("tensorflow")
+
+    def test_choices_cover_known_names(self):
+        assert BACKEND_CHOICES == ("numpy", "torch", "cupy")
+
+    def test_unavailable_backend_raises(self):
+        missing = [n for n in ("torch", "cupy") if n not in available_backends()]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        with pytest.raises(BackendError, match="not available"):
+            get_backend(missing[0])
+
+
+class TestEnvFallback:
+    def test_env_preference_honoured_when_available(self):
+        backend = resolve_backend(None, env={"REPRO_BACKEND": "numpy"})
+        assert backend.name == "numpy"
+
+    def test_missing_optional_backend_degrades_to_numpy(self, capsys):
+        missing = [n for n in ("torch", "cupy") if n not in available_backends()]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        backend = resolve_backend(None, env={"REPRO_BACKEND": missing[0]})
+        assert backend.name == "numpy"
+        err = capsys.readouterr().err
+        assert "falling back to numpy" in err
+        assert err.count("falling back to numpy") == 1
+
+    def test_fallback_notice_printed_once_per_process(self, capsys):
+        missing = [n for n in ("torch", "cupy") if n not in available_backends()]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        env = {"REPRO_BACKEND": missing[0]}
+        resolve_backend(None, env=env)
+        resolve_backend(None, env=env)
+        resolve_backend(None, env=env)
+        err = capsys.readouterr().err
+        assert err.count("falling back to numpy") == 1
+
+    def test_explicit_request_stays_strict(self):
+        missing = [n for n in ("torch", "cupy") if n not in available_backends()]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        with pytest.raises(BackendError):
+            resolve_backend(missing[0])
+
+
+class TestActiveBackend:
+    def test_set_and_use(self):
+        installed = set_active_backend("numpy")
+        assert installed.name == "numpy"
+        with use_backend("numpy") as xp:
+            assert xp.name == "numpy"
+
+    def test_use_backend_restores_previous(self):
+        set_active_backend("numpy")
+        sentinel = NumpyBackend()
+        set_active_backend(sentinel)
+        with use_backend("numpy"):
+            pass
+        from repro.backend import active_backend
+
+        assert active_backend() is sentinel
+
+    def test_set_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            set_active_backend(3.14)
+
+
+class TestCliBackendFlag:
+    def test_unavailable_backend_exits_2(self, capsys):
+        missing = [n for n in ("torch", "cupy") if n not in available_backends()]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        from repro.cli import main
+
+        code = main(
+            ["insert", "--circuit", "s9234", "--scale", "0.05", "--backend", missing[0]]
+        )
+        assert code == 2
+        assert "not available" in capsys.readouterr().err
+
+    def test_backend_numpy_accepted(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "insert",
+                "--circuit",
+                "s9234",
+                "--scale",
+                "0.05",
+                "--backend",
+                "numpy",
+                "--samples",
+                "40",
+                "--eval-samples",
+                "40",
+                "--json",
+            ]
+        )
+        assert code == 0
+
+
+class TestNumpyBackendBitIdentity:
+    def test_kernel_ops_are_numpy_functions(self, rng):
+        # The numpy backend must delegate to the very functions the
+        # kernels called before the abstraction existed.
+        xp = numpy_backend()
+        x = rng.normal(size=(5, 7))
+        np.testing.assert_array_equal(xp.sqrt(np.abs(x)), np.sqrt(np.abs(x)))
+        np.testing.assert_array_equal(xp.exp(x), np.exp(x))
+        np.testing.assert_array_equal(
+            xp.einsum("ij,ij->i", x, x), np.einsum("ij,ij->i", x, x)
+        )
+        np.testing.assert_array_equal(xp.hypot(x, 2.0 * x), np.hypot(x, 2.0 * x))
+        assert xp.asarray(x) is not None and xp.to_numpy(x) is x

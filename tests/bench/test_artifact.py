@@ -139,6 +139,26 @@ class TestValidation:
         with pytest.raises(ArtifactError, match="invalid scenario parameters"):
             ScenarioRecord.from_dict({"params": {}, "total_seconds": [0.1]})
 
+    def test_schema1_artifact_without_kind_dispatch_still_loads(self):
+        # Pre-v2 files lack kind/dispatch; they validate and load with
+        # the schema-1-equivalent defaults under their original ids.
+        data = make_artifact().as_dict()
+        data["schema_version"] = 1
+        for entry in data["scenarios"]:
+            del entry["params"]["kind"]
+            del entry["params"]["dispatch"]
+        validate_artifact_dict(data)
+        loaded = BenchArtifact.from_dict(data)
+        scenario = loaded.records[0].scenario
+        assert scenario.kind == "flow" and scenario.dispatch == "batched"
+        assert loaded.records[0].scenario.scenario_id == data["scenarios"][0]["id"]
+
+    def test_rejects_wrongly_typed_kind(self):
+        data = make_artifact().as_dict()
+        data["scenarios"][0]["params"]["kind"] = 7
+        with pytest.raises(ArtifactError, match="invalid value"):
+            validate_artifact_dict(data)
+
     def test_two_id_less_entries_with_different_params_are_accepted(self):
         artifact = make_artifact()
         artifact.records.append(make_record(sigma=2.0))

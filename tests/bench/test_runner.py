@@ -56,3 +56,43 @@ class TestRunSuiteMachinery:
             BenchRunner(warmup=-1)
         with pytest.raises(ValueError, match="repeat"):
             BenchRunner(repeat=0)
+
+
+class TestCampaignScenarios:
+    """``kind="campaign"`` scenarios time a whole CampaignRunner matrix."""
+
+    def scenario(self, dispatch: str) -> Scenario:
+        return Scenario(
+            circuit="s9234", scale=0.03, sigma=1.0, n_samples=20,
+            n_eval_samples=30, seed=3, kind="campaign", dispatch=dispatch,
+        )
+
+    def test_campaign_spec_replicates_one_matrix_point(self):
+        from repro.bench import CAMPAIGN_REPLICATES, campaign_spec_for
+
+        spec = campaign_spec_for(self.scenario("batched"))
+        cells = spec.cells()
+        assert len(cells) == CAMPAIGN_REPLICATES
+        # One compiled-system group: every cell shares the design seed.
+        assert len({(c.circuit, c.scale, c.design_seed, c.solver) for c in cells}) == 1
+        # The spec is dispatch-independent — both rows run the same cells.
+        sequential = campaign_spec_for(self.scenario("sequential"))
+        assert sequential.fingerprint() == spec.fingerprint()
+
+    def test_campaign_record_measures_and_fingerprints(self):
+        from repro.bench import CAMPAIGN_REPLICATES
+
+        record = BenchRunner(warmup=0, repeat=2).run_scenario(self.scenario("batched"))
+        assert len(record.total_seconds) == 2
+        assert all(seconds > 0.0 for seconds in record.total_seconds)
+        assert record.phase_seconds == {}
+        assert record.metrics["n_cells"] == float(CAMPAIGN_REPLICATES)
+        assert 0.0 <= record.metrics["improved_yield_mean"] <= 1.0
+        assert record.plan_fingerprint
+
+    def test_dispatch_rows_are_bit_identical(self):
+        runner = BenchRunner(warmup=0, repeat=1)
+        batched = runner.run_scenario(self.scenario("batched"))
+        sequential = runner.run_scenario(self.scenario("sequential"))
+        assert batched.plan_fingerprint == sequential.plan_fingerprint
+        assert batched.metrics == sequential.metrics

@@ -111,3 +111,51 @@ class TestOverride:
     def test_no_override_is_identity(self):
         suite = get_suite("quick")
         assert override_execution(suite) == suite
+
+
+class TestCampaignScenarios:
+    def test_flow_id_is_unchanged_by_the_new_fields(self):
+        # Schema-1 artifacts join on this exact id; it must not grow a
+        # kind/dispatch segment for flow scenarios.
+        scenario = Scenario(circuit="s9234", scale=0.05, sigma=1.0)
+        assert scenario.scenario_id == "s9234@0.05/sigma1/graph/serialxauto/n60e100s3"
+        assert scenario.kind == "flow" and scenario.dispatch == "batched"
+
+    def test_campaign_id_carries_the_dispatch(self):
+        batched = Scenario(circuit="s9234", scale=0.05, kind="campaign")
+        sequential = Scenario(
+            circuit="s9234", scale=0.05, kind="campaign", dispatch="sequential"
+        )
+        assert batched.scenario_id.endswith("/campaign-batched")
+        assert sequential.scenario_id.endswith("/campaign-sequential")
+        assert batched.scenario_id != sequential.scenario_id
+
+    def test_round_trip_through_dict(self):
+        scenario = Scenario(
+            circuit="s9234", scale=0.05, sigma=1.0, executor="processes",
+            jobs=2, kind="campaign", dispatch="sequential",
+        )
+        assert Scenario.from_dict(scenario.as_dict()) == scenario
+
+    def test_from_dict_defaults_missing_kind_and_dispatch(self):
+        # A schema-1 params mapping (no kind/dispatch) must still load.
+        scenario = Scenario.from_dict(
+            {
+                "circuit": "s9234", "scale": 0.05, "sigma": 1.0, "solver": "graph",
+                "executor": "serial", "jobs": None, "n_samples": 60,
+                "n_eval_samples": 100, "seed": 3,
+            }
+        )
+        assert scenario.kind == "flow" and scenario.dispatch == "batched"
+
+    def test_invalid_kind_and_dispatch_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Scenario(circuit="s9234", scale=0.05, kind="bogus")
+        with pytest.raises(ValueError, match="dispatch"):
+            Scenario(circuit="s9234", scale=0.05, dispatch="bogus")
+
+    def test_quick_suite_has_both_dispatch_rows(self):
+        campaign = [s for s in get_suite("quick") if s.kind == "campaign"]
+        assert sorted(s.dispatch for s in campaign) == ["batched", "sequential"]
+        # Identical workloads: the row pair isolates the dispatch path.
+        assert len({s.scenario_id.rsplit("/campaign-", 1)[0] for s in campaign}) == 1

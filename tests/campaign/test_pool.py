@@ -143,17 +143,6 @@ class TestConcurrentPublish:
 
 
 class TestRunnerIntegration:
-    def _count_executed(self, monkeypatch):
-        executed = []
-        original = CampaignRunner._run_cell
-
-        def counting(runner_self, cell, executor):
-            executed.append(cell.cell_id)
-            return original(runner_self, cell, executor)
-
-        monkeypatch.setattr(CampaignRunner, "_run_cell", counting)
-        return executed
-
     def test_run_publishes_every_cell(self, tmp_path):
         spec = base_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
@@ -163,14 +152,13 @@ class TestRunnerIntegration:
         pool.refresh()
         assert {cell.fingerprint() for cell in spec.cells()} <= set(pool.records())
 
-    def test_overlapping_spec_reuses_pooled_cells(self, tmp_path, monkeypatch):
+    def test_overlapping_spec_reuses_pooled_cells(self, tmp_path):
         first, second = base_spec(), superset_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
             first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
         ).run()
 
-        executed = self._count_executed(monkeypatch)
         store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         summary = CampaignRunner(second, store, executor="serial", pool=pool).run()
         shared = set(c.fingerprint() for c in first.cells()) & set(
@@ -179,7 +167,14 @@ class TestRunnerIntegration:
         assert len(shared) == first.n_cells  # strict subset by construction
         assert summary.n_pool_reused == len(shared)
         assert summary.n_run == second.n_cells - len(shared)
-        assert len(executed) == summary.n_run
+        # Pooled cells never re-execute: only the fresh cells ran.
+        pooled_ids = {
+            cell.cell_id
+            for cell in second.cells()
+            if cell.fingerprint() in shared
+        }
+        assert not set(summary.cell_ids_run) & pooled_ids
+        assert len(summary.cell_ids_run) == summary.n_run
         # The view store is complete and reports normally.
         report = build_report(second, store)
         assert report.complete
@@ -202,24 +197,23 @@ class TestRunnerIntegration:
         assert summary.n_pool_reused == first.n_cells
         assert build_report(second, pooled_store).to_json() == plain_json
 
-    def test_pool_hits_do_not_consume_max_cells_budget(self, tmp_path, monkeypatch):
+    def test_pool_hits_do_not_consume_max_cells_budget(self, tmp_path):
         first, second = base_spec(), superset_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
             first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
         ).run()
 
-        executed = self._count_executed(monkeypatch)
         store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         summary = CampaignRunner(
             second, store, executor="serial", pool=pool, max_cells=1
         ).run()
         # All pool hits materialize for free; exactly one cell executes.
         assert summary.n_pool_reused == first.n_cells
-        assert (summary.n_run, len(executed)) == (1, 1)
+        assert (summary.n_run, len(summary.cell_ids_run)) == (1, 1)
         assert summary.n_remaining == second.n_cells - first.n_cells - 1
 
-    def test_resume_with_pool_skips_materialized_cells(self, tmp_path, monkeypatch):
+    def test_resume_with_pool_skips_materialized_cells(self, tmp_path):
         first, second = base_spec(), superset_spec()
         pool = ResultPool(str(tmp_path / "pool.jsonl"))
         CampaignRunner(
@@ -227,9 +221,8 @@ class TestRunnerIntegration:
         ).run()
         store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         CampaignRunner(second, store, executor="serial", pool=pool).run()
-        executed = self._count_executed(monkeypatch)
         again = CampaignRunner(second, store, executor="serial", pool=pool).run()
-        assert (again.n_run, again.n_pool_reused, len(executed)) == (0, 0, 0)
+        assert (again.n_run, again.n_pool_reused, len(again.cell_ids_run)) == (0, 0, 0)
         assert again.n_completed_before == second.n_cells
 
     def test_summary_dict_includes_pool_reuse(self, tmp_path):
@@ -238,3 +231,40 @@ class TestRunnerIntegration:
         store = CampaignStore.open(str(tmp_path / "s.jsonl"))
         summary = CampaignRunner(spec, store, executor="serial", pool=pool).run()
         assert summary.as_dict()["n_pool_reused"] == 0
+
+    def test_sharded_runners_balance_real_work_around_pool_hits(self, tmp_path):
+        first = base_spec()
+        second = superset_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        CampaignRunner(
+            first, CampaignStore.open(str(tmp_path / "a.jsonl")), executor="serial", pool=pool
+        ).run()
+
+        runners = [
+            CampaignRunner(
+                second,
+                CampaignStore.open(str(tmp_path / f"shard{i}.jsonl")),
+                executor="serial",
+                pool=pool,
+                shard_index=i,
+                shard_count=2,
+            )
+            for i in range(2)
+        ]
+        # Both shards partition from the SAME pool snapshot (the CI
+        # contract: one downloaded pool artifact per matrix).
+        shards = [runner.shard() for runner in runners]
+        merged = sorted(c.cell_id for shard in shards for c in shard)
+        assert merged == sorted(c.cell_id for c in second.cells())
+        pooled = set(pool.records())
+        missing_per_shard = [
+            sum(1 for c in shard if c.fingerprint() not in pooled) for shard in shards
+        ]
+        # 2 of 4 cells are pooled and the pre-pass hands each shard one
+        # real cell; the legacy partition could pile both onto one.
+        assert missing_per_shard == [1, 1]
+        # Running a shard executes exactly its real cell and
+        # materializes exactly its pool hit.
+        summary = runners[0].run()
+        assert (summary.n_run, summary.n_pool_reused) == (1, 1)
+        assert len(summary.cell_ids_run) == 1

@@ -117,6 +117,58 @@ class TestRunBasics:
             )
 
 
+class TestDispatchModes:
+    """Batched (gang) dispatch must be a pure wall-clock optimisation."""
+
+    @staticmethod
+    def _records(tmp_path, name, dispatch, executor="serial", jobs=None):
+        spec = tiny_spec(baselines=("criticality", "random"))
+        store = CampaignStore.open(str(tmp_path / f"{name}.jsonl"))
+        summary = CampaignRunner(
+            spec, store, executor=executor, jobs=jobs, dispatch=dispatch
+        ).run()
+        assert summary.n_run == spec.n_cells
+        return store.load()
+
+    def _assert_identical(self, sequential, batched):
+        assert set(sequential) == set(batched)
+        for fingerprint, record in sequential.items():
+            other = batched[fingerprint]
+            assert other["cell"] == record["cell"]
+            # Everything except the wall-clock envelope is bit-identical.
+            assert json.dumps(other["result"], sort_keys=True) == json.dumps(
+                record["result"], sort_keys=True
+            )
+
+    def test_batched_records_bit_identical_to_sequential(self, tmp_path):
+        sequential = self._records(tmp_path, "seq", "sequential")
+        batched = self._records(tmp_path, "bat", "batched")
+        self._assert_identical(sequential, batched)
+
+    def test_batched_bit_identical_on_process_pool(self, tmp_path):
+        sequential = self._records(tmp_path, "seq", "sequential")
+        batched = self._records(tmp_path, "bat", "batched", executor="processes", jobs=2)
+        self._assert_identical(sequential, batched)
+
+    def test_batched_groups_by_compiled_fingerprint(self, tmp_path):
+        spec = tiny_spec(sigmas=(0.0, 1.0), replicates=1)
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
+        runner = CampaignRunner(spec, store, executor="serial")
+        cells = spec.cells()
+        keys = {cell.cell_id: runner._group_key(cell) for cell in cells}
+        # One (circuit, scale) design + one solver => a single gang.
+        assert len(set(keys.values())) == 1
+        assert CampaignRunner(spec, store, executor="serial").run().n_run == len(cells)
+
+    def test_invalid_dispatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="dispatch"):
+            CampaignRunner(
+                tiny_spec(),
+                CampaignStore.open(str(tmp_path / "s.jsonl")),
+                dispatch="eager",
+            )
+
+
 class TestResume:
     KILL_AFTER = 5
 
@@ -131,22 +183,13 @@ class TestResume:
         with open(store.path, "a", encoding="utf-8") as handle:
             handle.write('{"schema_version": 1, "fingerprint": "trunca')
 
-        executed = []
-        original = CampaignRunner._run_cell
-
-        def counting_run_cell(runner_self, cell, executor):
-            executed.append(cell.cell_id)
-            return original(runner_self, cell, executor)
-
-        resumed_runner = CampaignRunner(
+        resumed = CampaignRunner(
             spec, store, executor=resume_executor, jobs=jobs
-        )
-        CampaignRunner._run_cell = counting_run_cell
-        try:
-            resumed = resumed_runner.run()
-        finally:
-            CampaignRunner._run_cell = original
-        return store, resumed, executed
+        ).run()
+        # cell_ids_run lists exactly the cells this invocation executed
+        # (pool hits and already-completed cells never appear), in both
+        # dispatch modes.
+        return store, resumed, list(resumed.cell_ids_run)
 
     @pytest.mark.parametrize(
         "resume_executor,jobs",

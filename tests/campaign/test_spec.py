@@ -182,6 +182,53 @@ class TestSharding:
             shard_cells(cells, 0, 0)
 
 
+class TestPoolAwareSharding:
+    def cells(self):
+        return small_spec(sigmas=(0.0, 1.0, 2.0)).cells()
+
+    def test_empty_pool_matches_legacy_partition(self):
+        cells = self.cells()
+        for index in range(3):
+            assert shard_cells(cells, index, 3, pooled_fingerprints=set()) == shard_cells(
+                cells, index, 3
+            )
+
+    def test_partition_invariants_hold_with_a_pool(self):
+        cells = self.cells()
+        pooled = {cells[i].fingerprint() for i in range(0, len(cells), 2)}
+        shards = [shard_cells(cells, i, 3, pooled_fingerprints=pooled) for i in range(3)]
+        merged = [c for shard in shards for c in shard]
+        assert sorted(c.cell_id for c in merged) == sorted(c.cell_id for c in cells)
+        seen = set()
+        for shard in shards:
+            ids = {c.fingerprint() for c in shard}
+            assert not (ids & seen)
+            seen |= ids
+        # Within each shard the deterministic expansion order is kept.
+        order = {cell.fingerprint(): i for i, cell in enumerate(cells)}
+        for shard in shards:
+            positions = [order[c.fingerprint()] for c in shard]
+            assert positions == sorted(positions)
+
+    def test_real_work_balances_even_when_pool_hits_cluster(self):
+        cells = self.cells()
+        # Pool every cell the legacy round-robin would hand to shard 0:
+        # without the pre-pass, shard 0 does no real work while shards
+        # 1..2 each run a full share.
+        pooled = {c.fingerprint() for c in shard_cells(cells, 0, 3)}
+        missing = len(cells) - len(pooled)
+        counts = [
+            sum(
+                1
+                for c in shard_cells(cells, i, 3, pooled_fingerprints=pooled)
+                if c.fingerprint() not in pooled
+            )
+            for i in range(3)
+        ]
+        assert sum(counts) == missing
+        assert max(counts) - min(counts) <= 1
+
+
 class TestNamedSpecs:
     def test_builtin_names(self):
         assert set(SPEC_NAMES) == {"smoke", "nightly", "table1"}

@@ -1,0 +1,154 @@
+"""Gang dispatch primitives: PendingPhase, run_pending, gang_dispatch.
+
+These tests drive the primitives with synthetic chunk functions so the
+ordering contracts are checked directly:
+
+* results always align with the input pendings, whatever the executor;
+* on keyed-state executors a wave is grouped by ``shared_key`` and a new
+  key is never submitted before the previous group fully drains (a key
+  change restarts the pool and would orphan in-flight futures);
+* ``drive_pending_generator`` reproduces the sequential behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.engine import (
+    PendingPhase,
+    SerialExecutor,
+    drive_pending_generator,
+    gang_dispatch,
+    run_pending,
+)
+
+
+@dataclass
+class FakeChunk:
+    values: List[int]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.values)
+
+
+def double_chunk(shared: Any, chunk: FakeChunk) -> List[int]:
+    return [2 * value for value in chunk.values]
+
+
+def make_pending(values: List[int], shared_key: Optional[str] = None, log=None) -> PendingPhase:
+    chunks = [FakeChunk(values[i : i + 2]) for i in range(0, len(values), 2)]
+
+    def finish(stream: Iterator[Any]) -> List[int]:
+        merged: List[int] = []
+        for result in stream:
+            merged.extend(result)
+        if log is not None:
+            log.append(("finish", shared_key))
+        return merged
+
+    return PendingPhase(double_chunk, chunks, None, shared_key, finish, phase="test")
+
+
+class RecordingKeyedExecutor(SerialExecutor):
+    """Serial semantics, but keyed_state=True and a dispatch/drain log."""
+
+    keyed_state = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[tuple] = []
+
+    def map_chunks(self, fn, payloads, shared=None, shared_key=None):
+        self.events.append(("dispatch", shared_key))
+        results = [fn(shared, payload) for payload in payloads]
+
+        def stream():
+            self.events.append(("drain", shared_key))
+            yield from results
+
+        return stream()
+
+
+class TestRunPending:
+    def test_dispatch_and_finish_merges_chunks(self):
+        with SerialExecutor() as executor:
+            assert run_pending(make_pending([1, 2, 3]), executor) == [2, 4, 6]
+
+    def test_dispatch_is_idempotent(self):
+        with SerialExecutor() as executor:
+            pending = make_pending([4])
+            pending.dispatch(executor)
+            stream = pending._stream
+            pending.dispatch(executor)
+            assert pending._stream is stream
+            assert pending.finish() == [8]
+
+    def test_finish_without_dispatch_yields_empty(self):
+        assert make_pending([]).finish() == []
+
+
+class TestGangDispatch:
+    def test_results_align_with_pendings_stateless(self):
+        with SerialExecutor() as executor:
+            pendings = [make_pending([i]) for i in range(5)]
+            assert gang_dispatch(pendings, executor) == [[0], [2], [4], [6], [8]]
+
+    def test_empty_wave(self):
+        with SerialExecutor() as executor:
+            assert gang_dispatch([], executor) == []
+
+    def test_keyed_executor_groups_by_shared_key(self):
+        executor = RecordingKeyedExecutor()
+        log: List[tuple] = []
+        pendings = [
+            make_pending([1], "a", log),
+            make_pending([2], "b", log),
+            make_pending([3], "a", log),
+        ]
+        results = gang_dispatch(pendings, executor)
+        # Results still align with the *input* order...
+        assert results == [[2], [4], [6]]
+        # ...but submission is grouped: both 'a' pendings dispatch (and
+        # drain) before anything keyed 'b' is submitted.
+        assert executor.events == [
+            ("dispatch", "a"),
+            ("dispatch", "a"),
+            ("drain", "a"),
+            ("drain", "a"),
+            ("dispatch", "b"),
+            ("drain", "b"),
+        ]
+
+    def test_stateless_executor_submits_whole_wave(self):
+        executor = RecordingKeyedExecutor()
+        executor.keyed_state = False
+        pendings = [make_pending([1], "a"), make_pending([2], "b")]
+        assert gang_dispatch(pendings, executor) == [[2], [4]]
+        assert [event for event, _ in executor.events] == [
+            "dispatch",
+            "dispatch",
+            "drain",
+            "drain",
+        ]
+
+
+class TestDrivePendingGenerator:
+    def test_results_are_sent_back_and_return_value_propagates(self):
+        def flow():
+            first = yield make_pending([1, 2])
+            second = yield make_pending(first)
+            return sum(second)
+
+        with SerialExecutor() as executor:
+            # [1,2] -> [2,4] -> [4,8] -> 12
+            assert drive_pending_generator(flow(), executor) == 12
+
+    def test_generator_without_yields(self):
+        def flow():
+            return "done"
+            yield  # pragma: no cover
+
+        with SerialExecutor() as executor:
+            assert drive_pending_generator(flow(), executor) == "done"
