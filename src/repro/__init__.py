@@ -51,6 +51,27 @@ The public API is organised in subpackages:
 ``repro.analysis``
     Histograms, correlation analysis and Table-I style reporting.
 
+``repro.backend``
+    Swappable array backends (numpy reference, torch, cupy) behind one
+    kernel interface, conformance-pinned against the scalar oracle.
+
+``repro.store``
+    Pluggable storage tier: URI-addressed JSONL / SQLite(WAL) drivers
+    behind one conformance-tested ``StoreBackend`` contract.
+
+``repro.campaign``
+    Resumable multi-circuit experiment campaigns: declarative specs,
+    checkpointed stores, sharding/merge, pooling, reports and trends.
+
+``repro.obs``
+    Observability substrate: structured span traces, a metrics
+    registry and run-manifest telemetry, all stdlib-only.
+
+``repro.service``
+    The long-running service layer: a durable job queue over
+    ``repro.store``, the ``repro work`` worker daemon, and the
+    ``repro serve`` HTTP/JSON API with its client.
+
 Quickstart
 ----------
 >>> from repro.circuit.suite import build_suite_circuit

@@ -68,9 +68,11 @@ from repro.campaign.report import (
 )
 from repro.campaign.runner import (
     DISPATCH_CHOICES,
+    CampaignProgress,
     CampaignRunner,
     CampaignRunSummary,
     CampaignStatus,
+    ProgressCallback,
     campaign_status,
 )
 from repro.campaign.spec import (
@@ -123,6 +125,7 @@ __all__ = [
     "CampaignComparison",
     "CampaignError",
     "CampaignGateResult",
+    "CampaignProgress",
     "CampaignReport",
     "CampaignRunSummary",
     "CampaignRunner",
@@ -136,6 +139,7 @@ __all__ = [
     "CellTrend",
     "GCPlan",
     "MergeSummary",
+    "ProgressCallback",
     "ResultPool",
     "StoreBackend",
     "StoreError",

@@ -33,7 +33,7 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +51,50 @@ from repro.yieldsim.estimator import YieldEstimator
 
 #: Dispatch strategies of :class:`CampaignRunner` (CLI ``--dispatch``).
 DISPATCH_CHOICES = ("batched", "sequential")
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """One job-level progress tick of a running campaign.
+
+    Emitted by :class:`CampaignRunner` every time a cell's record lands
+    in the store — freshly executed (``source="run"``) or materialised
+    from the shared result pool (``source="pool"``).  Long-lived callers
+    (the service worker's lease heartbeat, progress UIs) hook these
+    ticks via the runner's ``on_progress`` callback.
+
+    Attributes
+    ----------
+    cell_id / fingerprint:
+        The committed cell.
+    position / total:
+        1-based commit position within this invocation's budget.
+    seconds:
+        Wall-clock the cell took (0 for pool hits).
+    source:
+        ``"run"`` or ``"pool"``.
+    """
+
+    cell_id: str
+    fingerprint: str
+    position: int
+    total: int
+    seconds: float
+    source: str = "run"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cell_id": self.cell_id,
+            "fingerprint": self.fingerprint,
+            "position": self.position,
+            "total": self.total,
+            "seconds": self.seconds,
+            "source": self.source,
+        }
+
+
+#: Signature of the runner's ``on_progress`` callback.
+ProgressCallback = Callable[[CampaignProgress], None]
 
 
 @dataclass
@@ -155,7 +199,10 @@ def campaign_status(spec: CampaignSpec, store: CampaignStore) -> CampaignStatus:
         ],
         stale_fingerprints=sorted(set(records) - set(by_fingerprint)),
         cell_seconds={
-            cell.cell_id: float(records[fp]["runtime_seconds"])
+            # .get: the envelope is wall-clock bookkeeping, not part of
+            # the validated schema — a record without it (hand-ingested,
+            # older layout) must degrade to 0, not break status polls.
+            cell.cell_id: float(records[fp].get("runtime_seconds", 0.0))
             for fp, cell in by_fingerprint.items()
             if fp in records
         },
@@ -186,6 +233,12 @@ class CampaignRunner:
     progress:
         ``True`` streams per-cell campaign lines (and per-phase engine
         lines, labelled with the cell id) to stderr.
+    on_progress:
+        Optional :data:`ProgressCallback` invoked after every committed
+        cell (executed or pool-materialised).  The service worker uses
+        it to heartbeat its queue lease while a long campaign runs;
+        callback failures propagate (a heartbeat that cannot be
+        extended must abort the run, not silently continue).
     dispatch:
         ``"batched"`` (default) groups runnable cells by compiled-system
         fingerprint and advances each group's flows in lockstep waves:
@@ -210,6 +263,7 @@ class CampaignRunner:
         pool: Optional[ResultPool] = None,
         progress: bool = False,
         dispatch: str = "batched",
+        on_progress: Optional[ProgressCallback] = None,
     ) -> None:
         if max_cells is not None and max_cells < 1:
             raise ValueError(f"max_cells must be >= 1, got {max_cells}")
@@ -227,6 +281,7 @@ class CampaignRunner:
         self.pool = pool
         self.progress = bool(progress)
         self.dispatch = dispatch
+        self.on_progress = on_progress
         self._design_cache: Dict[Tuple[str, float, int], object] = {}
 
     # ------------------------------------------------------------------
@@ -341,6 +396,17 @@ class CampaignRunner:
                 continue
             self.store.append(record)
             hits.append(cell.cell_id)
+            if self.on_progress is not None:
+                self.on_progress(
+                    CampaignProgress(
+                        cell_id=cell.cell_id,
+                        fingerprint=cell.fingerprint(),
+                        position=len(hits),
+                        total=len(pending),
+                        seconds=0.0,
+                        source="pool",
+                    )
+                )
         registry = get_registry()
         registry.counter("campaign.pool.hits").inc(len(hits))
         registry.counter("campaign.pool.misses").inc(len(pending) - len(hits))
@@ -358,6 +424,17 @@ class CampaignRunner:
         self.store.append(record)
         if self.pool is not None:
             self.pool.publish(record)
+        if self.on_progress is not None:
+            self.on_progress(
+                CampaignProgress(
+                    cell_id=cell.cell_id,
+                    fingerprint=cell.fingerprint(),
+                    position=position,
+                    total=budget,
+                    seconds=seconds,
+                    source="run",
+                )
+            )
         self._log(
             f"cell {position}/{budget} {cell.cell_id}: "
             f"Y {100 * record['result']['improved_yield']:.2f} % "

@@ -43,6 +43,15 @@ Installed as the ``repro`` console script, with four subcommands:
     count).  Dry-run by default; ``--apply`` executes the plan as one
     atomic rewrite.
 
+``repro serve`` / ``repro work`` / ``repro submit``
+    The campaign service (:mod:`repro.service`): a stdlib HTTP/JSON API
+    over a durable job queue (``serve``), the worker daemon that leases
+    queued jobs and runs them through the campaign runner (``work``),
+    and a submit/poll client (``submit``, speaking either directly to a
+    queue URI or to a running server over HTTP).  The queue is an
+    ordinary store URI (``jsonl:``/``sqlite:``), so its durability and
+    concurrency guarantees are the storage tier's.
+
 ``repro trace summary|top|export``
     The observability subsystem (:mod:`repro.obs`): render the per-cell/
     per-phase wall-clock breakdown of a trace file, list its slowest
@@ -76,6 +85,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: float > 0 with a clear error instead of a traceback."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -139,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bench_parsers(subparsers)
     _add_campaign_parsers(subparsers)
     _add_pool_parsers(subparsers)
+    _add_service_parsers(subparsers)
     _add_trace_parsers(subparsers)
     return parser
 
@@ -181,6 +202,23 @@ def _pool_uri_parent(required_default: bool = False) -> argparse.ArgumentParser:
         metavar="URI",
         help="shared content-addressed result pool as a store URI: jsonl:PATH or "
         f"sqlite:PATH, bare paths infer jsonl ({fallback})",
+    )
+    return parent
+
+
+def _queue_uri_parent() -> argparse.ArgumentParser:
+    """Shared ``--queue URI`` parent parser for the service subcommands.
+
+    The queue address is a store URI exactly like ``--store``/``--pool``
+    — one definition keeps serve/work/submit agreeing on it.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--queue",
+        default=None,
+        metavar="URI",
+        help="job queue as a store URI: jsonl:PATH or sqlite:PATH "
+        "(bare paths infer jsonl)",
     )
     return parent
 
@@ -442,6 +480,126 @@ def _add_pool_parsers(subparsers) -> None:
         help="execute the plan (default: dry-run that only prints it)",
     )
     gc.add_argument("--json", action="store_true", help="print the plan as JSON")
+
+
+def _add_service_parsers(subparsers) -> None:
+    from repro.campaign import DISPATCH_CHOICES, SPEC_NAMES
+    from repro.engine import EXECUTOR_CHOICES
+
+    queue_parent = _queue_uri_parent()
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP/JSON API over a campaign job queue (submit/status/report/compare)",
+        parents=[queue_parent, _pool_uri_parent()],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="port to bind (0: ephemeral)"
+    )
+
+    work = subparsers.add_parser(
+        "work",
+        help="worker daemon: lease queued jobs and run them through the campaign runner",
+        parents=[queue_parent, _pool_uri_parent()],
+    )
+    work.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default="processes",
+        help="engine backend for every job (results are identical across executors)",
+    )
+    work.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker count for the parallel executors (default: CPU count)",
+    )
+    work.add_argument(
+        "--dispatch",
+        choices=DISPATCH_CHOICES,
+        default="batched",
+        help="cell dispatch strategy passed to the campaign runner",
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="identity recorded in lease events (default: <hostname>:<pid>)",
+    )
+    work.add_argument(
+        "--lease",
+        type=_positive_float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease duration; a job whose worker misses heartbeats this long is re-leased",
+    )
+    work.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="idle sleep between claim attempts",
+    )
+    work.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        help="process at most this many jobs, then exit",
+    )
+    work.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit once every job is terminal (done/failed) instead of polling "
+        "forever; keeps waiting for another worker's lease to expire",
+    )
+    work.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-job and per-cell progress to stderr",
+    )
+    work.add_argument(
+        "--json", action="store_true", help="print the worker summary as JSON"
+    )
+    _add_backend_argument(work)
+    _add_trace_argument(work, "work")
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a campaign to a queue (directly or via a running server) and optionally wait",
+        parents=[queue_parent, _pool_uri_parent()],
+    )
+    submit.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="submit over HTTP to a running `repro serve` instead of --queue",
+    )
+    spec_group = submit.add_mutually_exclusive_group(required=True)
+    spec_group.add_argument("--name", choices=SPEC_NAMES, help="built-in campaign spec")
+    spec_group.add_argument("--spec", help="path to a JSON campaign spec file")
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job reaches a terminal state (exit 1 on failure/timeout)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait deadline",
+    )
+    submit.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="--wait poll interval",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="print the job view as JSON"
+    )
 
 
 def _add_bench_parsers(subparsers) -> None:
@@ -920,6 +1078,182 @@ def _cmd_pool_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_pool_uri(pool_arg: Optional[str]) -> Optional[str]:
+    """Pool URI for the service commands (``None``: no pool; bare: default)."""
+    if pool_arg is None:
+        return None
+    if pool_arg:
+        return pool_arg
+    from repro.campaign import default_pool_path
+
+    return default_pool_path()
+
+
+def _require_queue(args: argparse.Namespace) -> str:
+    from repro.service import ServiceError
+
+    if not args.queue:
+        raise ServiceError(f"repro {args.command} needs --queue URI")
+    return args.queue
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.api import serve
+
+    queue_uri = _require_queue(args)
+
+    def _terminate(signum, frame):  # noqa: ARG001 - signal contract
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        serve(
+            queue_uri,
+            host=args.host,
+            port=args.port,
+            pool=_resolve_pool_uri(args.pool),
+        )
+    except KeyboardInterrupt:
+        print("[serve] shutting down", file=sys.stderr, flush=True)
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import CampaignWorker, JobQueue
+
+    queue_uri = _require_queue(args)
+    worker = CampaignWorker(
+        JobQueue.open(queue_uri),
+        worker_id=args.worker_id,
+        executor=args.executor,
+        jobs=args.jobs,
+        dispatch=args.dispatch,
+        pool=_resolve_pool_uri(args.pool),
+        lease_seconds=args.lease,
+        poll_seconds=args.poll,
+        progress=args.progress,
+    )
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal contract
+        worker.stop_event.set()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"[work] worker {worker.worker_id} polling {queue_uri} "
+        f"(lease {worker.lease_seconds:g} s)",
+        file=sys.stderr,
+        flush=True,
+    )
+    summary = worker.run(max_jobs=args.max_jobs, exit_when_idle=args.exit_when_idle)
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"worker    : {summary.worker}")
+        print(f"jobs      : {summary.n_jobs} "
+              f"({summary.n_done} done, {summary.n_failed} failed)")
+    return 0 if summary.n_failed == 0 else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceError
+
+    if bool(args.url) == bool(args.queue):
+        raise ServiceError("repro submit needs exactly one of --queue or --url")
+    if args.name:
+        payload = {"name": args.name}
+    else:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            payload = {"spec": json.load(handle)}
+    pool_uri = _resolve_pool_uri(args.pool)
+    if pool_uri is not None:
+        payload["pool"] = pool_uri
+
+    if args.url:
+        job, created, failure = _submit_http(args, payload)
+    else:
+        job, created, failure = _submit_direct(args, payload)
+
+    if args.json:
+        print(json.dumps({"job": job, "created": created}, indent=2, sort_keys=True))
+    else:
+        print(f"job       : {job['fingerprint']} ({job['name']})")
+        print(f"state     : {job['state']}")
+        print(f"store     : {job['store']}")
+        print(f"created   : {'yes' if created else 'no (deduplicated)'}")
+    if failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _submit_http(args: argparse.Namespace, payload: dict) -> tuple:
+    """Submit over HTTP; returns ``(job_dict, created, failure_message)``."""
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    result = client.submit(payload)
+    job, created = dict(result["job"]), bool(result.get("created"))
+    if not args.wait:
+        return job, created, None
+    try:
+        status = client.wait(
+            job["fingerprint"], timeout=args.timeout, poll_seconds=args.poll
+        )
+        return dict(status["job"]), created, None
+    except ServiceClientError as error:
+        refreshed = client.job(job["fingerprint"]).get("job", job)
+        return dict(refreshed), created, str(error)
+
+
+def _submit_direct(args: argparse.Namespace, payload: dict) -> tuple:
+    """Submit straight to the queue store; same contract as ``_submit_http``."""
+    import time as _time
+
+    from repro.service import JobQueue
+    from repro.service.queue import spec_from_payload
+
+    queue = JobQueue.open(args.queue)
+    spec = spec_from_payload(payload)
+    view, created = queue.submit(spec, pool=payload.get("pool"))
+    if not args.wait:
+        return view.as_dict(), created, None
+    deadline = _time.monotonic() + args.timeout
+    while True:
+        view = queue.require(view.fingerprint)
+        if view.state == "done":
+            return view.as_dict(), created, None
+        if view.state == "failed":
+            return view.as_dict(), created, f"job {view.fingerprint} failed: {view.error}"
+        if _time.monotonic() >= deadline:
+            return (
+                view.as_dict(),
+                created,
+                f"job {view.fingerprint} still {view.state!r} after {args.timeout:g} s",
+            )
+        _time.sleep(args.poll)
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError, StoreError
+
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "work":
+            return _cmd_work(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+    except (CampaignError, StoreError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignError, StoreError
 
@@ -1019,6 +1353,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_campaign(args)
     if args.command == "pool":
         return _cmd_pool(args)
+    if args.command in ("serve", "work", "submit"):
+        return _cmd_service(args)
     if args.command == "trace":
         return _cmd_trace(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

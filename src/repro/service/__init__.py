@@ -1,0 +1,71 @@
+"""repro.service — the long-lived campaign service layer.
+
+Everything before this package runs a campaign as one foreground CLI
+invocation.  This package turns the same machinery into a *service*:
+
+* :mod:`repro.service.queue` — a durable job queue
+  (:class:`JobQueue`) as a thin domain layer over :mod:`repro.store`:
+  jobs are campaign specs with content-derived fingerprints, every
+  state change is one appended event record (``submit`` / ``lease`` /
+  ``heartbeat`` / ``complete`` / ``fail``), and the current state is a
+  fold over the store's append history.  Leases carry a worker id and
+  a heartbeat deadline, so a crashed worker's job becomes claimable
+  again the moment its lease expires — the queue-level twin of the
+  campaign store's kill-tolerance discipline;
+* :mod:`repro.service.worker` — :class:`CampaignWorker`, the daemon
+  behind ``repro work``: lease a job, run it through the existing
+  :class:`~repro.campaign.runner.CampaignRunner` (batched dispatch,
+  warm executors, shared result pool), heartbeat while it runs, and
+  write completion back through the queue;
+* :mod:`repro.service.api` — the stdlib-only HTTP/JSON API behind
+  ``repro serve``: submit/status/report/compare plus ``/healthz`` and
+  a Prometheus-style ``/metrics`` endpoint fed by the
+  :mod:`repro.obs` metrics registry;
+* :mod:`repro.service.client` — :class:`ServiceClient`, a tiny
+  ``urllib`` client for the API (used by ``repro submit --url`` and
+  the tests).
+
+Determinism is inherited, not re-implemented: a job's result store is
+an ordinary campaign store, so the report an API client fetches is
+byte-identical to ``repro campaign report`` over the same spec — and a
+worker SIGKILLed mid-job resumes exactly where the store says it
+stopped.
+"""
+
+from repro.service.api import (
+    CampaignService,
+    build_server,
+    render_prometheus,
+)
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.queue import (
+    JOB_EVENTS,
+    JOB_STATES,
+    QUEUE_SCHEMA_VERSION,
+    JobNotFound,
+    JobQueue,
+    JobView,
+    ServiceError,
+    default_job_store_uri,
+    validate_queue_record,
+)
+from repro.service.worker import CampaignWorker, WorkerSummary
+
+__all__ = [
+    "JOB_EVENTS",
+    "JOB_STATES",
+    "QUEUE_SCHEMA_VERSION",
+    "CampaignService",
+    "CampaignWorker",
+    "JobNotFound",
+    "JobQueue",
+    "JobView",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "WorkerSummary",
+    "build_server",
+    "default_job_store_uri",
+    "render_prometheus",
+    "validate_queue_record",
+]

@@ -1,0 +1,157 @@
+"""A tiny stdlib HTTP client for the campaign service API.
+
+:class:`ServiceClient` wraps :mod:`urllib.request` around the routes
+:mod:`repro.service.api` serves, so ``repro submit --url`` and the
+tests never hand-roll HTTP.  Transport failures and non-2xx responses
+both raise :class:`ServiceClientError` carrying the status code and the
+server's ``error`` message when there is one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.service.queue import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """An API request failed (transport error or non-2xx response)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one ``repro serve`` endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        base = str(base_url).rstrip("/")
+        if not base.startswith(("http://", "https://")):
+            raise ServiceClientError(f"service URL must be http(s), got {base_url!r}")
+        self.base_url = base
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        query: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
+        url = self.base_url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            message = f"{method} {path} -> HTTP {error.code}"
+            try:
+                detail = json.loads(body.decode("utf-8")).get("error")
+                if detail:
+                    message = f"{message}: {detail}"
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceClientError(message, status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                f"{method} {url} failed: {error.reason}"
+            ) from None
+
+    def _request_json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        query: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, object]:
+        status, body = self._request(method, path, payload=payload, query=query)
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceClientError(
+                f"{method} {path} returned invalid JSON: {error}", status=status
+            ) from None
+        if not isinstance(decoded, dict):
+            raise ServiceClientError(
+                f"{method} {path} returned a non-object payload", status=status
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return self._request_json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        _, body = self._request("GET", "/metrics")
+        return body.decode("utf-8")
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """POST a submit payload; returns ``{"job": ..., "created": ...}``."""
+        return self._request_json("POST", "/api/v1/jobs", payload=payload)
+
+    def jobs(self) -> Dict[str, object]:
+        return self._request_json("GET", "/api/v1/jobs")
+
+    def job(self, fingerprint: str) -> Dict[str, object]:
+        """Job view + live campaign status (the polling endpoint)."""
+        return self._request_json("GET", f"/api/v1/jobs/{fingerprint}")
+
+    def report(self, fingerprint: str, fmt: str = "text") -> bytes:
+        """Raw report bytes (byte-identical to the CLI report)."""
+        _, body = self._request(
+            "GET", f"/api/v1/jobs/{fingerprint}/report", query={"format": fmt}
+        )
+        return body
+
+    def compare(self, old: str, new: str) -> Dict[str, object]:
+        return self._request_json(
+            "GET", "/api/v1/compare", query={"old": old, "new": new}
+        )
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        fingerprint: str,
+        timeout: float = 600.0,
+        poll_seconds: float = 1.0,
+    ) -> Dict[str, object]:
+        """Poll a job until it reaches a terminal state.
+
+        Returns the final status payload; raises
+        :class:`ServiceClientError` when the job fails or the timeout
+        elapses first.
+        """
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            status = self.job(fingerprint)
+            job = status.get("job", {})
+            state = job.get("state") if isinstance(job, dict) else None
+            if state == "done":
+                return status
+            if state == "failed":
+                raise ServiceClientError(
+                    f"job {fingerprint} failed: {job.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {fingerprint} still {state!r} after {timeout:g} s"
+                )
+            time.sleep(float(poll_seconds))
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

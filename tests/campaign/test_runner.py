@@ -227,3 +227,138 @@ class TestResume:
             assert json.dumps(record["result"], sort_keys=True) == json.dumps(
                 full[fingerprint]["result"], sort_keys=True
             )
+
+
+class TestStatusRobustness:
+    """``campaign_status`` must answer on stores a live worker owns.
+
+    The service's polling endpoint (and ``repro campaign status``) read
+    stores that another process may be appending to right now; a torn,
+    non-newline-terminated tail or an envelope field an older writer
+    omitted must degrade gracefully, never raise.
+    """
+
+    def test_status_tolerates_inflight_tail(self, tmp_path):
+        spec = tiny_spec()
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
+        CampaignRunner(spec, store, executor="serial", max_cells=1).run()
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "half-writ')
+        status = campaign_status(spec, CampaignStore.open(store.path))
+        assert status.n_completed == 1
+        assert len(status.pending_cell_ids) == spec.n_cells - 1
+
+    def test_status_cli_tolerates_inflight_tail(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tiny_spec()
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
+        CampaignRunner(spec, store, executor="serial", max_cells=1).run()
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "half-writ')
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.as_dict()))
+        code = main(
+            ["campaign", "status", "--spec", str(spec_path),
+             "--store", store.path, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_completed"] == 1
+
+    def test_status_tolerates_missing_runtime_seconds(self, tmp_path):
+        from repro.campaign.store import make_record
+
+        spec = tiny_spec()
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
+        cell = spec.cells()[0]
+        record = make_record(cell, {"yield_fraction": 1.0}, 0.5)
+        del record["runtime_seconds"]  # older layout / hand-ingested
+        store.append(record)
+        status = campaign_status(spec, store)
+        assert status.n_completed == 1
+        assert status.cell_seconds[cell.cell_id] == 0.0
+        assert status.total_recorded_seconds == 0.0
+
+    def test_status_races_a_live_writer(self, tmp_path):
+        """Hammer status reads while a writer appends with torn tails."""
+        import threading
+
+        from repro.campaign.store import make_record
+
+        spec = tiny_spec(sigmas=(0.0, 1.0), replicates=2)
+        path = str(tmp_path / "s.jsonl")
+        writer_store = CampaignStore.open(path)
+        cells = spec.cells()
+        stop = threading.Event()
+        failures = []
+
+        def writer() -> None:
+            try:
+                for index, cell in enumerate(cells):
+                    # Simulate a slow in-flight append: torn prefix
+                    # first, then the completing durable record.
+                    with open(path, "a", encoding="utf-8") as handle:
+                        handle.write('{"fingerprint": "in-fli')
+                    writer_store.append(
+                        make_record(cell, {"yield_fraction": 1.0}, 0.1)
+                    )
+            except Exception as error:  # pragma: no cover - fail loudly
+                failures.append(error)
+            finally:
+                stop.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        counts = []
+        try:
+            while not stop.is_set():
+                status = campaign_status(spec, CampaignStore.open(path))
+                counts.append(status.n_completed)
+        finally:
+            thread.join(timeout=60.0)
+        assert not failures
+        assert not thread.is_alive()
+        assert counts == sorted(counts)  # completion only ever grows
+        final = campaign_status(spec, CampaignStore.open(path))
+        assert final.n_completed == len(cells)
+
+
+class TestProgressCallback:
+    """The job-level ``on_progress`` hook the worker daemon heartbeats from."""
+
+    def test_on_progress_fires_per_committed_cell(self, tmp_path):
+        spec = tiny_spec()
+        store = CampaignStore.open(str(tmp_path / "s.jsonl"))
+        ticks = []
+        CampaignRunner(
+            spec, store, executor="serial", on_progress=ticks.append
+        ).run()
+        assert len(ticks) == spec.n_cells
+        assert [t.position for t in ticks] == list(range(1, spec.n_cells + 1))
+        assert all(t.total == spec.n_cells for t in ticks)
+        assert all(t.source == "run" for t in ticks)
+        assert all(t.seconds > 0.0 for t in ticks)
+        committed = {t.fingerprint for t in ticks}
+        assert committed == set(store.load())
+        as_dict = ticks[0].as_dict()
+        assert as_dict["cell_id"] == ticks[0].cell_id
+        assert as_dict["source"] == "run"
+
+    def test_on_progress_reports_pool_hits(self, tmp_path):
+        from repro.campaign.pool import ResultPool
+
+        spec = tiny_spec()
+        pool = ResultPool(str(tmp_path / "pool.jsonl"))
+        first = CampaignStore.open(str(tmp_path / "a.jsonl"))
+        CampaignRunner(spec, first, executor="serial", pool=pool).run()
+
+        ticks = []
+        second = CampaignStore.open(str(tmp_path / "b.jsonl"))
+        summary = CampaignRunner(
+            spec, second, executor="serial", pool=pool, on_progress=ticks.append
+        ).run()
+        assert summary.n_pool_reused == spec.n_cells
+        assert len(ticks) == spec.n_cells
+        assert all(t.source == "pool" for t in ticks)
+        assert all(t.seconds == 0.0 for t in ticks)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the campaign-service tests.
+
+Every queue-facing test runs against **both** store drivers via the
+``queue`` fixture, mirroring the conformance idiom of
+``tests/store/test_backends.py`` — lease semantics are a contract of
+the queue, not of one backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.service import JobQueue
+from repro.store import BACKENDS
+
+
+def make_tiny_spec(**overrides) -> CampaignSpec:
+    """A 2-cell campaign that runs in seconds on the serial executor."""
+    params = dict(
+        name="tiny",
+        seed=5,
+        circuits=(("s9234", 0.05),),
+        sigmas=(0.0,),
+        budgets=((24, 48),),
+        replicates=2,
+        baselines=(),
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def queue_uri(request, tmp_path) -> str:
+    suffix = "sqlite" if request.param == "sqlite" else "jsonl"
+    return f"{request.param}:{tmp_path / f'queue.{suffix}'}"
+
+
+@pytest.fixture
+def queue(queue_uri) -> JobQueue:
+    q = JobQueue.open(queue_uri)
+    yield q
+    q.close()
+
+
+@pytest.fixture
+def tiny_spec() -> CampaignSpec:
+    return make_tiny_spec()

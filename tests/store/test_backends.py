@@ -80,6 +80,24 @@ class TestConformance:
         values = [(r["fingerprint"], r["result"]["value"]) for r in backend.history()]
         assert values == [("aa", 0.5), ("bb", 1.0), ("aa", 0.9)]
 
+    def test_event_log_usage_folds_in_order(self, backend):
+        # The service job queue rides on this exact contract: many
+        # appends per fingerprint, history in append order, load()
+        # keeping the first (the submit event).
+        events = [
+            {"fingerprint": "job", "event": "submit", "at_unix": 1.0},
+            {"fingerprint": "job", "event": "lease", "at_unix": 2.0},
+            {"fingerprint": "job", "event": "heartbeat", "at_unix": 3.0},
+            {"fingerprint": "job", "event": "complete", "at_unix": 4.0},
+        ]
+        for event in events:
+            backend.append(event)
+        assert [r["event"] for r in backend.history()] == [
+            "submit", "lease", "heartbeat", "complete",
+        ]
+        assert backend.load()["job"]["event"] == "submit"
+        assert backend.get("job")["event"] == "submit"
+
     def test_ingest_is_idempotent(self, backend):
         assert backend.ingest(record("aa")) is True
         assert backend.ingest(record("aa")) is False

@@ -26,6 +26,19 @@ class TestParser:
         assert args.sigma == 0.0
         assert args.cache_size is None
 
+    def test_service_commands_registered(self):
+        """The service trio parses alongside the batch commands."""
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--queue", "q.jsonl"])
+        assert (serve.host, serve.port) == ("127.0.0.1", 8321)
+        work = parser.parse_args(["work", "--queue", "q.jsonl"])
+        assert (work.lease, work.poll) == (60.0, 2.0)
+        assert work.executor == "processes"
+        submit = parser.parse_args(
+            ["submit", "--queue", "q.jsonl", "--name", "smoke"]
+        )
+        assert submit.wait is False
+
 
 class TestArgumentValidation:
     @pytest.mark.parametrize(
