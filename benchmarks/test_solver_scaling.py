@@ -36,14 +36,14 @@ from repro.variation.sampling import MonteCarloSampler
 
 
 def _scenario(circuit: str, **overrides) -> Scenario:
-    defaults = dict(
-        circuit=circuit,
-        scale=SETTINGS.scale_for(circuit),
-        sigma=0.0,
-        n_samples=SETTINGS.n_samples,
-        n_eval_samples=SETTINGS.n_eval_samples,
-        seed=3,
-    )
+    defaults = {
+        "circuit": circuit,
+        "scale": SETTINGS.scale_for(circuit),
+        "sigma": 0.0,
+        "n_samples": SETTINGS.n_samples,
+        "n_eval_samples": SETTINGS.n_eval_samples,
+        "seed": 3,
+    }
     defaults.update(overrides)
     return Scenario(**defaults)
 

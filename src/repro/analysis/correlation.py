@@ -8,6 +8,7 @@ thresholds, which is the information Fig. 6 illustrates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -54,7 +55,7 @@ def correlation_summary(
     tuning_matrix: np.ndarray,
     locations: Dict[str, Tuple[float, float]],
     correlation_threshold: float = 0.8,
-    distance_threshold: float = float("inf"),
+    distance_threshold: float = math.inf,
 ) -> CorrelationSummary:
     """Compute the correlation matrix and the groupable buffer pairs."""
     flip_flops = list(flip_flops)

@@ -48,7 +48,7 @@ class TuningHistogram:
         """ASCII rendering of the histogram (for console reports)."""
         lines = [f"buffer {self.flip_flop}: {self.n_values} tunings, spread {self.spread:.2f}"]
         peak = max(1, int(np.max(self.counts))) if self.counts.size else 1
-        for left, right, count in zip(self.bin_edges[:-1], self.bin_edges[1:], self.counts):
+        for left, right, count in zip(self.bin_edges[:-1], self.bin_edges[1:], self.counts, strict=True):
             bar = "#" * int(round(width * count / peak))
             lines.append(f"  [{left:+7.2f}, {right:+7.2f}) {int(count):5d} {bar}")
         return "\n".join(lines)

@@ -1,0 +1,378 @@
+"""Configuration for the invariant linter.
+
+Module classification is the heart of every rule: "``json.dumps`` needs
+``sort_keys``" is only an invariant in modules that *emit canonical
+bytes*, and "no wall-clock" only applies to code whose output must be
+bit-identical across runs.  :class:`LintConfig` carries those
+classifications as dotted-module glob patterns plus per-rule allowlists
+(``module`` or ``module:qualname`` entries) for the cases that are
+*intentionally* exempt — each default entry below carries a one-line
+justification, which is the project's policy for exemptions (prefer an
+allowlist entry with a reason over a baseline line without one).
+
+The defaults encode this repository's own layout so ``repro lint src/``
+works out of the box; a ``reprolint.toml`` file (or ``--config PATH``)
+overrides any table.  The override file is parsed with :mod:`tomllib`
+where available (Python >= 3.11) and with a small built-in parser for
+the subset the config needs (tables, strings, booleans, string arrays)
+on 3.10 — both paths are tested against the same documents.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LintConfigError(ValueError):
+    """A lint configuration file is malformed (a usage error: exit 2)."""
+
+
+#: Default name of the optional override file, looked up in the CWD.
+CONFIG_FILE_NAME = "reprolint.toml"
+
+#: Directory names never descended into when expanding lint paths.
+DEFAULT_EXCLUDE_DIRS = (
+    ".git",
+    "__pycache__",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+    ".eggs",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Module classification and per-rule allowlists for every rule."""
+
+    #: Directory names skipped while collecting ``*.py`` files.
+    exclude_dirs: Tuple[str, ...] = DEFAULT_EXCLUDE_DIRS
+
+    # -- determinism ---------------------------------------------------
+    #: Modules whose output must be bit-identical across runs
+    #: (fingerprints, reports, canonical serialisation, CLI --json).
+    determinism_modules: Tuple[str, ...] = (
+        "repro.cli",
+        "repro.campaign.*",
+        "repro.bench.artifact",
+        "repro.bench.compare",
+        "repro.bench.runner",
+        "repro.bench.trend",
+        "repro.store.base",
+        "repro.store.jsonl",
+        "repro.store.sqlite",
+        "repro.store.uri",
+    )
+    #: ``module`` / ``module:qualname`` sites exempt from determinism.
+    determinism_allow: Tuple[str, ...] = (
+        # completed_unix stamps the record *envelope*, which every
+        # byte-identity comparison explicitly excludes.
+        "repro.campaign.store:make_record",
+        # created_unix stamps the artifact envelope; comparisons and
+        # trend fingerprints treat it as run identity, not content.
+        "repro.bench.artifact:BenchArtifact.__post_init__",
+    )
+
+    # -- canonical-json ------------------------------------------------
+    #: Modules whose json.dumps/json.dump output is canonical bytes.
+    canonical_json_modules: Tuple[str, ...] = (
+        "repro.cli",
+        "repro.campaign.*",
+        "repro.bench.*",
+        "repro.store.*",
+        "repro.obs.*",
+        # service.client is deliberately absent: its json.dumps encodes
+        # HTTP request bodies (transport, parsed by the server), never
+        # canonical output bytes.
+        "repro.service.api",
+        "repro.service.queue",
+        "repro.service.worker",
+    )
+    canonical_json_allow: Tuple[str, ...] = ()
+
+    # -- transaction-discipline ----------------------------------------
+    #: Domain layers whose store mutations must run inside
+    #: ``backend.transaction()`` (the PR 7 pool-publish race class).
+    transaction_modules: Tuple[str, ...] = (
+        "repro.campaign.store",
+        "repro.campaign.pool",
+        "repro.service.queue",
+    )
+    transaction_allow: Tuple[str, ...] = (
+        # merge() writes a brand-new output store in one replace_all,
+        # which is internally atomic (temp+rename on jsonl, a single
+        # transaction on sqlite) — there is no read-check-append race.
+        "repro.campaign.store:CampaignStore.merge",
+    )
+
+    # -- obs-naming ----------------------------------------------------
+    #: Modules whose span/metric registrations are checked.
+    obs_modules: Tuple[str, ...] = ("repro.*",)
+    #: Modules allowed to build span/metric names dynamically
+    #: (f-strings folding a closed set of dimensions into the name);
+    #: static f-string segments are still grammar-checked.
+    obs_dynamic_allow: Tuple[str, ...] = (
+        # The obs package itself is the API layer: it forwards
+        # caller-supplied names, which are checked at the call sites.
+        "repro.obs.*",
+        # store.<driver>.<op> — driver and op are closed sets baked
+        # into the instrumentation wrapper.
+        "repro.store.base",
+        # service.responses.<status-class> — 2xx/4xx/5xx only.
+        "repro.service.api",
+        # service.queue.depth.<state> — the four job states.
+        "repro.service.queue",
+    )
+    obs_allow: Tuple[str, ...] = ()
+
+    # -- cli-conventions -----------------------------------------------
+    #: Modules containing CLI subcommand handlers.
+    cli_modules: Tuple[str, ...] = ("repro.cli",)
+    #: Prefix naming a subcommand handler function.
+    cli_handler_prefix: str = "_cmd_"
+    cli_allow: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    def module_matches(self, module: str, patterns: Sequence[str]) -> bool:
+        """Whether a dotted module name matches any classification glob."""
+        return any(fnmatch.fnmatchcase(module, pattern) for pattern in patterns)
+
+    def site_allowed(
+        self, module: str, qualname: str, allow: Sequence[str]
+    ) -> bool:
+        """Whether ``module``'s ``qualname`` site is allowlisted.
+
+        An entry is either a whole module (``repro.obs.trace``) or a
+        ``module:qualname`` pair; a qualname entry matches the function
+        itself and everything nested inside it.
+        """
+        for entry in allow:
+            ent_module, _, ent_qual = entry.partition(":")
+            if not fnmatch.fnmatchcase(module, ent_module):
+                continue
+            if not ent_qual:
+                return True
+            if qualname == ent_qual or qualname.startswith(ent_qual + "."):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Override-file loading
+# ----------------------------------------------------------------------
+
+#: Maps ``[lint.<table>] key`` pairs onto LintConfig field names.
+_TABLE_FIELDS: Dict[Tuple[str, str], str] = {
+    ("lint", "exclude-dirs"): "exclude_dirs",
+    ("lint.determinism", "modules"): "determinism_modules",
+    ("lint.determinism", "allow"): "determinism_allow",
+    ("lint.canonical-json", "modules"): "canonical_json_modules",
+    ("lint.canonical-json", "allow"): "canonical_json_allow",
+    ("lint.transaction-discipline", "modules"): "transaction_modules",
+    ("lint.transaction-discipline", "allow"): "transaction_allow",
+    ("lint.obs-naming", "modules"): "obs_modules",
+    ("lint.obs-naming", "dynamic-allow"): "obs_dynamic_allow",
+    ("lint.obs-naming", "allow"): "obs_allow",
+    ("lint.cli-conventions", "modules"): "cli_modules",
+    ("lint.cli-conventions", "handler-prefix"): "cli_handler_prefix",
+    ("lint.cli-conventions", "allow"): "cli_allow",
+}
+
+
+def config_from_mapping(data: Dict[str, object]) -> LintConfig:
+    """Build a config from a parsed TOML document (defaults + overrides)."""
+    updates: Dict[str, object] = {}
+    for (table_name, key), field_name in _TABLE_FIELDS.items():
+        table: object = data
+        for part in table_name.split("."):
+            if not isinstance(table, dict):
+                table = None
+                break
+            table = table.get(part)
+        if not isinstance(table, dict) or key not in table:
+            continue
+        value = table[key]
+        wants_str = field_name == "cli_handler_prefix"
+        if wants_str:
+            if not isinstance(value, str):
+                raise LintConfigError(
+                    f"[{table_name}] {key} must be a string, got {value!r}"
+                )
+            updates[field_name] = value
+        else:
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise LintConfigError(
+                    f"[{table_name}] {key} must be an array of strings, got {value!r}"
+                )
+            updates[field_name] = tuple(value)
+    known = {f.name for f in fields(LintConfig)}
+    assert set(updates) <= known
+    return replace(LintConfig(), **updates)
+
+
+def load_config(path: Optional[str] = None) -> LintConfig:
+    """Load the lint config for a run.
+
+    With an explicit ``path`` the file must exist; without one,
+    ``reprolint.toml`` in the CWD is used when present, the built-in
+    defaults otherwise.
+    """
+    if path is None:
+        if os.path.exists(CONFIG_FILE_NAME):
+            path = CONFIG_FILE_NAME
+        else:
+            return LintConfig()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise LintConfigError(f"cannot read lint config {path!r}: {error}") from error
+    try:
+        data = parse_toml(text)
+    except LintConfigError as error:
+        raise LintConfigError(f"lint config {path!r}: {error}") from None
+    return config_from_mapping(data)
+
+
+# ----------------------------------------------------------------------
+# TOML parsing (tomllib when available, built-in subset parser on 3.10)
+# ----------------------------------------------------------------------
+def parse_toml(text: str) -> Dict[str, object]:
+    """Parse a TOML document into nested dicts."""
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10
+        return parse_toml_subset(text)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise LintConfigError(f"invalid TOML: {error}") from None
+
+
+def parse_toml_subset(text: str) -> Dict[str, object]:
+    """Minimal TOML parser for lint-config documents.
+
+    Supports ``[dotted.table]`` headers, ``key = value`` assignments
+    with string / boolean / integer / string-array values (arrays may
+    span lines), and ``#`` comments.  Anything else raises
+    :class:`LintConfigError` — the config format is deliberately small.
+    """
+    root: Dict[str, object] = {}
+    table = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = _strip_comment(lines[index])
+        index += 1
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            table = root
+            for part in line[1:-1].strip().split("."):
+                part = part.strip()
+                if not part:
+                    raise LintConfigError(f"malformed table header {line!r}")
+                table = table.setdefault(part, {})  # type: ignore[assignment]
+                if not isinstance(table, dict):
+                    raise LintConfigError(f"table {part!r} collides with a value")
+            continue
+        if "=" not in line:
+            raise LintConfigError(f"expected 'key = value', got {line!r}")
+        key, _, raw = line.partition("=")
+        key = key.strip().strip('"')
+        raw = raw.strip()
+        if raw.startswith("[") and not _array_closed(raw):
+            # Multi-line array: accumulate until the bracket closes.
+            while index < len(lines):
+                raw += " " + _strip_comment(lines[index])
+                index += 1
+                if _array_closed(raw.strip()):
+                    break
+            raw = raw.strip()
+        table[key] = _parse_value(raw)
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment (quote-aware) and surrounding whitespace."""
+    out = []
+    in_string = False
+    for char in line:
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            break
+        out.append(char)
+    return "".join(out).strip()
+
+
+def _array_closed(raw: str) -> bool:
+    """Whether an array literal's brackets balance outside strings."""
+    depth = 0
+    in_string = False
+    for char in raw:
+        if char == '"':
+            in_string = not in_string
+        elif not in_string:
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+    return depth == 0 and not in_string
+
+
+def _parse_value(raw: str) -> object:
+    if raw.startswith("[") and raw.endswith("]"):
+        body = raw[1:-1].strip()
+        if not body:
+            return []
+        items: List[object] = []
+        for piece in _split_array_items(body):
+            items.append(_parse_value(piece))
+        return items
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        raise LintConfigError(f"unsupported TOML value {raw!r}") from None
+
+
+def _split_array_items(body: str) -> List[str]:
+    items: List[str] = []
+    current: List[str] = []
+    in_string = False
+    for char in body:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif char == "," and not in_string:
+            piece = "".join(current).strip()
+            if piece:
+                items.append(piece)
+            current = []
+        else:
+            current.append(char)
+    piece = "".join(current).strip()
+    if piece:
+        items.append(piece)
+    return items
+
+
+__all__ = [
+    "CONFIG_FILE_NAME",
+    "LintConfig",
+    "LintConfigError",
+    "config_from_mapping",
+    "load_config",
+    "parse_toml",
+    "parse_toml_subset",
+]

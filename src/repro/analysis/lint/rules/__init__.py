@@ -1,0 +1,58 @@
+"""The shipped rule catalogue.
+
+Each rule lives in its own module; :func:`build_rules` instantiates a
+fresh set per run (rules may carry cross-file state for ``finish()``).
+``RULE_NAMES`` is the stable, sorted identifier list the CLI exposes
+via ``--rule`` and ``--list-rules``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.lint.core import LintError, Rule
+from repro.analysis.lint.rules.canonical_json import CanonicalJsonRule
+from repro.analysis.lint.rules.cli_conventions import CliConventionsRule
+from repro.analysis.lint.rules.determinism import DeterminismRule
+from repro.analysis.lint.rules.obs_naming import ObsNamingRule
+from repro.analysis.lint.rules.transactions import TransactionDisciplineRule
+
+#: Every shipped rule class, in catalogue order.
+RULE_CLASSES: Sequence[Type[Rule]] = (
+    CanonicalJsonRule,
+    CliConventionsRule,
+    DeterminismRule,
+    ObsNamingRule,
+    TransactionDisciplineRule,
+)
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {cls.name: cls for cls in RULE_CLASSES}
+
+#: Stable identifier list (CLI ``--rule`` choices).
+RULE_NAMES: Sequence[str] = tuple(sorted(RULE_REGISTRY))
+
+
+def build_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Fresh rule instances for one run (all rules, or just ``names``)."""
+    if names is None:
+        return [cls() for cls in RULE_CLASSES]
+    unknown = sorted(set(names) - set(RULE_REGISTRY))
+    if unknown:
+        raise LintError(
+            f"unknown rule(s) {', '.join(repr(name) for name in unknown)}; "
+            f"available: {', '.join(RULE_NAMES)}"
+        )
+    return [RULE_REGISTRY[name]() for name in dict.fromkeys(names)]
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "RULE_NAMES",
+    "RULE_REGISTRY",
+    "build_rules",
+    "CanonicalJsonRule",
+    "CliConventionsRule",
+    "DeterminismRule",
+    "ObsNamingRule",
+    "TransactionDisciplineRule",
+]

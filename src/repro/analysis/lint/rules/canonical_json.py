@@ -1,0 +1,76 @@
+"""Rule ``canonical-json`` — ``json.dumps`` must sort its keys.
+
+Byte-identity across kill/resume, store drivers, executors and the
+HTTP API all reduce to one convention: anything serialised in a module
+that emits fingerprints, reports or ``--json`` CLI output is written
+with ``sort_keys=True``, so the bytes depend only on the *values*,
+never on dict construction order.  One un-sorted ``json.dumps`` is
+enough to make two honest runs diff — the exact bug class this rule
+exists for (``repro insert --json`` shipped without ``sort_keys`` for
+nine PRs).
+
+``json.dump`` (the stream variant) is held to the same standard.
+Transport encoders (HTTP request bodies) are excluded by module
+classification, not per call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.lint.core import FileContext, Finding, Rule
+
+_TARGETS = frozenset({"json.dumps", "json.dump"})
+
+
+class CanonicalJsonRule(Rule):
+    name = "canonical-json"
+    description = (
+        "json.dumps/json.dump without sort_keys=True in modules that emit "
+        "fingerprints, reports, or --json CLI output"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        config = ctx.config
+        if not config.module_matches(ctx.module, config.canonical_json_modules):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name not in _TARGETS:
+                continue
+            if config.site_allowed(
+                ctx.module, ctx.qualname(node), config.canonical_json_allow
+            ):
+                continue
+            if not _sorts_keys(node):
+                findings.append(
+                    ctx.finding(
+                        self.name,
+                        node,
+                        f"{name}() without sort_keys=True in a canonical-output "
+                        "module; serialised bytes must not depend on dict "
+                        "construction order",
+                    )
+                )
+        return findings
+
+
+def _sorts_keys(node: ast.Call) -> bool:
+    """Whether the call passes ``sort_keys`` truthily (or via ``**kwargs``).
+
+    A ``**kwargs`` splat is given the benefit of the doubt — the rule
+    flags provably missing sorting, not dynamically forwarded options.
+    """
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            return True
+        if keyword.arg == "sort_keys":
+            value = keyword.value
+            if isinstance(value, ast.Constant):
+                return bool(value.value)
+            return True  # computed flag: assume the caller knows
+    return False

@@ -1,0 +1,112 @@
+"""Rule ``cli-conventions`` — subcommand handlers behave like exit codes.
+
+The CLI's contract (locked by tests, relied on by CI scripts) is:
+``main()`` returns the process exit code, every ``_cmd_*`` handler
+returns an ``int``, and usage/parse errors — bad URIs, unreadable
+artifacts, malformed specs — exit **2**, reserving 1 for "the command
+ran and the verdict is negative" (gate regressions, lint findings).
+
+Statically checkable slices of that contract:
+
+* a handler must be annotated ``-> int`` (the convention is explicit,
+  not inferred);
+* no handler return may be valueless or ``None`` — ``sys.exit(None)``
+  would turn it into exit 0 silently;
+* inside a handler's ``except`` blocks, any constant return must be
+  ``return 2``: those blocks are exactly where usage errors are
+  caught, and returning 0/1 there would collapse error classes CI
+  scripts distinguish.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.lint.core import FileContext, Finding, Rule
+
+
+class CliConventionsRule(Rule):
+    name = "cli-conventions"
+    description = (
+        "CLI subcommand handlers must be annotated -> int, never return "
+        "None, and route caught usage errors to exit 2"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        config = ctx.config
+        if not config.module_matches(ctx.module, config.cli_modules):
+            return []
+        prefix = config.cli_handler_prefix
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith(prefix):
+                continue
+            if config.site_allowed(ctx.module, ctx.qualname(node), config.cli_allow):
+                continue
+            findings.extend(self._check_handler(ctx, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_handler(
+        self, ctx: FileContext, function: ast.FunctionDef
+    ) -> Iterable[Finding]:
+        annotation = function.returns
+        if not (isinstance(annotation, ast.Name) and annotation.id == "int") and not (
+            isinstance(annotation, ast.Constant) and annotation.value == "int"
+        ):
+            yield ctx.finding(
+                self.name,
+                function,
+                f"subcommand handler {function.name}() must be annotated "
+                "'-> int' (it returns the process exit code)",
+            )
+        for child in _walk_function(function):
+            if isinstance(child, ast.Return):
+                value = child.value
+                if value is None or (
+                    isinstance(value, ast.Constant) and value.value is None
+                ):
+                    yield ctx.finding(
+                        self.name,
+                        child,
+                        f"handler {function.name}() returns None; every return "
+                        "must carry an int exit code",
+                    )
+                elif _inside_except(ctx, child, function) and (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                    and not isinstance(value.value, bool)
+                    and value.value != 2
+                ):
+                    yield ctx.finding(
+                        self.name,
+                        child,
+                        f"handler {function.name}() returns {value.value} from "
+                        "an except block; caught usage/parse errors must exit 2",
+                    )
+
+
+def _walk_function(function: ast.FunctionDef) -> Iterable[ast.AST]:
+    """Walk a function's body without descending into nested functions."""
+    stack: List[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _inside_except(
+    ctx: FileContext, node: ast.AST, function: ast.FunctionDef
+) -> bool:
+    """Whether ``node`` sits inside an except handler of ``function``."""
+    for ancestor in ctx.ancestors(node):
+        if ancestor is function:
+            return False
+        if isinstance(ancestor, ast.ExceptHandler):
+            return True
+    return False

@@ -1,0 +1,140 @@
+"""Rule ``transaction-discipline`` — store mutations need a transaction.
+
+The PR 7 pool-publish race is this rule's reason to exist: a domain
+layer did a read-check-append against a shared store without the
+backend's exclusive critical section, and two racing publishers each
+passed the check and appended.  The runtime fix was to move the pair
+inside ``backend.transaction()``; this rule makes the convention
+static — in the configured domain layers (``campaign.store``,
+``campaign.pool``, ``service.queue``), any store-backend mutation
+(``append``, ``ingest``, ``replace_all``) must be lexically inside a
+``with <backend>.transaction()`` block.
+
+Two shapes are exempt by design rather than by allowlist:
+
+* mutations on the *transaction object itself* (any receiver inside a
+  ``with ....transaction()`` block) — that is the sanctioned pattern;
+* **thin delegation wrappers**: a method whose entire body is one
+  ``self.backend.append(...)`` (optionally returned) merely re-exports
+  the backend op, and the discipline belongs to *its* callers — the
+  wrapper cannot know whether a check precedes the mutation.
+
+Internally-atomic whole-store rewrites (``merge``'s ``replace_all``)
+are allowlisted in the config with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.lint.core import FileContext, Finding, Rule
+
+#: StoreBackend mutation methods the discipline covers.
+MUTATORS = frozenset({"append", "ingest", "replace_all"})
+
+#: Receiver name components that identify a store-like object (so the
+#: rule does not fire on every ``list.append`` in the module).
+STOREY_NAMES = frozenset({"backend", "store", "pool", "queue"})
+
+
+class TransactionDisciplineRule(Rule):
+    name = "transaction-discipline"
+    description = (
+        "store-backend mutations (append/ingest/replace_all) outside a "
+        "backend.transaction() block in domain layers"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        config = ctx.config
+        if not config.module_matches(ctx.module, config.transaction_modules):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in MUTATORS:
+                continue
+            receiver = _receiver_chain(func.value)
+            if receiver is None or not _is_storey(receiver):
+                continue
+            if _inside_transaction(ctx, node):
+                continue
+            if _is_thin_delegation(ctx, node):
+                continue
+            if config.site_allowed(
+                ctx.module, ctx.qualname(node), config.transaction_allow
+            ):
+                continue
+            findings.append(
+                ctx.finding(
+                    self.name,
+                    node,
+                    f"store mutation {'.'.join(receiver)}.{func.attr}() outside "
+                    "a backend.transaction() block; read-check-append against "
+                    "a shared store races concurrent writers",
+                )
+            )
+        return findings
+
+
+def _receiver_chain(node: ast.expr) -> Optional[List[str]]:
+    """``self.backend`` → ``["self", "backend"]``; None if not a name chain."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def _is_storey(receiver: List[str]) -> bool:
+    """Whether the receiver names a store-like object."""
+    return receiver[-1] in STOREY_NAMES or "backend" in receiver
+
+
+def _inside_transaction(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether the node sits lexically inside ``with X.transaction()``."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Transactions do not cross function boundaries lexically.
+            return False
+        if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            continue
+        for item in ancestor.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in ("transaction", "lock")
+            ):
+                return True
+    return False
+
+
+def _is_thin_delegation(ctx: FileContext, node: ast.Call) -> bool:
+    """Whether the call is the *entire* body of its enclosing function."""
+    function = ctx.enclosing_function(node)
+    if function is None:
+        return False
+    body = list(function.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # docstring
+    if len(body) != 1:
+        return False
+    statement = body[0]
+    if isinstance(statement, ast.Return):
+        return statement.value is node
+    if isinstance(statement, ast.Expr):
+        return statement.value is node
+    return False

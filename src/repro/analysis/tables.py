@@ -167,4 +167,4 @@ def paper_table_one() -> List[Dict[str, float]]:
         "yield_improvement",
         "runtime_s",
     )
-    return [dict(zip(keys, row)) for row in data]
+    return [dict(zip(keys, row, strict=True)) for row in data]

@@ -251,9 +251,9 @@ def format_report_text(report: CampaignReport) -> str:
             widths.append(
                 max([len(header[column])] + [len(row[column]) for row in body])
             )
-        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)).rstrip())
         for row in body:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)).rstrip())
     return "\n".join(lines) + "\n"
 
 

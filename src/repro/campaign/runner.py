@@ -544,7 +544,7 @@ class CampaignRunner:
                         registry.histogram("campaign.cell.seconds").observe(seconds)
                         records[driver["index"]] = (stop.value, seconds)
             results = gang_dispatch([driver["pending"] for driver in wave], executor)
-            for driver, value in zip(wave, results):
+            for driver, value in zip(wave, results, strict=True):
                 driver["value"] = value
                 driver["pending"] = None
             active = wave

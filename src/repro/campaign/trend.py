@@ -135,7 +135,7 @@ def build_trend(store: CampaignStore, cell_id: Optional[str] = None) -> Campaign
     """
     series: Dict[str, CellTrend] = {}
     order: Dict[str, Tuple] = {}
-    for index, record in enumerate(store.history()):
+    for record in store.history():
         fingerprint = str(record["fingerprint"])
         trend = series.get(fingerprint)
         if trend is None:

@@ -85,4 +85,4 @@ def random_clock_skews(
         values = np.clip(values, -magnitude, magnitude)
     else:
         raise ValueError(f"unknown distribution {distribution!r}")
-    return ClockSkewMap({ff: float(v) for ff, v in zip(ffs, values)})
+    return ClockSkewMap({ff: float(v) for ff, v in zip(ffs, values, strict=True)})

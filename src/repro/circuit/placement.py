@@ -119,7 +119,7 @@ def grid_placement(
     # Spread occupied sites uniformly over the available sites.
     site_indices = _spread_indices(n_cells, n_rows * n_cols)
     locations: Dict[str, Tuple[float, float]] = {}
-    for name, site in zip(order, site_indices):
+    for name, site in zip(order, site_indices, strict=True):
         row, col = divmod(site, n_cols)
         dx, dy = generator.uniform(-jitter, jitter, size=2) * pitch
         x = min(max((col + 0.5) * pitch + dx, 0.0), die_width)
@@ -137,7 +137,7 @@ def grid_placement(
 def _bfs_order(netlist: Netlist) -> List[str]:
     """Breadth-first instance order from the circuit's timing start points."""
     comb = netlist.combinational_digraph()
-    starts = [n for n in netlist.primary_inputs] + list(netlist.flip_flops)
+    starts = list(netlist.primary_inputs) + list(netlist.flip_flops)
     visited: Dict[str, None] = {}
     queue: List[str] = list(starts)
     for node in queue:

@@ -184,7 +184,7 @@ def write_verilog(netlist: Netlist, library: Optional[CellLibrary] = None) -> st
             pins = [f".D({inst.fanins[0]})", f".Q({name})"]
         else:
             pin_names = [f"A{i}" if cell.n_inputs > 1 else "A" for i in range(1, len(inst.fanins) + 1)]
-            pins = [f".{pin}({net})" for pin, net in zip(pin_names, inst.fanins)]
+            pins = [f".{pin}({net})" for pin, net in zip(pin_names, inst.fanins, strict=True)]
             pins.append(f".Y({name})")
         lines.append(f"  {inst.cell} u{counter} ({', '.join(pins)});")
     lines.append("endmodule")

@@ -52,6 +52,15 @@ Installed as the ``repro`` console script, with four subcommands:
     ordinary store URI (``jsonl:``/``sqlite:``), so its durability and
     concurrency guarantees are the storage tier's.
 
+``repro lint [PATHS]``
+    The invariant linter (:mod:`repro.analysis.lint`): AST-based checks
+    of the project's own conventions — determinism in result-bearing
+    modules, ``sort_keys`` on canonical JSON, transaction discipline on
+    store mutations, obs span/metric naming, CLI handler conventions.
+    Exit 0 when clean, 1 on findings, 2 on usage/parse errors; findings
+    honour inline ``# repro: lint-ok[rule]`` suppressions, an optional
+    ``--baseline`` file, and a ``reprolint.toml`` config.
+
 ``repro trace summary|top|export``
     The observability subsystem (:mod:`repro.obs`): render the per-cell/
     per-phase wall-clock breakdown of a trace file, list its slowest
@@ -161,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_parsers(subparsers)
     _add_service_parsers(subparsers)
     _add_trace_parsers(subparsers)
+    _add_lint_parsers(subparsers)
     return parser
 
 
@@ -279,6 +289,106 @@ def _add_trace_parsers(subparsers) -> None:
     export.add_argument(
         "--out", default=None, help="write the export here instead of stdout"
     )
+
+
+def _add_lint_parsers(subparsers) -> None:
+    from repro.analysis.lint import RULE_NAMES
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis of the repo's own invariants (determinism, "
+        "canonical JSON, transaction discipline, obs naming, CLI conventions)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        choices=sorted(RULE_NAMES),
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules); "
+        f"available: {', '.join(RULE_NAMES)}",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings (matched by "
+        "rule::path::message, line-number-free)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="lint config file (default: ./reprolint.toml when present, "
+        "else the built-in project classification)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue and exit"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="print the findings as canonical JSON"
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import (
+        LintConfigError,
+        LintError,
+        LintRunner,
+        RULE_REGISTRY,
+        baseline_payload,
+        build_rules,
+        format_findings,
+        load_baseline,
+        load_config,
+    )
+
+    try:
+        if args.list_rules:
+            for name in sorted(RULE_REGISTRY):
+                print(f"{name:<24} {RULE_REGISTRY[name].description}")
+            return 0
+        config = load_config(args.config)
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        runner = LintRunner(
+            config=config, rules=build_rules(args.rule), baseline=baseline
+        )
+        result = runner.run(args.paths)
+        if args.write_baseline:
+            with open(args.write_baseline, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        baseline_payload(result.findings), indent=2, sort_keys=True
+                    )
+                    + "\n"
+                )
+            print(
+                f"[lint] wrote baseline {args.write_baseline} "
+                f"({len(result.findings)} finding(s))",
+                file=sys.stderr,
+                flush=True,
+            )
+            return 0
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_findings(result))
+        return 0 if not result.findings else 1
+    except (LintConfigError, LintError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _shard(text: str) -> tuple:
@@ -759,7 +869,7 @@ def _cmd_insert(args: argparse.Namespace) -> int:
             "buffers": [b.as_dict() for b in result.plan.buffers],
             "groups": result.plan.groups,
         }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
     summary = result.summary()
@@ -1357,6 +1467,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_service(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -87,7 +87,7 @@ def solve_difference_system(
 
     # Bellman-Ford from an implicit super-source (all distances start at 0).
     dist = [0.0] * n
-    for iteration in range(n):
+    for _iteration in range(n):
         changed = False
         for v, u, w in edges:
             candidate = dist[v] + w

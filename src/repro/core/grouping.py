@@ -13,6 +13,7 @@ with the fewest tunings are dropped until the budget is met.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -88,7 +89,7 @@ def group_buffers(
     locations: Dict[str, Tuple[float, float]],
     usage_counts: Dict[str, int],
     correlation_threshold: float = 0.8,
-    distance_threshold: float = float("inf"),
+    distance_threshold: float = math.inf,
     max_buffers: Optional[int] = None,
 ) -> GroupingResult:
     """Group buffers by tuning correlation and physical distance.

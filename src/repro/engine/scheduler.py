@@ -321,9 +321,9 @@ class SampleScheduler:
         n_hits = 0
         if self.cache is not None and needed:
             keys = self._keys_for(batch, lower, upper, candidates, targets, needed)
-            key_of = dict(zip(needed, keys))
+            key_of = dict(zip(needed, keys, strict=True))
             to_solve = []
-            for index, key in zip(needed, keys):
+            for index, key in zip(needed, keys, strict=True):
                 hit = self.cache.get(key)
                 if hit is not None:
                     solutions[index] = hit
@@ -550,7 +550,7 @@ class SampleScheduler:
             return 0
         indices = sorted(solutions)
         keys = self._keys_for(batch, lower, upper, candidates, targets, indices)
-        for index, key in zip(indices, keys):
+        for index, key in zip(indices, keys, strict=True):
             self.cache.put(key, solutions[index])
         return len(indices)
 

@@ -63,7 +63,7 @@ def solve_lp(
 
 
 def _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, lower, upper) -> LpResult:
-    bounds = list(zip(np.asarray(lower, dtype=float), np.asarray(upper, dtype=float)))
+    bounds = list(zip(np.asarray(lower, dtype=float), np.asarray(upper, dtype=float), strict=True))
     result = _scipy_linprog(
         c,
         A_ub=a_ub if a_ub is not None and np.size(a_ub) else None,

@@ -70,7 +70,7 @@ def hold_aware_random_skews(
     n_ffs = len(ff_names)
     skews = generator.uniform(-magnitude, magnitude, size=n_ffs)
     if magnitude == 0.0 or constraint_graph.n_edges == 0:
-        return ClockSkewMap({ff: float(s) for ff, s in zip(ff_names, skews)})
+        return ClockSkewMap({ff: float(s) for ff, s in zip(ff_names, skews, strict=True)})
 
     launch_idx = constraint_graph.edge_launch_idx
     capture_idx = constraint_graph.edge_capture_idx
@@ -87,7 +87,7 @@ def hold_aware_random_skews(
     skews = _project_onto_constraints(
         skews, launch_idx, capture_idx, limits, max_iterations, shrink_factor
     )
-    return ClockSkewMap({ff: float(s) for ff, s in zip(ff_names, skews)})
+    return ClockSkewMap({ff: float(s) for ff, s in zip(ff_names, skews, strict=True)})
 
 
 def _project_onto_constraints(

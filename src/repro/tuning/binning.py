@@ -256,10 +256,10 @@ class TestCostModel:
         the total test cost, and the net benefit of tuning per chip.
         """
         revenue_untuned = sum(
-            count * bin_.revenue for count, bin_ in zip(result.untuned_counts, result.bins)
+            count * bin_.revenue for count, bin_ in zip(result.untuned_counts, result.bins, strict=True)
         )
         revenue_tuned = sum(
-            count * bin_.revenue for count, bin_ in zip(result.tuned_counts, result.bins)
+            count * bin_.revenue for count, bin_ in zip(result.tuned_counts, result.bins, strict=True)
         )
         # Every chip is speed-tested once per bin it was probed against; a
         # conservative upper bound is one test per bin per chip.

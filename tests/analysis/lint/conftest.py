@@ -1,0 +1,40 @@
+"""Shared fixtures for the invariant-linter tests.
+
+Rule tests all follow one pattern: write a snippet to ``mod.py`` in a
+tmp dir (so :func:`repro.analysis.lint.module_name_for` classifies it
+as module ``mod``), point the relevant rule at module ``mod`` via a
+:class:`LintConfig` override, and assert on the findings.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import LintConfig, LintRunner, build_rules
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint(source, rule, **config_overrides) -> [Finding, ...]``."""
+
+    def run(source, rule, *, filename="mod.py", **overrides):
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        runner = LintRunner(
+            config=LintConfig(**overrides), rules=build_rules([rule])
+        )
+        return runner.run([str(path)]).findings
+
+    return run
+
+
+@pytest.fixture
+def write_module(tmp_path):
+    """``write_module(name, source) -> path`` for multi-file runs."""
+
+    def write(name, source):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return str(path)
+
+    return write

@@ -1,0 +1,87 @@
+"""Rule ``canonical-json``: ``json.dumps``/``json.dump`` must sort keys."""
+
+CJ = {"canonical_json_modules": ("mod",)}
+
+
+class TestFindings:
+    def test_dumps_without_sort_keys_flagged(self, lint):
+        source = """
+        import json
+        text = json.dumps(payload, indent=2)
+        """
+        findings = lint(source, "canonical-json", **CJ)
+        assert len(findings) == 1
+        assert "json.dumps()" in findings[0].message
+        assert "sort_keys" in findings[0].message
+
+    def test_dump_stream_variant_flagged(self, lint):
+        source = """
+        import json
+        json.dump(payload, handle)
+        """
+        findings = lint(source, "canonical-json", **CJ)
+        assert len(findings) == 1
+        assert "json.dump()" in findings[0].message
+
+    def test_sort_keys_false_flagged(self, lint):
+        source = """
+        import json
+        text = json.dumps(payload, sort_keys=False)
+        """
+        assert len(lint(source, "canonical-json", **CJ)) == 1
+
+    def test_import_alias_resolved(self, lint):
+        source = """
+        import json as j
+        text = j.dumps(payload)
+        """
+        assert len(lint(source, "canonical-json", **CJ)) == 1
+
+
+class TestPasses:
+    def test_sort_keys_true_clean(self, lint):
+        source = """
+        import json
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        """
+        assert lint(source, "canonical-json", **CJ) == []
+
+    def test_kwargs_splat_given_benefit_of_doubt(self, lint):
+        source = """
+        import json
+        text = json.dumps(payload, **options)
+        """
+        assert lint(source, "canonical-json", **CJ) == []
+
+    def test_computed_flag_given_benefit_of_doubt(self, lint):
+        source = """
+        import json
+        text = json.dumps(payload, sort_keys=flag)
+        """
+        assert lint(source, "canonical-json", **CJ) == []
+
+    def test_transport_module_not_classified(self, lint):
+        """HTTP-body encoders are excluded by module classification."""
+        source = """
+        import json
+        body = json.dumps(request)
+        """
+        findings = lint(
+            source, "canonical-json", canonical_json_modules=("repro.cli",)
+        )
+        assert findings == []
+
+    def test_allowlisted_site_clean(self, lint):
+        source = """
+        import json
+
+        def debug_dump():
+            return json.dumps(payload)
+        """
+        findings = lint(
+            source,
+            "canonical-json",
+            canonical_json_modules=("mod",),
+            canonical_json_allow=("mod:debug_dump",),
+        )
+        assert findings == []

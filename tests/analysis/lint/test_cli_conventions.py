@@ -1,0 +1,134 @@
+"""Rule ``cli-conventions``: handlers return int, usage errors exit 2."""
+
+CLI = {"cli_modules": ("mod",)}
+
+
+class TestAnnotations:
+    def test_missing_return_annotation_flagged(self, lint):
+        source = """
+        def _cmd_run(args):
+            return 0
+        """
+        findings = lint(source, "cli-conventions", **CLI)
+        assert len(findings) == 1
+        assert "'-> int'" in findings[0].message
+
+    def test_annotated_handler_clean(self, lint):
+        source = """
+        def _cmd_run(args) -> int:
+            return 0
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+    def test_string_annotation_accepted(self, lint):
+        source = """
+        def _cmd_run(args) -> "int":
+            return 0
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+    def test_non_handler_functions_ignored(self, lint):
+        source = """
+        def helper(args):
+            return None
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+
+class TestReturns:
+    def test_bare_and_none_returns_flagged(self, lint):
+        source = """
+        def _cmd_run(args) -> int:
+            if args.dry_run:
+                return
+            if args.skip:
+                return None
+            return 0
+        """
+        findings = lint(source, "cli-conventions", **CLI)
+        assert len(findings) == 2
+        assert all("returns None" in f.message for f in findings)
+
+    def test_nested_function_returns_not_handler_returns(self, lint):
+        source = """
+        def _cmd_run(args) -> int:
+            def progress(frac):
+                return None
+            run(progress)
+            return 0
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+
+class TestExceptBlocks:
+    def test_wrong_constant_exit_code_in_except_flagged(self, lint):
+        source = """
+        def _cmd_run(args) -> int:
+            try:
+                work(args)
+            except ValueError:
+                return 1
+            return 0
+        """
+        findings = lint(source, "cli-conventions", **CLI)
+        assert len(findings) == 1
+        assert "must exit 2" in findings[0].message
+
+    def test_return_2_in_except_clean(self, lint):
+        source = """
+        def _cmd_run(args) -> int:
+            try:
+                work(args)
+            except ValueError:
+                return 2
+            return 0
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+    def test_computed_return_in_except_clean(self, lint):
+        """Only provably-wrong constants are flagged; a forwarded code
+        may legitimately be 1 (e.g. re-raising a child's exit)."""
+        source = """
+        def _cmd_run(args) -> int:
+            try:
+                work(args)
+            except ChildError as error:
+                return error.exit_code
+            return 0
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+    def test_return_1_outside_except_clean(self, lint):
+        """Exit 1 is the verdict code — fine outside error handling."""
+        source = """
+        def _cmd_run(args) -> int:
+            if gate_failed(args):
+                return 1
+            return 0
+        """
+        assert lint(source, "cli-conventions", **CLI) == []
+
+
+class TestScoping:
+    def test_custom_prefix_respected(self, lint):
+        source = """
+        def handle_run(args):
+            return 0
+        """
+        findings = lint(
+            source,
+            "cli-conventions",
+            cli_modules=("mod",),
+            cli_handler_prefix="handle_",
+        )
+        assert len(findings) == 1
+
+    def test_allowlisted_handler_skipped(self, lint):
+        source = """
+        def _cmd_legacy(args):
+            return
+        """
+        findings = lint(
+            source, "cli-conventions", cli_modules=("mod",), cli_allow=("mod:_cmd_legacy",)
+        )
+        assert findings == []

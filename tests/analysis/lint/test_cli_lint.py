@@ -1,0 +1,199 @@
+"""The ``repro lint`` subcommand: exit codes, --json schema, baselines."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "VALUE = 1\n"
+DIRTY = textwrap.dedent(
+    """
+    import time
+    stamp = time.time()
+    """
+)
+
+CONFIG = textwrap.dedent(
+    """
+    [lint.determinism]
+    modules = ["mod"]
+    """
+)
+
+
+@pytest.fixture
+def workspace(tmp_path, monkeypatch):
+    """A tmp CWD with a mod.py target and a cfg.toml classifying it."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "cfg.toml").write_text(CONFIG, encoding="utf-8")
+    return tmp_path
+
+
+def write_target(workspace, source):
+    (workspace / "mod.py").write_text(source, encoding="utf-8")
+    return "mod.py"
+
+
+class TestExitCodes:
+    def test_clean_run_exits_0(self, workspace, capsys):
+        target = write_target(workspace, CLEAN)
+        assert main(["lint", target, "--config", "cfg.toml"]) == 0
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, workspace, capsys):
+        target = write_target(workspace, DIRTY)
+        assert main(["lint", target, "--config", "cfg.toml"]) == 1
+        out = capsys.readouterr().out
+        assert "[determinism]" in out
+        assert "mod.py:3:" in out
+
+    def test_missing_path_exits_2(self, workspace, capsys):
+        assert main(["lint", "no/such/dir", "--config", "cfg.toml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_config_exits_2(self, workspace, capsys):
+        target = write_target(workspace, CLEAN)
+        (workspace / "broken.toml").write_text("???", encoding="utf-8")
+        assert main(["lint", target, "--config", "broken.toml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unparseable_target_exits_2(self, workspace, capsys):
+        target = write_target(workspace, "def broken(:\n")
+        assert main(["lint", target, "--config", "cfg.toml"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_2(self, workspace, capsys):
+        target = write_target(workspace, CLEAN)
+        (workspace / "base.json").write_text("[]", encoding="utf-8")
+        assert (
+            main(
+                ["lint", target, "--config", "cfg.toml", "--baseline", "base.json"]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, workspace):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--rule", "no-such-rule"])
+        assert excinfo.value.code == 2
+
+
+class TestJsonOutput:
+    def test_schema_and_canonical_bytes(self, workspace, capsys):
+        target = write_target(workspace, DIRTY)
+        assert main(["lint", target, "--config", "cfg.toml", "--json"]) == 1
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["schema_version"] == 1
+        assert payload["n_files"] == 1
+        assert payload["n_findings"] == 1
+        assert payload["n_suppressed"] == 0
+        assert payload["n_baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "determinism"
+        assert finding["path"] == "mod.py"
+        assert finding["line"] == 3
+        assert finding["key"].startswith("determinism::mod.py::")
+        # The linter holds itself to canonical-json: byte-stable output.
+        assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def test_clean_json_run(self, workspace, capsys):
+        target = write_target(workspace, CLEAN)
+        assert main(["lint", target, "--config", "cfg.toml", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestRuleSelection:
+    def test_single_rule_filter(self, workspace, capsys):
+        source = DIRTY + "import json\ntext = json.dumps({})\n"
+        (workspace / "cfg.toml").write_text(
+            CONFIG + '\n[lint.canonical-json]\nmodules = ["mod"]\n',
+            encoding="utf-8",
+        )
+        target = write_target(workspace, source)
+        assert (
+            main(
+                [
+                    "lint", target, "--config", "cfg.toml",
+                    "--rule", "canonical-json", "--json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"canonical-json"}
+
+    def test_list_rules(self, workspace, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "canonical-json",
+            "cli-conventions",
+            "determinism",
+            "obs-naming",
+            "transaction-discipline",
+        ):
+            assert name in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_use_baseline(self, workspace, capsys):
+        target = write_target(workspace, DIRTY)
+        assert (
+            main(
+                [
+                    "lint", target, "--config", "cfg.toml",
+                    "--write-baseline", "base.json",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "wrote baseline" in captured.err
+        document = json.loads((workspace / "base.json").read_text())
+        assert document["schema_version"] == 1
+        assert len(document["findings"]) == 1
+
+        assert (
+            main(
+                ["lint", target, "--config", "cfg.toml", "--baseline", "base.json"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "1 baselined" in out
+
+    def test_new_finding_not_masked_by_baseline(self, workspace, capsys):
+        target = write_target(workspace, DIRTY)
+        assert (
+            main(
+                [
+                    "lint", target, "--config", "cfg.toml",
+                    "--write-baseline", "base.json",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        write_target(workspace, DIRTY + "import uuid\nrun = uuid.uuid4()\n")
+        assert (
+            main(
+                ["lint", target, "--config", "cfg.toml", "--baseline", "base.json"]
+            )
+            == 1
+        )
+
+
+class TestSuppressionEndToEnd:
+    def test_inline_marker_reported_in_summary(self, workspace, capsys):
+        target = write_target(
+            workspace,
+            "import time\nstamp = time.time()  # repro: lint-ok[determinism]\n",
+        )
+        assert main(["lint", target, "--config", "cfg.toml"]) == 0
+        assert "1 suppressed inline" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Lint config: classification matching, TOML loading, subset parser."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    LintConfig,
+    LintConfigError,
+    load_config,
+    parse_toml,
+    parse_toml_subset,
+)
+from repro.analysis.lint.config import config_from_mapping
+
+SAMPLE = """
+# project override
+[lint]
+exclude-dirs = ["build", ".git"]
+
+[lint.determinism]
+modules = ["repro.cli", "repro.campaign.*"]
+allow = [
+    "repro.campaign.store:make_record",  # envelope timestamp
+    "repro.bench.artifact:BenchArtifact.__post_init__",
+]
+
+[lint.cli-conventions]
+handler-prefix = "_cmd_"
+
+[lint.obs-naming]
+dynamic-allow = ["repro.store.base"]
+"""
+
+
+class TestClassification:
+    def test_module_glob_matching(self):
+        config = LintConfig()
+        assert config.module_matches("repro.campaign.pool", ("repro.campaign.*",))
+        assert not config.module_matches("repro.campaign", ("repro.campaign.*",))
+        assert config.module_matches("repro.cli", ("repro.cli",))
+        assert not config.module_matches("repro.cli2", ("repro.cli",))
+
+    def test_site_allowed_module_entry(self):
+        config = LintConfig()
+        assert config.site_allowed("repro.obs.trace", "anything", ("repro.obs.*",))
+        assert not config.site_allowed("repro.cli", "anything", ("repro.obs.*",))
+
+    def test_site_allowed_qualname_entry(self):
+        allow = ("repro.campaign.store:CampaignStore.merge",)
+        config = LintConfig()
+        assert config.site_allowed(
+            "repro.campaign.store", "CampaignStore.merge", allow
+        )
+        assert config.site_allowed(
+            "repro.campaign.store", "CampaignStore.merge.inner", allow
+        )
+        assert not config.site_allowed(
+            "repro.campaign.store", "CampaignStore.merge_all", allow
+        )
+        assert not config.site_allowed(
+            "repro.campaign.store", "CampaignStore", allow
+        )
+
+
+class TestLoading:
+    def test_defaults_without_a_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert load_config() == LintConfig()
+
+    def test_explicit_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintConfigError, match="cannot read"):
+            load_config(str(tmp_path / "nope.toml"))
+
+    def test_cwd_reprolint_toml_picked_up(self, tmp_path, monkeypatch):
+        (tmp_path / "reprolint.toml").write_text(
+            '[lint.determinism]\nmodules = ["only.this"]\n', encoding="utf-8"
+        )
+        monkeypatch.chdir(tmp_path)
+        config = load_config()
+        assert config.determinism_modules == ("only.this",)
+        # Untouched tables keep their defaults.
+        assert config.cli_modules == LintConfig().cli_modules
+
+    def test_override_file_applies_all_tables(self, tmp_path):
+        path = tmp_path / "cfg.toml"
+        path.write_text(SAMPLE, encoding="utf-8")
+        config = load_config(str(path))
+        assert config.exclude_dirs == ("build", ".git")
+        assert config.determinism_modules == ("repro.cli", "repro.campaign.*")
+        assert config.determinism_allow == (
+            "repro.campaign.store:make_record",
+            "repro.bench.artifact:BenchArtifact.__post_init__",
+        )
+        assert config.obs_dynamic_allow == ("repro.store.base",)
+        assert config.cli_handler_prefix == "_cmd_"
+
+    def test_wrong_value_types_raise(self):
+        with pytest.raises(LintConfigError, match="array of strings"):
+            config_from_mapping(
+                {"lint": {"determinism": {"modules": "repro.cli"}}}
+            )
+        with pytest.raises(LintConfigError, match="must be a string"):
+            config_from_mapping(
+                {"lint": {"cli-conventions": {"handler-prefix": ["x"]}}}
+            )
+
+    def test_invalid_toml_is_config_error(self, tmp_path):
+        path = tmp_path / "cfg.toml"
+        path.write_text("not toml at all ][", encoding="utf-8")
+        with pytest.raises(LintConfigError):
+            load_config(str(path))
+
+
+class TestSubsetParser:
+    """The 3.10 fallback parser must agree with tomllib on the subset."""
+
+    def test_agrees_with_tomllib_on_the_sample(self):
+        tomllib = pytest.importorskip("tomllib")
+        assert parse_toml_subset(SAMPLE) == tomllib.loads(SAMPLE)
+
+    def test_tables_strings_bools_ints(self):
+        doc = textwrap.dedent(
+            """
+            top = "level"
+            [a.b]
+            flag = true
+            other = false
+            count = 3
+            name = "value"
+            """
+        )
+        assert parse_toml_subset(doc) == {
+            "top": "level",
+            "a": {"b": {"flag": True, "other": False, "count": 3, "name": "value"}},
+        }
+
+    def test_multiline_arrays_and_comments(self):
+        doc = textwrap.dedent(
+            """
+            [t]
+            items = [
+                "one",   # with a comment
+                "two # not a comment",
+            ]
+            """
+        )
+        assert parse_toml_subset(doc) == {
+            "t": {"items": ["one", "two # not a comment"]}
+        }
+
+    def test_empty_array(self):
+        assert parse_toml_subset("x = []\n") == {"x": []}
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "just a line\n",
+            "x = {inline = 'table'}\n",
+            "[]\nx = 1\n",
+        ],
+    )
+    def test_unsupported_documents_raise(self, doc):
+        with pytest.raises(LintConfigError):
+            parse_toml_subset(doc)
+
+    def test_parse_toml_dispatches(self):
+        """parse_toml uses tomllib when present; both accept the sample."""
+        assert parse_toml(SAMPLE) == parse_toml_subset(SAMPLE)

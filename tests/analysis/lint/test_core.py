@@ -1,0 +1,281 @@
+"""Core machinery: FileContext, suppressions, baselines, the runner."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    FileContext,
+    Finding,
+    LintConfig,
+    LintError,
+    LintRunner,
+    baseline_payload,
+    build_rules,
+    format_findings,
+    load_baseline,
+    module_name_for,
+)
+
+
+def make_context(source, path="mod.py"):
+    return FileContext(path, textwrap.dedent(source), LintConfig())
+
+
+class TestModuleNames:
+    def test_package_chain_resolved(self, tmp_path):
+        pkg = tmp_path / "repro" / "campaign"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "pool.py").write_text("")
+        assert module_name_for(str(pkg / "pool.py")) == "repro.campaign.pool"
+
+    def test_package_init_strips_suffix(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        assert module_name_for(str(pkg / "__init__.py")) == "repro"
+
+    def test_free_standing_file_is_its_stem(self, tmp_path):
+        script = tmp_path / "probe.py"
+        script.write_text("")
+        assert module_name_for(str(script)) == "probe"
+
+
+class TestFileContext:
+    def test_syntax_error_is_lint_error_not_zero_findings(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            make_context("def broken(:\n")
+
+    def test_qualname_tracks_nesting(self):
+        ctx = make_context(
+            """
+            class Store:
+                def merge(self):
+                    def inner():
+                        pass
+            """
+        )
+        import ast
+
+        functions = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert ctx.qualname(functions["inner"]) == "Store.merge.inner"
+        assert ctx.qualname(functions["merge"]) == "Store.merge"
+
+    def test_resolve_handles_aliases(self):
+        ctx = make_context(
+            """
+            import numpy as np
+            from datetime import datetime
+            import json
+            a = np.random.seed
+            b = datetime.now
+            c = json.dumps
+            """
+        )
+        import ast
+
+        chains = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                chains[node.targets[0].id] = ctx.resolve(node.value)
+        assert chains == {
+            "a": "numpy.random.seed",
+            "b": "datetime.datetime.now",
+            "c": "json.dumps",
+        }
+
+
+class TestSuppressions:
+    def run_mod(self, tmp_path, source, rules=("determinism",)):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        runner = LintRunner(
+            config=LintConfig(determinism_modules=("mod",)),
+            rules=build_rules(list(rules)),
+        )
+        return runner.run([str(path)])
+
+    def test_same_line_marker_suppresses(self, tmp_path):
+        result = self.run_mod(
+            tmp_path,
+            """
+            import time
+            stamp = time.time()  # repro: lint-ok[determinism]
+            """,
+        )
+        assert result.findings == []
+        assert result.n_suppressed == 1
+
+    def test_line_above_marker_suppresses(self, tmp_path):
+        result = self.run_mod(
+            tmp_path,
+            """
+            import time
+            # repro: lint-ok[determinism]
+            stamp = time.time()
+            """,
+        )
+        assert result.findings == []
+        assert result.n_suppressed == 1
+
+    def test_marker_names_the_wrong_rule(self, tmp_path):
+        result = self.run_mod(
+            tmp_path,
+            """
+            import time
+            stamp = time.time()  # repro: lint-ok[canonical-json]
+            """,
+        )
+        assert len(result.findings) == 1
+        assert result.n_suppressed == 0
+
+    def test_marker_with_multiple_rules(self, tmp_path):
+        result = self.run_mod(
+            tmp_path,
+            """
+            import time
+            stamp = time.time()  # repro: lint-ok[canonical-json, determinism]
+            """,
+        )
+        assert result.findings == []
+
+
+class TestBaselines:
+    def test_payload_roundtrip_filters_findings(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        config = LintConfig(determinism_modules=("mod",))
+        first = LintRunner(config=config, rules=build_rules(["determinism"])).run(
+            [str(path)]
+        )
+        assert len(first.findings) == 1
+
+        import json
+
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            json.dumps(baseline_payload(first.findings)), encoding="utf-8"
+        )
+        second = LintRunner(
+            config=config,
+            rules=build_rules(["determinism"]),
+            baseline=load_baseline(str(baseline_file)),
+        ).run([str(path)])
+        assert second.findings == []
+        assert second.n_baselined == 1
+
+    def test_baseline_keys_are_line_number_free(self, tmp_path):
+        """Edits above a grandfathered site must not invalidate it."""
+        path = tmp_path / "mod.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        config = LintConfig(determinism_modules=("mod",))
+        first = LintRunner(config=config, rules=build_rules(["determinism"])).run(
+            [str(path)]
+        )
+        baseline = {finding.key() for finding in first.findings}
+
+        path.write_text(
+            "import time\n\n\n# moved down\nstamp = time.time()\n",
+            encoding="utf-8",
+        )
+        second = LintRunner(
+            config=config, rules=build_rules(["determinism"]), baseline=baseline
+        ).run([str(path)])
+        assert second.findings == []
+        assert second.n_baselined == 1
+
+    def test_missing_baseline_file_raises(self, tmp_path):
+        with pytest.raises(LintError, match="cannot read baseline"):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{", encoding="utf-8")
+        with pytest.raises(LintError, match="not valid JSON"):
+            load_baseline(str(bad))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "[]",
+            '{"findings": []}',
+            '{"schema_version": 99, "findings": []}',
+            '{"schema_version": 1, "findings": [1, 2]}',
+            '{"schema_version": 1}',
+        ],
+    )
+    def test_schema_violations_raise(self, tmp_path, payload):
+        bad = tmp_path / "bad.json"
+        bad.write_text(payload, encoding="utf-8")
+        with pytest.raises(LintError):
+            load_baseline(str(bad))
+
+
+class TestRunner:
+    def test_missing_path_is_lint_error(self):
+        runner = LintRunner(config=LintConfig())
+        with pytest.raises(LintError, match="no such file or directory"):
+            runner.run(["does/not/exist"])
+
+    def test_collect_files_deduplicates_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("")
+        (tmp_path / "a.py").write_text("")
+        (tmp_path / "notes.txt").write_text("")
+        sub = tmp_path / "__pycache__"
+        sub.mkdir()
+        (sub / "a.cpython-311.py").write_text("")
+        runner = LintRunner(config=LintConfig())
+        files = runner.collect_files(
+            [str(tmp_path), str(tmp_path / "a.py")]
+        )
+        names = [f.rsplit("/", 1)[-1] for f in files]
+        assert names == ["a.py", "b.py"]
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time, uuid\nb = uuid.uuid4()\na = time.time()\n",
+            encoding="utf-8",
+        )
+        runner = LintRunner(
+            config=LintConfig(determinism_modules=("mod",)),
+            rules=build_rules(["determinism"]),
+        )
+        findings = runner.run([str(path)]).findings
+        assert [f.line for f in findings] == [2, 3]
+
+    def test_format_findings_summary(self):
+        result_line = format_findings(
+            type(
+                "R",
+                (),
+                {
+                    "findings": [
+                        Finding("mod.py", 3, 0, "determinism", "boom")
+                    ],
+                    "n_files": 2,
+                    "n_suppressed": 1,
+                    "n_baselined": 2,
+                },
+            )()
+        )
+        assert "mod.py:3:0: [determinism] boom" in result_line
+        assert "1 finding(s) in 2 file(s)" in result_line
+        assert "1 suppressed inline" in result_line
+        assert "2 baselined" in result_line
+
+
+class TestRuleRegistry:
+    def test_unknown_rule_is_lint_error(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            build_rules(["no-such-rule"])
+
+    def test_subset_and_dedup(self):
+        rules = build_rules(["determinism", "determinism", "obs-naming"])
+        assert [rule.name for rule in rules] == ["determinism", "obs-naming"]

@@ -1,0 +1,168 @@
+"""Rule ``determinism``: wall-clock, ambient RNG, and set iteration."""
+
+DET = {"determinism_modules": ("mod",)}
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint):
+        findings = lint("import time\nstamp = time.time()\n", "determinism", **DET)
+        assert len(findings) == 1
+        assert findings[0].rule == "determinism"
+        assert "time.time()" in findings[0].message
+
+    def test_datetime_now_flagged_through_from_import(self, lint):
+        source = """
+        from datetime import datetime
+        stamp = datetime.now()
+        """
+        findings = lint(source, "determinism", **DET)
+        assert len(findings) == 1
+        assert "datetime.datetime.now()" in findings[0].message
+
+    def test_monotonic_not_flagged(self, lint):
+        """perf_counter/monotonic measure durations, not wall-clock identity."""
+        source = """
+        import time
+        t0 = time.perf_counter()
+        t1 = time.monotonic()
+        """
+        assert lint(source, "determinism", **DET) == []
+
+
+class TestEntropy:
+    def test_uuid4_flagged(self, lint):
+        findings = lint("import uuid\nrun = uuid.uuid4()\n", "determinism", **DET)
+        assert len(findings) == 1
+        assert "uuid.uuid4()" in findings[0].message
+
+    def test_os_urandom_flagged(self, lint):
+        findings = lint("import os\nsalt = os.urandom(8)\n", "determinism", **DET)
+        assert len(findings) == 1
+
+    def test_random_module_state_flagged(self, lint):
+        source = """
+        import random
+        random.seed(0)
+        x = random.random()
+        """
+        findings = lint(source, "determinism", **DET)
+        assert len(findings) == 2
+        assert all("random." in f.message for f in findings)
+
+    def test_random_from_import_resolved(self, lint):
+        source = """
+        from random import shuffle
+        shuffle(cells)
+        """
+        findings = lint(source, "determinism", **DET)
+        assert len(findings) == 1
+        assert "random.shuffle()" in findings[0].message
+
+    def test_local_function_named_random_not_flagged(self, lint):
+        source = """
+        def random():
+            return 4
+        x = random()
+        """
+        assert lint(source, "determinism", **DET) == []
+
+    def test_numpy_module_state_flagged_explicit_rng_not(self, lint):
+        source = """
+        import numpy as np
+        np.random.seed(7)
+        rng = np.random.default_rng(7)
+        draw = rng.normal(size=3)
+        """
+        findings = lint(source, "determinism", **DET)
+        assert len(findings) == 1
+        assert "numpy.random.seed()" in findings[0].message
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self, lint):
+        source = """
+        for name in set(names):
+            emit(name)
+        """
+        findings = lint(source, "determinism", **DET)
+        assert len(findings) == 1
+        assert "hash-randomised" in findings[0].message
+
+    def test_comprehension_over_set_literal_flagged(self, lint):
+        source = "order = [x for x in {1, 2, 3}]\n"
+        assert len(lint(source, "determinism", **DET)) == 1
+
+    def test_list_over_set_flagged(self, lint):
+        findings = lint("order = list(set(names))\n", "determinism", **DET)
+        assert len(findings) == 1
+        assert "list()" in findings[0].message
+
+    def test_set_algebra_iteration_flagged(self, lint):
+        source = """
+        for stale in set(a) - set(b):
+            drop(stale)
+        """
+        assert len(lint(source, "determinism", **DET)) == 1
+
+    def test_sorted_set_not_flagged(self, lint):
+        source = """
+        for name in sorted(set(names)):
+            emit(name)
+        order = sorted({1, 2} | {3})
+        """
+        assert lint(source, "determinism", **DET) == []
+
+    def test_dict_iteration_not_flagged(self, lint):
+        """Dicts are insertion-ordered; serialisation order is the
+        canonical-json rule's job, not this one's."""
+        source = """
+        for key, value in records.items():
+            emit(key, value)
+        """
+        assert lint(source, "determinism", **DET) == []
+
+
+class TestScoping:
+    def test_unclassified_module_not_checked(self, lint):
+        source = "import time\nstamp = time.time()\n"
+        findings = lint(
+            source, "determinism", determinism_modules=("repro.campaign.*",)
+        )
+        assert findings == []
+
+    def test_qualname_allowlist_exempts_function(self, lint):
+        source = """
+        import time
+
+        def make_record():
+            return {"completed_unix": time.time()}
+
+        def fingerprint():
+            return time.time()
+        """
+        findings = lint(
+            source,
+            "determinism",
+            determinism_modules=("mod",),
+            determinism_allow=("mod:make_record",),
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 8
+
+    def test_allowlist_covers_nested_scopes(self, lint):
+        source = """
+        import time
+
+        class Envelope:
+            def stamp(self):
+                def inner():
+                    return time.time()
+                return inner()
+        """
+        findings = lint(
+            source,
+            "determinism",
+            determinism_modules=("mod",),
+            determinism_allow=("mod:Envelope.stamp",),
+        )
+        assert findings == []

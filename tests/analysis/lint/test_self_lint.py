@@ -1,0 +1,45 @@
+"""The linter self-hosts: the repo's own sources must lint clean.
+
+This is the test-suite twin of the CI lint gate.  It runs with the
+built-in project classification (no override file, no baseline), so any
+new violation in ``src/`` or ``tests/`` fails here first — the fix is
+to repair the code, extend the config allowlist *with a justification*,
+or (last resort) add an inline ``# repro: lint-ok[rule]`` marker.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _lint(monkeypatch, tmp_path, *argv):
+    # Run from a scratch CWD so a developer's local reprolint.toml can
+    # never relax (or tighten) what this test asserts.
+    monkeypatch.chdir(tmp_path)
+    return main(["lint", *argv])
+
+
+def test_src_lints_clean(monkeypatch, tmp_path, capsys):
+    code = _lint(monkeypatch, tmp_path, str(REPO_ROOT / "src"))
+    out = capsys.readouterr().out
+    assert code == 0, f"repro lint src/ found violations:\n{out}"
+    assert "0 finding(s)" in out
+
+
+def test_tests_lint_clean(monkeypatch, tmp_path, capsys):
+    code = _lint(monkeypatch, tmp_path, str(REPO_ROOT / "tests"))
+    out = capsys.readouterr().out
+    assert code == 0, f"repro lint tests/ found violations:\n{out}"
+
+
+def test_src_lint_json_schema(monkeypatch, tmp_path, capsys):
+    """The CI gate consumes --json; lock the payload it depends on."""
+    code = _lint(monkeypatch, tmp_path, str(REPO_ROOT / "src"), "--json")
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == 1
+    assert payload["findings"] == []
+    assert payload["n_files"] > 100  # the whole package, not a subset

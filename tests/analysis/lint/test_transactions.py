@@ -1,0 +1,117 @@
+"""Rule ``transaction-discipline``: store mutations need a transaction."""
+
+TX = {"transaction_modules": ("mod",)}
+
+
+class TestFindings:
+    def test_bare_append_after_check_flagged(self, lint):
+        """The PR 7 pool-publish race shape: read-check-append with no
+        critical section."""
+        source = """
+        class Pool:
+            def publish(self, record):
+                if record.fingerprint not in self.backend.fingerprints():
+                    self.backend.append(record)
+        """
+        findings = lint(source, "transaction-discipline", **TX)
+        assert len(findings) == 1
+        assert "self.backend.append()" in findings[0].message
+        assert "transaction" in findings[0].message
+
+    def test_replace_all_and_ingest_covered(self, lint):
+        source = """
+        def rebuild(store, records):
+            validate(records)
+            store.replace_all(records)
+
+        def bulk(queue, jobs):
+            mark(jobs)
+            queue.ingest(jobs)
+        """
+        findings = lint(source, "transaction-discipline", **TX)
+        assert len(findings) == 2
+
+    def test_list_append_not_flagged(self, lint):
+        """Only store-like receivers count — plain list.append is fine."""
+        source = """
+        def collect(items):
+            out = []
+            for item in items:
+                out.append(item)
+            return out
+        """
+        assert lint(source, "transaction-discipline", **TX) == []
+
+
+class TestExemptions:
+    def test_mutation_inside_transaction_clean(self, lint):
+        source = """
+        class Pool:
+            def publish(self, record):
+                with self.store.transaction() as txn:
+                    if record.fingerprint not in txn.fingerprints():
+                        self.backend.append(record)
+        """
+        assert lint(source, "transaction-discipline", **TX) == []
+
+    def test_transaction_does_not_cross_function_boundary(self, lint):
+        """A with-block around a nested def does not bless the nested body."""
+        source = """
+        class Pool:
+            def publish(self, record):
+                with self.store.transaction():
+                    def later():
+                        check(record)
+                        self.backend.append(record)
+                    return later
+        """
+        assert len(lint(source, "transaction-discipline", **TX)) == 1
+
+    def test_thin_delegation_wrapper_clean(self, lint):
+        source = """
+        class Store:
+            def append(self, record):
+                return self.backend.append(record)
+
+            def ingest(self, records):
+                '''Docstrings do not break the thin-wrapper shape.'''
+                self.backend.ingest(records)
+        """
+        assert lint(source, "transaction-discipline", **TX) == []
+
+    def test_wrapper_with_extra_statement_is_not_thin(self, lint):
+        source = """
+        class Store:
+            def append(self, record):
+                self.validate(record)
+                return self.backend.append(record)
+        """
+        assert len(lint(source, "transaction-discipline", **TX)) == 1
+
+    def test_allowlisted_site_clean(self, lint):
+        source = """
+        class Store:
+            def merge(self, records):
+                prepared = prepare(records)
+                self.backend.replace_all(prepared)
+        """
+        findings = lint(
+            source,
+            "transaction-discipline",
+            transaction_modules=("mod",),
+            transaction_allow=("mod:Store.merge",),
+        )
+        assert findings == []
+
+    def test_unclassified_module_not_checked(self, lint):
+        source = """
+        def publish(store, record):
+            check(record)
+            store.append(record)
+        """
+        findings = lint(
+            source,
+            "transaction-discipline",
+            transaction_modules=("repro.campaign.pool",),
+        )
+        assert findings == []

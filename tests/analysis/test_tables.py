@@ -12,17 +12,17 @@ from repro.core.results import Buffer, BufferPlan, FlowResult, StepArtifacts
 
 
 def make_row(**overrides):
-    defaults = dict(
-        circuit="s9234",
-        n_flip_flops=211,
-        n_gates=5597,
-        target_sigma=0.0,
-        n_buffers=2,
-        avg_range=12.5,
-        tuned_yield=0.7711,
-        original_yield=0.50,
-        runtime_s=54.22,
-    )
+    defaults = {
+        "circuit": "s9234",
+        "n_flip_flops": 211,
+        "n_gates": 5597,
+        "target_sigma": 0.0,
+        "n_buffers": 2,
+        "avg_range": 12.5,
+        "tuned_yield": 0.7711,
+        "original_yield": 0.50,
+        "runtime_s": 54.22,
+    }
     defaults.update(overrides)
     return TableOneRow(**defaults)
 

@@ -58,7 +58,7 @@ class TestKernelOpsAgainstScalarOracle:
         summed = a.add(b)
         scaled = a.scale(1.7)
         negated = a.negate()
-        for i, (fa, fb) in enumerate(zip(forms_a, forms_b)):
+        for i, (fa, fb) in enumerate(zip(forms_a, forms_b, strict=True)):
             _forms_close(summed.form(i), fa + fb)
             _forms_close(scaled.form(i), fa * 1.7)
             _forms_close(negated.form(i), -fa)
@@ -69,7 +69,7 @@ class TestKernelOpsAgainstScalarOracle:
         a = ArrayForms.from_forms(forms_a, backend=backend)
         b = ArrayForms.from_forms(forms_b, backend=backend)
         out = a.clark_max(b)
-        for i, (fa, fb) in enumerate(zip(forms_a, forms_b)):
+        for i, (fa, fb) in enumerate(zip(forms_a, forms_b, strict=True)):
             _forms_close(out.form(i), fa.max(fb))
 
     def test_clark_max_degenerate_branch(self, backend):
@@ -126,7 +126,7 @@ class TestCellAxis:
             ArrayForms.from_forms(_random_forms(rng), backend=backend) for _ in range(4)
         ]
         batched = ArrayForms.stack_cells(cells_a).clark_max(ArrayForms.stack_cells(cells_b))
-        for c, (a, b) in enumerate(zip(cells_a, cells_b)):
+        for c, (a, b) in enumerate(zip(cells_a, cells_b, strict=True)):
             expected = backend.to_numpy(a.clark_max(b).coeffs)
             got = backend.to_numpy(batched.cell(c).coeffs)
             if backend.name == "numpy":
@@ -146,7 +146,7 @@ class TestCellAxis:
         )
         for c in range(3):
             cell = batched.cell(c)
-            for i, (fa, fb) in enumerate(zip(forms_a[c], forms_b[c])):
+            for i, (fa, fb) in enumerate(zip(forms_a[c], forms_b[c], strict=True)):
                 _forms_close(cell.form(i), fa.max(fb))
 
     def test_batched_kernel_leading_dims(self, backend, rng):

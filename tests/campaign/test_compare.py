@@ -104,18 +104,18 @@ class TestCompareStores:
 
 class TestGate:
     def _comparison(self, **delta_overrides):
-        params = dict(
-            cell_id="c0",
-            fingerprint="f0",
-            old_yield=0.9,
-            new_yield=0.9,
-            old_buffers=4,
-            new_buffers=4,
-            old_target_period=10.0,
-            new_target_period=10.0,
-            old_mu_period=9.5,
-            new_mu_period=9.5,
-        )
+        params = {
+            "cell_id": "c0",
+            "fingerprint": "f0",
+            "old_yield": 0.9,
+            "new_yield": 0.9,
+            "old_buffers": 4,
+            "new_buffers": 4,
+            "old_target_period": 10.0,
+            "new_target_period": 10.0,
+            "old_mu_period": 9.5,
+            "new_mu_period": 9.5,
+        }
         params.update(delta_overrides)
         return CampaignComparison(
             old_label="old", new_label="new", deltas=[CellDelta(**params)]

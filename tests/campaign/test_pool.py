@@ -12,15 +12,15 @@ from repro.campaign.store import CampaignStore, CampaignStoreError, make_record
 
 
 def base_spec(**overrides) -> CampaignSpec:
-    params = dict(
-        name="pool-a",
-        seed=5,
-        circuits=(("s9234", 0.05),),
-        sigmas=(0.0,),
-        budgets=((24, 48),),
-        replicates=2,
-        baselines=(),
-    )
+    params = {
+        "name": "pool-a",
+        "seed": 5,
+        "circuits": (("s9234", 0.05),),
+        "sigmas": (0.0,),
+        "budgets": ((24, 48),),
+        "replicates": 2,
+        "baselines": (),
+    }
     params.update(overrides)
     return CampaignSpec(**params)
 
@@ -161,9 +161,9 @@ class TestRunnerIntegration:
 
         store = CampaignStore.open(str(tmp_path / "b.jsonl"))
         summary = CampaignRunner(second, store, executor="serial", pool=pool).run()
-        shared = set(c.fingerprint() for c in first.cells()) & set(
+        shared = {c.fingerprint() for c in first.cells()} & {
             c.fingerprint() for c in second.cells()
-        )
+        }
         assert len(shared) == first.n_cells  # strict subset by construction
         assert summary.n_pool_reused == len(shared)
         assert summary.n_run == second.n_cells - len(shared)

@@ -39,15 +39,15 @@ def spec_12_cells() -> CampaignSpec:
 
 
 def tiny_spec(**overrides) -> CampaignSpec:
-    params = dict(
-        name="tiny",
-        seed=5,
-        circuits=(("s9234", 0.05),),
-        sigmas=(0.0,),
-        budgets=((24, 48),),
-        replicates=2,
-        baselines=(),
-    )
+    params = {
+        "name": "tiny",
+        "seed": 5,
+        "circuits": (("s9234", 0.05),),
+        "sigmas": (0.0,),
+        "budgets": ((24, 48),),
+        "replicates": 2,
+        "baselines": (),
+    }
     params.update(overrides)
     return CampaignSpec(**params)
 
@@ -295,7 +295,7 @@ class TestStatusRobustness:
 
         def writer() -> None:
             try:
-                for index, cell in enumerate(cells):
+                for cell in cells:
                     # Simulate a slow in-flight append: torn prefix
                     # first, then the completing durable record.
                     with open(path, "a", encoding="utf-8") as handle:

@@ -18,14 +18,14 @@ from repro.campaign.spec import (
 
 
 def small_spec(**overrides) -> CampaignSpec:
-    params = dict(
-        name="t",
-        seed=5,
-        circuits=(("s9234", 0.05),),
-        sigmas=(0.0, 1.0),
-        budgets=((30, 60),),
-        replicates=2,
-    )
+    params = {
+        "name": "t",
+        "seed": 5,
+        "circuits": (("s9234", 0.05),),
+        "sigmas": (0.0, 1.0),
+        "budgets": ((30, 60),),
+        "replicates": 2,
+    }
     params.update(overrides)
     return CampaignSpec(**params)
 
@@ -81,15 +81,15 @@ class TestFingerprints:
     def test_fingerprint_sensitive_to_every_result_affecting_field(self):
         base = small_spec().cells()[0]
         for change in (
-            dict(circuit="s13207"),
-            dict(scale=0.06),
-            dict(sigma=2.0),
-            dict(solver="milp"),
-            dict(n_samples=31),
-            dict(n_eval_samples=61),
-            dict(seed=base.seed + 1),
-            dict(design_seed=base.design_seed + 1),
-            dict(baselines=("every_ff",)),
+            {"circuit": "s13207"},
+            {"scale": 0.06},
+            {"sigma": 2.0},
+            {"solver": "milp"},
+            {"n_samples": 31},
+            {"n_eval_samples": 61},
+            {"seed": base.seed + 1},
+            {"design_seed": base.design_seed + 1},
+            {"baselines": ("every_ff",)},
         ):
             data = base.as_dict()
             data.update(change)

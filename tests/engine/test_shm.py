@@ -94,7 +94,7 @@ class TestSharedColumns:
         inline_chunks = make_chunks(
             indices, setup, hold, np.zeros(0), np.zeros(0), chunk_size=3
         )
-        for shared, inline in zip(shared_chunks, inline_chunks):
+        for shared, inline in zip(shared_chunks, inline_chunks, strict=True):
             assert isinstance(shared.setup_bounds, SharedColumns)
             shared.resolve()
             np.testing.assert_array_equal(shared.setup_bounds, inline.setup_bounds)
@@ -176,7 +176,7 @@ class TestEndToEnd:
                 batch, lower, upper
             )
         assert len(shared) == len(reference)
-        for ours, theirs in zip(shared, reference):
+        for ours, theirs in zip(shared, reference, strict=True):
             if theirs is None:
                 assert ours is None
                 continue

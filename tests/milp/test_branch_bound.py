@@ -31,8 +31,8 @@ class TestBranchAndBound:
         capacity = 7
         model = Model()
         picks = [model.add_var(f"p{i}", vtype=VarType.BINARY) for i in range(4)]
-        model.add_constr(LinExpr.sum_of([w * p for w, p in zip(weights, picks)]) <= capacity)
-        model.set_objective(LinExpr.sum_of([v * p for v, p in zip(values, picks)]), minimise=False)
+        model.add_constr(LinExpr.sum_of([w * p for w, p in zip(weights, picks, strict=True)]) <= capacity)
+        model.set_objective(LinExpr.sum_of([v * p for v, p in zip(values, picks, strict=True)]), minimise=False)
         solution = model.solve(backend=backend)
         assert solution.objective == pytest.approx(23.0)  # items 1 and 3 (13 + 10)
 
@@ -43,7 +43,7 @@ class TestBranchAndBound:
         xs = [model.add_var(f"x{i}", lb=-5, ub=5) for i in range(3)]
         cs = [model.add_var(f"c{i}", vtype=VarType.BINARY) for i in range(3)]
         gamma = 10.0
-        for x, c in zip(xs, cs):
+        for x, c in zip(xs, cs, strict=True):
             model.add_constr(x - gamma * c <= 0)
             model.add_constr(-1.0 * x - gamma * c <= 0)
         model.add_constr(LinExpr.sum_of(xs) >= 5)

@@ -18,7 +18,7 @@ from repro.obs import (
     summarize_trace,
 )
 
-CONFIG = dict(n_samples=40, n_eval_samples=60, seed=13, target_sigma=1.0)
+CONFIG = {"n_samples": 40, "n_eval_samples": 60, "seed": 13, "target_sigma": 1.0}
 
 
 def run_flow(design, **overrides):

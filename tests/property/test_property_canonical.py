@@ -11,7 +11,8 @@ from repro.variation.canonical import CanonicalForm
 N_SOURCES = 3
 
 
-def forms(means=st.floats(-50, 50), sens=st.floats(-5, 5), indep=st.floats(0, 5)):
+# Strategy-valued defaults are the standard hypothesis composition idiom.
+def forms(means=st.floats(-50, 50), sens=st.floats(-5, 5), indep=st.floats(0, 5)):  # noqa: B008
     return st.builds(
         lambda m, s, i: CanonicalForm(m, np.array(s), i),
         means,

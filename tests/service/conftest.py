@@ -17,15 +17,15 @@ from repro.store import BACKENDS
 
 def make_tiny_spec(**overrides) -> CampaignSpec:
     """A 2-cell campaign that runs in seconds on the serial executor."""
-    params = dict(
-        name="tiny",
-        seed=5,
-        circuits=(("s9234", 0.05),),
-        sigmas=(0.0,),
-        budgets=((24, 48),),
-        replicates=2,
-        baselines=(),
-    )
+    params = {
+        "name": "tiny",
+        "seed": 5,
+        "circuits": (("s9234", 0.05),),
+        "sigmas": (0.0,),
+        "budgets": ((24, 48),),
+        "replicates": 2,
+        "baselines": (),
+    }
     params.update(overrides)
     return CampaignSpec(**params)
 

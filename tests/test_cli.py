@@ -140,6 +140,32 @@ class TestInsert:
         assert "summary" in payload and "buffers" in payload
         assert payload["summary"]["improved_yield"] >= payload["summary"]["original_yield"] - 0.01
 
+    def test_json_output_is_byte_stable(self, capsys):
+        """--json output is canonical: keys sorted, indent 2, and two
+        runs with the same seed produce identical bytes (modulo the
+        runtime_seconds envelope field)."""
+        argv = [
+            "insert", "--circuit", "s9234", "--scale", "0.05",
+            "--samples", "60", "--eval-samples", "80", "--seed", "2",
+            "--json",
+        ]
+
+        def run():
+            assert main(argv) == 0
+            return capsys.readouterr().out
+
+        first, second = run(), run()
+        payload = json.loads(first)
+        # Canonical form: stdout is exactly its own sorted re-serialisation.
+        assert first == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+        def content(text):
+            data = json.loads(text)
+            data["summary"].pop("runtime_seconds")
+            return json.dumps(data, indent=2, sort_keys=True)
+
+        assert content(first) == content(second)
+
     def test_json_with_progress_keeps_stdout_pure(self, capsys):
         """--json output must stay machine-readable with --progress on:
         progress lines go to stderr only."""
@@ -700,7 +726,7 @@ class TestPoolGc:
         cells = get_spec("smoke").cells()
         uri = f"sqlite:{tmp_path / 'pool.sqlite'}"
         store = CampaignStore.open(uri)
-        for cell, age_days in zip(cells, ages):
+        for cell, age_days in zip(cells, ages, strict=False):
             store.append(
                 make_record(cell, {"improved_yield": 0.9, "n_buffers": 1},
                             runtime_seconds=0.1,

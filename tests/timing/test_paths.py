@@ -39,7 +39,7 @@ class TestCriticalPaths:
         graph = timing_graph.graph
         for path in nominal_critical_paths(timing_graph, top_k=3):
             nodes = list(path.nodes)
-            for a, b in zip(nodes[:-1], nodes[1:]):
+            for a, b in zip(nodes[:-1], nodes[1:], strict=True):
                 b_node = ("sink", b) if b == path.capture and not graph.has_edge(a, b) else b
                 assert graph.has_edge(a, b_node)
 

@@ -42,7 +42,7 @@ class TestPeriodAnalysis:
     def test_yield_monotone_in_period(self, analysis):
         periods = np.linspace(analysis.mean - 2 * analysis.std, analysis.mean + 3 * analysis.std, 8)
         yields = [analysis.yield_at(p) for p in periods]
-        assert all(a <= b + 1e-9 for a, b in zip(yields, yields[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(yields, yields[1:], strict=False))
 
     def test_hold_mostly_feasible(self, analysis):
         assert analysis.hold_feasible.mean() > 0.9

@@ -52,7 +52,7 @@ class TestNominalArrival:
     def test_max_at_least_min_everywhere(self, tiny_design):
         graph = TimingGraph(tiny_design)
         arrivals = nominal_arrival_times(graph)
-        for node, (amax, amin) in arrivals.items():
+        for amax, amin in arrivals.values():
             assert amax >= amin - 1e-9
 
 
@@ -90,7 +90,7 @@ class TestCanonicalPairDelays:
         array = all_ff_pair_delay_forms(graph, method="array")
         assert list(scalar) == list(array)
         for key in scalar:
-            for s, a in zip(scalar[key], array[key]):
+            for s, a in zip(scalar[key], array[key], strict=True):
                 assert abs(s.mean - a.mean) <= 1e-12
                 assert np.max(np.abs(s.sensitivities - a.sensitivities)) <= 1e-12
                 assert abs(s.independent - a.independent) <= 1e-12
@@ -102,7 +102,7 @@ class TestCanonicalPairDelays:
         assert list(scalar) == list(array)
         worst = 0.0
         for key in scalar:
-            for s, a in zip(scalar[key], array[key]):
+            for s, a in zip(scalar[key], array[key], strict=True):
                 worst = max(
                     worst,
                     abs(s.mean - a.mean),
