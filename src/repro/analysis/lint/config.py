@@ -183,8 +183,48 @@ _TABLE_FIELDS: Dict[Tuple[str, str], str] = {
 }
 
 
+def _unknown_entries(data: Dict[str, object]) -> List[str]:
+    """Dotted paths of tables/keys the config schema does not define.
+
+    A typo (``[lint.determinsm]``, ``module`` for ``modules``) must be
+    a hard error, not a silent fall-back to the built-in defaults.
+    """
+    known_keys: Dict[str, set] = {}
+    for table_name, key in _TABLE_FIELDS:
+        known_keys.setdefault(table_name, set()).add(key)
+    known_subtables = {
+        name.split(".", 1)[1] for name in known_keys if name.startswith("lint.")
+    }
+    unknown: List[str] = []
+    for top, value in data.items():
+        if top != "lint":
+            unknown.append(top)
+            continue
+        if not isinstance(value, dict):
+            unknown.append("lint")
+            continue
+        for key, sub in value.items():
+            if key in known_keys["lint"]:
+                continue
+            if key not in known_subtables or not isinstance(sub, dict):
+                unknown.append(f"lint.{key}")
+                continue
+            for inner in sub:
+                if inner not in known_keys[f"lint.{key}"]:
+                    unknown.append(f"lint.{key}.{inner}")
+    return unknown
+
+
 def config_from_mapping(data: Dict[str, object]) -> LintConfig:
     """Build a config from a parsed TOML document (defaults + overrides)."""
+    unknown = _unknown_entries(data)
+    if unknown:
+        raise LintConfigError(
+            "unrecognized lint config entr{} {}".format(
+                "y" if len(unknown) == 1 else "ies",
+                ", ".join(sorted(unknown)),
+            )
+        )
     updates: Dict[str, object] = {}
     for (table_name, key), field_name in _TABLE_FIELDS.items():
         table: object = data

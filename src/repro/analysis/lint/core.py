@@ -16,9 +16,13 @@ Design notes:
 * A file that does not parse is a *usage* error (:class:`LintError`,
   CLI exit 2), not a finding: an unparseable tree can hide any number
   of violations, so "0 findings" must never be reported for it.
-* Baseline entries identify findings by ``rule::path::message`` —
-  deliberately line-number-free, so unrelated edits above a
-  grandfathered site do not invalidate the baseline.
+* Baseline entries identify findings by
+  ``rule::path::occurrence::message`` — deliberately line-number-free,
+  so unrelated edits above a grandfathered site do not invalidate the
+  baseline.  ``occurrence`` is the finding's index among identical
+  ``(rule, path, message)`` findings in that file (in line order), so
+  grandfathering one violation never silently covers a *new* identical
+  violation added to the same file later.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ import json
 import os
 import re
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.lint.config import LintConfig
@@ -44,25 +48,38 @@ class LintError(ValueError):
 _SUPPRESSION_RE = re.compile(r"#\s*repro:\s*lint-ok\[([a-z0-9_,\s-]+)\]")
 
 #: Version of the ``--json`` findings schema; bump on layout changes.
-REPORT_SCHEMA_VERSION = 1
+#: v2: findings carry an ``occurrence`` index and keys include it.
+REPORT_SCHEMA_VERSION = 2
 
 #: Version of the baseline-file schema; bump on layout changes.
-BASELINE_SCHEMA_VERSION = 1
+#: v2: keys gained an occurrence index (``rule::path::occurrence::message``)
+#: so one baselined violation cannot grandfather future identical ones.
+BASELINE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``occurrence`` is assigned by the runner: the finding's index among
+    identical ``(rule, path, message)`` findings in its file, counted in
+    line order over non-suppressed findings.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    occurrence: int = 0
 
     def key(self) -> str:
-        """Line-number-free identity used by baseline files."""
-        return f"{self.rule}::{self.path}::{self.message}"
+        """Line-number-free identity used by baseline files.
+
+        ``occurrence`` sits before the free-form message so every
+        machine-generated component stays unambiguous.
+        """
+        return f"{self.rule}::{self.path}::{self.occurrence}::{self.message}"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -71,6 +88,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "occurrence": self.occurrence,
             "key": self.key(),
         }
 
@@ -281,9 +299,13 @@ def load_baseline(path: str) -> Set[str]:
     if not isinstance(data, dict):
         raise LintError(f"baseline {path!r} must be a JSON object")
     version = data.get("schema_version")
-    if not isinstance(version, int) or version > BASELINE_SCHEMA_VERSION:
+    if not isinstance(version, int) or version != BASELINE_SCHEMA_VERSION:
+        # Older versions used a different key format; accepting them
+        # would silently match nothing, so demand a regeneration.
         raise LintError(
-            f"baseline {path!r} has unsupported schema_version {version!r}"
+            f"baseline {path!r} has unsupported schema_version {version!r} "
+            f"(expected {BASELINE_SCHEMA_VERSION}; regenerate with "
+            "--write-baseline)"
         )
     findings = data.get("findings")
     if not isinstance(findings, list) or not all(
@@ -385,18 +407,31 @@ class LintRunner:
             for finding in rule.finish():
                 raw.append((finding, contexts[finding.path]))
 
-        findings: List[Finding] = []
+        kept: List[Finding] = []
         n_suppressed = 0
-        n_baselined = 0
         for finding, ctx in raw:
             if ctx.is_suppressed(finding.rule, finding.line):
                 n_suppressed += 1
                 continue
-            if finding.key() in self.baseline:
+            kept.append(finding)
+        # Occurrence indices are assigned over the *non-suppressed*
+        # findings in location order, before baseline filtering: a
+        # baselined finding still occupies its index, so a new
+        # identical violation in the same file gets a fresh key and
+        # surfaces instead of riding the grandfathered entry.
+        kept.sort()
+        counters: Dict[Tuple[str, str, str], int] = {}
+        findings: List[Finding] = []
+        n_baselined = 0
+        for finding in kept:
+            group = (finding.rule, finding.path, finding.message)
+            index = counters.get(group, 0)
+            counters[group] = index + 1
+            numbered = replace(finding, occurrence=index)
+            if numbered.key() in self.baseline:
                 n_baselined += 1
                 continue
-            findings.append(finding)
-        findings.sort()
+            findings.append(numbered)
         return LintResult(
             findings=findings,
             n_files=len(files),

@@ -114,7 +114,10 @@ class DeterminismRule(Rule):
                 f"entropy source {name}() in a deterministic module; derive "
                 "identifiers from content fingerprints or explicit seeds",
             )
-        elif name.startswith("random."):
+        elif name.startswith("random.") and _root_is_imported(ctx, node.func):
+            # resolve() falls back to the bare spelling for local
+            # objects, so a variable that merely *is named* `random`
+            # must not trip the stdlib-module check.
             yield ctx.finding(
                 self.name,
                 node,
@@ -150,6 +153,15 @@ class DeterminismRule(Rule):
                 "iteration over a set has hash-randomised order; iterate "
                 "sorted(...) of it instead",
             )
+
+
+def _root_is_imported(ctx: FileContext, func: ast.expr) -> bool:
+    """Whether the call chain's root name comes from an import statement
+    (rather than a local variable/parameter that resolve() echoed back)."""
+    node = func
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in ctx.imports
 
 
 def _is_set_expr(node: ast.expr) -> bool:

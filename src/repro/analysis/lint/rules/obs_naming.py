@@ -68,9 +68,9 @@ class ObsNamingRule(Rule):
     def _check_name(
         self, ctx: FileContext, node: ast.Call, kind: str
     ) -> Iterable[Finding]:
-        if not node.args:
+        name_node = _name_argument(node)
+        if name_node is None:
             return
-        name_node = node.args[0]
         dynamic_ok = ctx.config.module_matches(
             ctx.module, ctx.config.obs_dynamic_allow
         )
@@ -140,6 +140,18 @@ class ObsNamingRule(Rule):
                     )
                 )
         return findings
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The expression supplying the registered name: the first
+    positional argument, or a ``name=`` keyword (every registration
+    API here takes the name as its sole ``name`` parameter)."""
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
 
 
 def _registration_kind(node: ast.Call) -> Optional[str]:

@@ -319,7 +319,7 @@ def _add_lint_parsers(subparsers) -> None:
         default=None,
         metavar="FILE",
         help="JSON baseline of grandfathered findings (matched by "
-        "rule::path::message, line-number-free)",
+        "rule::path::occurrence::message, line-number-free)",
     )
     lint.add_argument(
         "--write-baseline",

@@ -87,7 +87,7 @@ class TestJsonOutput:
         assert main(["lint", target, "--config", "cfg.toml", "--json"]) == 1
         out = capsys.readouterr().out
         payload = json.loads(out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["n_files"] == 1
         assert payload["n_findings"] == 1
         assert payload["n_suppressed"] == 0
@@ -96,7 +96,8 @@ class TestJsonOutput:
         assert finding["rule"] == "determinism"
         assert finding["path"] == "mod.py"
         assert finding["line"] == 3
-        assert finding["key"].startswith("determinism::mod.py::")
+        assert finding["occurrence"] == 0
+        assert finding["key"].startswith("determinism::mod.py::0::")
         # The linter holds itself to canonical-json: byte-stable output.
         assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -155,7 +156,7 @@ class TestBaselineWorkflow:
         captured = capsys.readouterr()
         assert "wrote baseline" in captured.err
         document = json.loads((workspace / "base.json").read_text())
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         assert len(document["findings"]) == 1
 
         assert (
@@ -187,6 +188,37 @@ class TestBaselineWorkflow:
             )
             == 1
         )
+
+    def test_identical_new_violation_not_masked_by_baseline(
+        self, workspace, capsys
+    ):
+        """Baseline keys carry an occurrence index: grandfathering one
+        `time.time()` must not cover a second, identical one added to
+        the same file later."""
+        target = write_target(workspace, DIRTY)
+        assert (
+            main(
+                [
+                    "lint", target, "--config", "cfg.toml",
+                    "--write-baseline", "base.json",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        write_target(workspace, DIRTY + "stamp2 = time.time()\n")
+        assert (
+            main(
+                [
+                    "lint", target, "--config", "cfg.toml",
+                    "--baseline", "base.json", "--json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_findings"] == 1
+        assert payload["n_baselined"] == 1
 
 
 class TestSuppressionEndToEnd:

@@ -111,6 +111,41 @@ class TestLoading:
         with pytest.raises(LintConfigError):
             load_config(str(path))
 
+    def test_unknown_table_raises(self):
+        """A typo'd table must be a hard error, not a silent fall-back
+        to the defaults that looks like an applied override."""
+        with pytest.raises(LintConfigError, match="lint.determinsm"):
+            config_from_mapping({"lint": {"determinsm": {"modules": ["x"]}}})
+
+    def test_unknown_key_in_known_table_raises(self):
+        with pytest.raises(
+            LintConfigError, match="lint.determinism.module"
+        ):
+            config_from_mapping({"lint": {"determinism": {"module": ["x"]}}})
+
+    def test_unknown_top_level_table_raises(self):
+        with pytest.raises(LintConfigError, match="lintt"):
+            config_from_mapping({"lintt": {"determinism": {"modules": ["x"]}}})
+
+    def test_all_unknown_entries_listed_at_once(self):
+        with pytest.raises(
+            LintConfigError,
+            match=r"lint\.determinism\.module, lint\.obs",
+        ):
+            config_from_mapping(
+                {
+                    "lint": {
+                        "determinism": {"module": ["x"]},
+                        "obs": {"modules": ["y"]},
+                    }
+                }
+            )
+
+    def test_known_entries_still_accepted(self, tmp_path):
+        path = tmp_path / "cfg.toml"
+        path.write_text(SAMPLE, encoding="utf-8")
+        assert load_config(str(path)).exclude_dirs == ("build", ".git")
+
 
 class TestSubsetParser:
     """The 3.10 fallback parser must agree with tomllib on the subset."""

@@ -206,8 +206,11 @@ class TestBaselines:
             "[]",
             '{"findings": []}',
             '{"schema_version": 99, "findings": []}',
-            '{"schema_version": 1, "findings": [1, 2]}',
-            '{"schema_version": 1}',
+            # v1 keys lack the occurrence index and would silently
+            # match nothing — outdated baselines must be regenerated.
+            '{"schema_version": 1, "findings": []}',
+            '{"schema_version": 2, "findings": [1, 2]}',
+            '{"schema_version": 2}',
         ],
     )
     def test_schema_violations_raise(self, tmp_path, payload):
@@ -215,6 +218,30 @@ class TestBaselines:
         bad.write_text(payload, encoding="utf-8")
         with pytest.raises(LintError):
             load_baseline(str(bad))
+
+    def test_identical_duplicate_gets_fresh_occurrence_key(self, tmp_path):
+        """Grandfathering one violation must not cover a future
+        identical violation in the same file: occurrence indices make
+        every duplicate's key distinct."""
+        path = tmp_path / "mod.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        config = LintConfig(determinism_modules=("mod",))
+        first = LintRunner(config=config, rules=build_rules(["determinism"])).run(
+            [str(path)]
+        )
+        baseline = {finding.key() for finding in first.findings}
+
+        path.write_text(
+            "import time\nstamp = time.time()\nstamp2 = time.time()\n",
+            encoding="utf-8",
+        )
+        second = LintRunner(
+            config=config, rules=build_rules(["determinism"]), baseline=baseline
+        ).run([str(path)])
+        assert len(second.findings) == 1
+        assert second.n_baselined == 1
+        assert second.findings[0].occurrence == 1
+        assert second.findings[0].key().split("::")[2] == "1"
 
 
 class TestRunner:

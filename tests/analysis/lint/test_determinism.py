@@ -66,6 +66,24 @@ class TestEntropy:
         """
         assert lint(source, "determinism", **DET) == []
 
+    def test_local_object_named_random_not_flagged(self, lint):
+        """A variable/parameter that merely *is named* `random` is not
+        the stdlib module — attribute calls on it are fine."""
+        source = """
+        def draw(random):
+            return random.choice([1, 2])
+        """
+        assert lint(source, "determinism", **DET) == []
+
+    def test_imported_random_attribute_still_flagged(self, lint):
+        source = """
+        import random
+        pick = random.choice([1, 2])
+        """
+        findings = lint(source, "determinism", **DET)
+        assert len(findings) == 1
+        assert "random.choice()" in findings[0].message
+
     def test_numpy_module_state_flagged_explicit_rng_not(self, lint):
         source = """
         import numpy as np

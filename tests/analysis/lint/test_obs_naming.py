@@ -36,6 +36,20 @@ class TestGrammar:
         assert len(findings) == 1
         assert "span name" in findings[0].message
 
+    def test_keyword_name_argument_checked(self, lint):
+        """`registry.counter(name=...)` gets the same scrutiny as the
+        positional spelling — no silent false negative."""
+        source = 'registry.counter(name="Jobs.Total")\n'
+        findings = lint(source, "obs-naming", **OBS)
+        assert len(findings) == 1
+        assert "naming grammar" in findings[0].message
+
+    def test_keyword_dynamic_name_flagged(self, lint):
+        source = "registry.gauge(name=metric_name)\n"
+        findings = lint(source, "obs-naming", **OBS)
+        assert len(findings) == 1
+        assert "static string literal" in findings[0].message
+
 
 class TestDynamicNames:
     def test_fstring_flagged_outside_dynamic_allow(self, lint):
@@ -88,6 +102,18 @@ class TestKindCollision:
         assert "more than one kind" in findings[0].message
         assert "counter at" in findings[0].message
         assert "gauge at" in findings[0].message
+
+    def test_keyword_registration_participates_in_collision(
+        self, write_module
+    ):
+        a = write_module("a.py", 'registry.counter(name="jobs.total")\n')
+        b = write_module("b.py", 'registry.gauge("jobs.total")\n')
+        runner = LintRunner(
+            config=LintConfig(**OBS), rules=build_rules(["obs-naming"])
+        )
+        findings = runner.run([a, b]).findings
+        assert len(findings) == 1
+        assert "more than one kind" in findings[0].message
 
     def test_same_kind_twice_is_not_a_collision(self, write_module):
         a = write_module("a.py", 'registry.counter("jobs.total")\n')

@@ -40,6 +40,6 @@ def test_src_lint_json_schema(monkeypatch, tmp_path, capsys):
     code = _lint(monkeypatch, tmp_path, str(REPO_ROOT / "src"), "--json")
     assert code == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == 2
     assert payload["findings"] == []
     assert payload["n_files"] > 100  # the whole package, not a subset
